@@ -1,0 +1,146 @@
+//! Bound verification: measured behaviour vs. Theorems 3–5.
+
+use lgfi_core::bounds::DetourBound;
+use lgfi_core::network::ProbeReport;
+
+/// The result of checking one probe against one analytic bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundCheck {
+    /// Human-readable name of the bound ("theorem 3", "theorem 4", ...).
+    pub bound: &'static str,
+    /// Measured value.
+    pub measured: u64,
+    /// The bound's value.
+    pub allowed: u64,
+    /// Whether the measurement respects the bound.
+    pub holds: bool,
+}
+
+impl BoundCheck {
+    fn new(bound: &'static str, measured: u64, allowed: u64) -> Self {
+        BoundCheck {
+            bound,
+            measured,
+            allowed,
+            holds: measured <= allowed,
+        }
+    }
+}
+
+/// Theorem 3: every recorded `D(i)` must respect the per-interval progress bound.
+/// Returns one check per fault occurrence recorded while the probe was in flight.
+pub fn check_theorem3(report: &ProbeReport, bound: &DetourBound) -> Vec<BoundCheck> {
+    let d0 = u64::from(report.outcome.initial_distance);
+    report
+        .distance_at_fault
+        .values()
+        .enumerate()
+        .map(|(idx, &d_i)| {
+            // After `idx` full intervals have elapsed since the launch (the fault at
+            // index `idx` starts interval idx+1), the remaining distance must not
+            // exceed the Theorem-3 bound — or the bound is vacuous (None) and the
+            // routing could already have finished.
+            match bound.remaining_distance_bound(d0, idx) {
+                Some(b) => BoundCheck::new("theorem 3", u64::from(d_i), b.max(0) as u64),
+                None => BoundCheck {
+                    bound: "theorem 3",
+                    measured: u64::from(d_i),
+                    allowed: u64::MAX,
+                    holds: true,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Theorem 4 (or 5 when the probe's source was unsafe and `d0` is a path length):
+/// the total number of steps must stay within `d0 + k (e_max + a_max)`.
+pub fn check_theorem4(report: &ProbeReport, bound: &DetourBound) -> BoundCheck {
+    let d0 = u64::from(report.outcome.initial_distance);
+    BoundCheck::new("theorem 4", report.outcome.steps, bound.max_steps(d0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_core::bounds::IntervalParams;
+    use lgfi_core::routing::{ProbeOutcome, ProbeStatus};
+    use std::collections::BTreeMap;
+
+    fn fake_report(steps: u64, d0: u32, d_at_fault: &[(u64, u32)]) -> ProbeReport {
+        ProbeReport {
+            source: 0,
+            dest: 1,
+            launched_at: 0,
+            finished_at: steps,
+            outcome: ProbeOutcome {
+                status: ProbeStatus::Delivered,
+                steps,
+                backtracks: 0,
+                path_length: steps,
+                initial_distance: d0,
+            },
+            distance_at_fault: d_at_fault.iter().copied().collect::<BTreeMap<u64, u32>>(),
+            router: "lgfi",
+        }
+    }
+
+    fn bound() -> DetourBound {
+        DetourBound {
+            start_step: 0,
+            t_p: 0,
+            intervals: vec![
+                IntervalParams { d: 50, a_steps: 3 },
+                IntervalParams { d: 50, a_steps: 3 },
+            ],
+            e_max: 4,
+        }
+    }
+
+    #[test]
+    fn theorem4_check_passes_for_small_step_counts() {
+        let b = bound();
+        let ok = check_theorem4(&fake_report(20, 15, &[]), &b);
+        assert!(ok.holds);
+        assert_eq!(ok.allowed, 15 + b.max_detours(15));
+        let too_many = check_theorem4(&fake_report(500, 15, &[]), &b);
+        assert!(!too_many.holds);
+    }
+
+    #[test]
+    fn theorem3_checks_each_fault_occurrence() {
+        let b = bound();
+        // D(1) recorded at the first fault is the starting distance (bound: d0).
+        let report = fake_report(30, 20, &[(10, 20), (60, 5)]);
+        let checks = check_theorem3(&report, &b);
+        assert_eq!(checks.len(), 2);
+        assert!(checks[0].holds, "{:?}", checks[0]);
+        assert!(checks[1].holds, "{:?}", checks[1]);
+        // A probe that somehow got *farther* than allowed fails the second check:
+        // after one interval the bound is 20 - (50 - 6 - 8) = negative -> vacuous, so
+        // craft a tighter bound instead.
+        let tight = DetourBound {
+            start_step: 0,
+            t_p: 0,
+            intervals: vec![IntervalParams { d: 20, a_steps: 2 }],
+            e_max: 2,
+        };
+        let bad = fake_report(30, 20, &[(0, 20), (20, 18)]);
+        let checks = check_theorem3(&bad, &tight);
+        assert!(checks[0].holds);
+        assert!(!checks[1].holds, "{:?}", checks[1]);
+    }
+
+    #[test]
+    fn vacuous_bounds_always_hold() {
+        let b = DetourBound {
+            start_step: 0,
+            t_p: 0,
+            intervals: vec![IntervalParams { d: 1_000, a_steps: 1 }],
+            e_max: 1,
+        };
+        let report = fake_report(5, 3, &[(0, 3), (1000, 0)]);
+        let checks = check_theorem3(&report, &b);
+        assert!(checks.iter().all(|c| c.holds));
+    }
+}

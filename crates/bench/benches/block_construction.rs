@@ -1,0 +1,53 @@
+//! Criterion bench for experiment F1: Algorithm-1 block construction (labeling to
+//! fixpoint) as a function of mesh size, dimension and fault count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_core::block::BlockSet;
+use lgfi_core::labeling::LabelingEngine;
+use lgfi_topology::{Coord, Mesh};
+use lgfi_workloads::{FaultGenerator, FaultPlacement};
+
+fn faults_for(mesh: &Mesh, count: usize, seed: u64) -> Vec<Coord> {
+    let mut generator = FaultGenerator::new(mesh.clone(), seed);
+    generator.place(count, FaultPlacement::UniformInterior)
+}
+
+fn bench_block_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_construction");
+    group.sample_size(20);
+    for (dims, faults) in [
+        (vec![16, 16], 8usize),
+        (vec![32, 32], 16),
+        (vec![64, 64], 32),
+        (vec![10, 10, 10], 16),
+        (vec![16, 16, 16], 32),
+        (vec![8, 8, 8, 8], 32),
+    ] {
+        let mesh = Mesh::new(&dims);
+        let fault_set = faults_for(&mesh, faults, 1);
+        group.bench_with_input(
+            BenchmarkId::new("labeling_fixpoint", format!("{dims:?}x{faults}f")),
+            &(mesh.clone(), fault_set.clone()),
+            |b, (mesh, faults)| {
+                b.iter(|| {
+                    let mut eng = LabelingEngine::new(mesh.clone());
+                    let rounds = eng.apply_faults(faults);
+                    std::hint::black_box(rounds)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("block_extraction", format!("{dims:?}x{faults}f")),
+            &(mesh, fault_set),
+            |b, (mesh, faults)| {
+                let mut eng = LabelingEngine::new(mesh.clone());
+                eng.apply_faults(faults);
+                b.iter(|| std::hint::black_box(BlockSet::extract(mesh, eng.statuses()).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_construction);
+criterion_main!(benches);

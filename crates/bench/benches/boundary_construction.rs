@@ -1,0 +1,43 @@
+//! Criterion bench for experiment F3: Definition-3 boundary construction for every
+//! block and every adjacent surface, including the merge handling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_core::block::BlockSet;
+use lgfi_core::boundary::BoundaryMap;
+use lgfi_core::labeling::LabelingEngine;
+use lgfi_topology::Mesh;
+use lgfi_workloads::{FaultGenerator, FaultPlacement};
+
+fn bench_boundary_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boundary_construction");
+    group.sample_size(20);
+    for (dims, faults, placement) in [
+        (vec![16, 16], 8usize, FaultPlacement::UniformInterior),
+        (vec![32, 32], 16, FaultPlacement::UniformInterior),
+        (vec![32, 32], 16, FaultPlacement::Clustered { clusters: 2 }),
+        (vec![10, 10, 10], 16, FaultPlacement::UniformInterior),
+        (vec![16, 16, 16], 24, FaultPlacement::Clustered { clusters: 3 }),
+    ] {
+        let mesh = Mesh::new(&dims);
+        let mut generator = FaultGenerator::new(mesh.clone(), 3);
+        let fault_set = generator.place(faults, placement);
+        let mut eng = LabelingEngine::new(mesh.clone());
+        eng.apply_faults(&fault_set);
+        let blocks = BlockSet::extract(&mesh, eng.statuses());
+        let label = format!("{dims:?}x{faults}f-{}blk", blocks.len());
+        group.bench_with_input(
+            BenchmarkId::new("construct", label),
+            &(mesh, blocks),
+            |b, (mesh, blocks)| {
+                b.iter(|| {
+                    let map = BoundaryMap::construct(mesh, blocks);
+                    std::hint::black_box((map.nodes_with_info(), map.construction_rounds()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boundary_construction);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for claim C1: the end-to-end convergence of all three fault
+//! information constructions (a_i + b_i + c_i) inside the dynamic step loop, for
+//! growing mesh sizes — the "fault information can be distributed quickly" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_topology::Mesh;
+use lgfi_workloads::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_scaling");
+    group.sample_size(10);
+    for dims in [vec![16, 16], vec![32, 32], vec![10, 10, 10], vec![14, 14, 14]] {
+        let mesh = Mesh::new(&dims);
+        let mut generator = FaultGenerator::new(mesh.clone(), 5);
+        let plan = generator.dynamic_plan(
+            DynamicFaultConfig {
+                fault_count: 6,
+                first_step: 0,
+                interval: 40,
+                with_recovery: false,
+                recovery_delay: 0,
+            },
+            FaultPlacement::UniformInterior,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_step_loop", format!("{dims:?}")),
+            &(mesh, plan),
+            |b, (mesh, plan)| {
+                b.iter(|| {
+                    let mut net =
+                        LgfiNetwork::new(mesh.clone(), plan.clone(), NetworkConfig::default());
+                    net.run_to_completion(2_000);
+                    std::hint::black_box(
+                        net.convergence_records()
+                            .iter()
+                            .map(|r| r.total_rounds())
+                            .max()
+                            .unwrap_or(0),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for Theorems 3–5: the cost of a full dynamic routing episode
+//! (faults appearing mid-flight) and of evaluating the detour bounds against the
+//! measured reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_analysis::{check_theorem3, check_theorem4};
+use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_core::routing::LgfiRouter;
+use lgfi_topology::{Coord, Mesh};
+use lgfi_workloads::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
+
+fn bench_detour_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detour_bounds");
+    group.sample_size(10);
+    for (dims, faults, interval) in [
+        (vec![16, 16], 4usize, 50u64),
+        (vec![24, 24], 6, 60),
+        (vec![10, 10, 10], 5, 80),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_probe_episode", format!("{dims:?}x{faults}f")),
+            &(dims, faults, interval),
+            |b, (dims, faults, interval)| {
+                b.iter(|| {
+                    let mesh = Mesh::new(dims);
+                    let mut generator = FaultGenerator::new(mesh.clone(), 9);
+                    let plan = generator.dynamic_plan(
+                        DynamicFaultConfig {
+                            fault_count: *faults,
+                            first_step: 5,
+                            interval: *interval,
+                            with_recovery: false,
+                            recovery_delay: 0,
+                        },
+                        FaultPlacement::UniformInterior,
+                    );
+                    let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+                    let s = mesh.id_of(&Coord::origin(mesh.ndim()));
+                    let d = mesh.id_of(&Coord::new(mesh.dims().iter().map(|&k| k - 1).collect()));
+                    net.launch_probe(s, d, Box::new(LgfiRouter::new()));
+                    net.run_to_completion(20_000);
+                    let report = net.reports()[0].clone();
+                    let bound = net.detour_bound_for(report.launched_at);
+                    let t3 = check_theorem3(&report, &bound).iter().all(|c| c.holds);
+                    let t4 = check_theorem4(&report, &bound).holds;
+                    std::hint::black_box((report.outcome.steps, t3, t4))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detour_bounds);
+criterion_main!(benches);

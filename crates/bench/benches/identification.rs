@@ -1,0 +1,55 @@
+//! Criterion bench for experiment F5: the Algorithm-2 identification process
+//! (phase timing plus back-propagation schedule) for blocks of growing size and
+//! dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_core::identification::IdentificationProcess;
+use lgfi_core::labeling::LabelingEngine;
+use lgfi_core::status::NodeStatus;
+use lgfi_topology::{Mesh, Region};
+
+fn setup(dims: &[i32], block: &Region) -> (Mesh, Vec<NodeStatus>) {
+    let mesh = Mesh::new(dims);
+    let mut eng = LabelingEngine::new(mesh.clone());
+    for c in block.iter_coords() {
+        eng.inject_fault_coord(&c);
+    }
+    eng.run_to_fixpoint(10_000).expect("stabilises");
+    (mesh, eng.statuses().to_vec())
+}
+
+fn bench_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identification");
+    group.sample_size(20);
+    for (dims, block) in [
+        (vec![16, 16], Region::new(vec![5, 5], vec![8, 8])),
+        (vec![32, 32], Region::new(vec![5, 5], vec![16, 16])),
+        (vec![12, 12, 12], Region::new(vec![4, 4, 4], vec![7, 7, 7])),
+        (vec![16, 16, 16], Region::new(vec![4, 4, 4], vec![11, 11, 11])),
+        (vec![8, 8, 8, 8], Region::new(vec![3, 3, 3, 3], vec![5, 5, 5, 5])),
+    ] {
+        let (mesh, statuses) = setup(&dims, &block);
+        let label = format!("{dims:?}-block{:?}", block.max_edge());
+        group.bench_with_input(
+            BenchmarkId::new("identify", label),
+            &(mesh, statuses, block),
+            |b, (mesh, statuses, block)| {
+                let proc = IdentificationProcess::default();
+                b.iter(|| {
+                    let outcome = proc
+                        .run_from_default_corner(mesh, block, statuses)
+                        .expect("corner exists");
+                    std::hint::black_box((outcome.formed_round, outcome.completed_round))
+                })
+            },
+        );
+    }
+    // The closed-form duration recursion on its own (scales to high dimensions).
+    group.bench_function("level_duration_6d", |b| {
+        b.iter(|| std::hint::black_box(IdentificationProcess::level_duration(&[4, 5, 6, 7, 8, 9])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_identification);
+criterion_main!(benches);

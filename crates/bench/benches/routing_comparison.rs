@@ -1,0 +1,89 @@
+//! Criterion bench for claim C2: routing cost of the LGFI router vs. the baselines on
+//! the same static fault pattern (per-probe decision + probe engine cost, and whole
+//! batches of probes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_baselines::{GlobalInfoRouter, LocalInfoRouter, StaticBlockRouter};
+use lgfi_core::block::BlockSet;
+use lgfi_core::boundary::BoundaryMap;
+use lgfi_core::labeling::LabelingEngine;
+use lgfi_core::routing::{route_static, LgfiRouter, Router};
+use lgfi_core::status::NodeStatus;
+use lgfi_topology::Mesh;
+use lgfi_workloads::{FaultGenerator, FaultPlacement, TrafficGenerator, TrafficPattern};
+
+struct Env {
+    mesh: Mesh,
+    statuses: Vec<NodeStatus>,
+    blocks: BlockSet,
+    boundary: BoundaryMap,
+    pairs: Vec<(usize, usize)>,
+}
+
+fn build_env() -> Env {
+    let mesh = Mesh::cubic(24, 2);
+    let mut generator = FaultGenerator::new(mesh.clone(), 11);
+    let faults = generator.place(20, FaultPlacement::UniformInterior);
+    let mut eng = LabelingEngine::new(mesh.clone());
+    eng.apply_faults(&faults);
+    let blocks = BlockSet::extract(&mesh, eng.statuses());
+    let boundary = BoundaryMap::construct(&mesh, &blocks);
+    let statuses = eng.statuses().to_vec();
+    let usable = statuses.clone();
+    let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 7);
+    let pairs = traffic
+        .requests(50, |id| usable[id] == NodeStatus::Enabled)
+        .into_iter()
+        .map(|r| (r.source, r.dest))
+        .collect();
+    Env {
+        mesh,
+        statuses,
+        blocks,
+        boundary,
+        pairs,
+    }
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let env = build_env();
+    let routers: Vec<Box<dyn Router>> = vec![
+        Box::new(LgfiRouter::new()),
+        Box::new(GlobalInfoRouter::new()),
+        Box::new(LocalInfoRouter::new()),
+        Box::new(StaticBlockRouter::new()),
+    ];
+    let mut group = c.benchmark_group("routing_comparison");
+    group.sample_size(20);
+    for router in &routers {
+        group.bench_with_input(
+            BenchmarkId::new("route_50_probes", router.name()),
+            router,
+            |b, router| {
+                b.iter(|| {
+                    let mut delivered = 0usize;
+                    let mut steps = 0u64;
+                    for &(s, d) in &env.pairs {
+                        let out = route_static(
+                            &env.mesh,
+                            &env.statuses,
+                            env.blocks.blocks(),
+                            &env.boundary,
+                            router.as_ref(),
+                            s,
+                            d,
+                            100_000,
+                        );
+                        steps += out.steps;
+                        delivered += usize::from(out.delivered());
+                    }
+                    std::hint::black_box((delivered, steps))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

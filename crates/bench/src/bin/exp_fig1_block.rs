@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `fig1_block` experiment table(s).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+
+fn main() {
+    println!("{}", lgfi_bench::harness::exp_fig1_block());
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `fig5_identification` experiment table(s).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+
+fn main() {
+    println!("{}", lgfi_bench::harness::exp_fig5_identification());
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `memory_overhead` experiment table(s).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+
+fn main() {
+    println!("{}", lgfi_bench::harness::exp_memory_overhead());
+}

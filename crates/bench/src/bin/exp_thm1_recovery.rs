@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `thm1_recovery` experiment table(s).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+
+fn main() {
+    println!("{}", lgfi_bench::harness::exp_thm1_recovery());
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the `thm4_detours` experiment table(s).
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+
+fn main() {
+    println!("{}", lgfi_bench::harness::exp_thm4_detours());
+}

@@ -1,0 +1,9 @@
+//! # lgfi-bench
+//!
+//! Experiment binaries and criterion benchmarks reproducing every figure and claim of
+//! the paper.  See `src/bin/` for the per-experiment binaries and `benches/` for the
+//! criterion harnesses; shared helpers live in [`harness`].
+
+#![forbid(unsafe_code)]
+
+pub mod harness;

@@ -1,0 +1,206 @@
+//! Theorems 3–5: progress and detour bounds under dynamic faults.
+//!
+//! The dynamic fault model (Section 5) assumes faults `f_1 .. f_F` occur at times
+//! `t_1 .. t_F` with gaps `d_i = t_{i+1} - t_i`, that at most one new block appears per
+//! interval and that the fault information for the blocks of interval `i` has
+//! stabilised before `t_{i+1}` (`d_i > (a_i + b_i + c_i)/λ`).  Under those assumptions:
+//!
+//! * **Theorem 3** — per-interval progress: with a safe source, the distance to the
+//!   destination D(i) decreases by at least `d_{i-1} - 2 a_{i-1} - 2 e_max` in every
+//!   interval (with a `- (t - t_p)` correction in the first one).
+//! * **Theorem 4** — the routing finishes within `k` intervals where `k` is the
+//!   largest `l` such that `D + t - t_p - Σ_{i=p}^{p+l-2} (d_i - 2 a_i - 2 e_max) > 0`,
+//!   and the number of detours is at most `k (e_max + a_max)`.
+//! * **Theorem 5** — the same bound with the initial distance `D` replaced by the
+//!   length `L` of any existing path when the source is not safe.
+//!
+//! [`DetourBound`] packages the schedule parameters and evaluates these bounds so the
+//! experiment harness can compare them against measured behaviour.  All quantities are
+//! measured in *steps*; the per-interval convergence counts `a_i` are converted from
+//! rounds to steps by the caller (`⌈a_i / λ⌉`).
+
+/// Parameters of one inter-fault interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalParams {
+    /// Length of the interval in steps (`d_i = t_{i+1} - t_i`).
+    pub d: u64,
+    /// Steps needed for the block construction triggered at the start of the interval
+    /// to stabilise (`⌈a_i / λ⌉`).
+    pub a_steps: u64,
+}
+
+impl IntervalParams {
+    /// The guaranteed progress of the routing message during this interval
+    /// (`d_i - 2 a_i - 2 e_max`), which may be negative if the interval is too short.
+    pub fn progress(&self, e_max: u64) -> i64 {
+        self.d as i64 - 2 * self.a_steps as i64 - 2 * e_max as i64
+    }
+}
+
+/// Evaluates the detour bounds of Theorems 3–5 for one routing under one fault
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct DetourBound {
+    /// Start step `t` of the routing.
+    pub start_step: u64,
+    /// Occurrence step `t_p` of the last fault at or before `t` (0 if none).
+    pub t_p: u64,
+    /// The intervals `d_p, d_{p+1}, ...` following the routing start, in order.
+    pub intervals: Vec<IntervalParams>,
+    /// The maximum block edge length `e_max` over the whole schedule.
+    pub e_max: u64,
+}
+
+impl DetourBound {
+    /// The largest per-interval stabilisation cost `a_max` (in steps).
+    pub fn a_max(&self) -> u64 {
+        self.intervals.iter().map(|i| i.a_steps).max().unwrap_or(0)
+    }
+
+    /// Theorem 3: the bound on the remaining distance after `m >= 1` intervals have
+    /// elapsed since the routing started, given the initial distance `d0`.
+    ///
+    /// Returns `None` if the bound is vacuous (already non-positive, meaning the
+    /// routing is guaranteed to have finished).
+    pub fn remaining_distance_bound(&self, d0: u64, m: usize) -> Option<i64> {
+        let mut bound = d0 as i64;
+        for (idx, interval) in self.intervals.iter().take(m).enumerate() {
+            let mut progress = interval.progress(self.e_max);
+            if idx == 0 {
+                // The first interval only counts from the routing start time t, not
+                // from t_p.
+                progress -= (self.start_step - self.t_p) as i64;
+            }
+            bound -= progress;
+        }
+        if bound <= 0 {
+            None
+        } else {
+            Some(bound)
+        }
+    }
+
+    /// Theorem 4 (and 5 with `d0 = L`): the maximum number of intervals the routing
+    /// can span: the largest `l` with
+    /// `d0 + (t - t_p) - Σ_{i=p}^{p+l-2} (d_i - 2 a_i - 2 e_max) > 0`.
+    ///
+    /// If the available intervals are exhausted before the expression turns
+    /// non-positive, the routing is only guaranteed to finish after the last scheduled
+    /// fault; `intervals.len() + 1` is returned in that case (after the last fault the
+    /// environment is static and the routing completes).
+    pub fn max_intervals(&self, d0: u64) -> usize {
+        let base = d0 as i64 + (self.start_step - self.t_p) as i64;
+        let mut acc = 0i64;
+        for l in 1..=self.intervals.len() {
+            // Σ_{i=p}^{p+l-2}: the first l-1 intervals.
+            if l >= 2 {
+                acc += self.intervals[l - 2].progress(self.e_max);
+            }
+            if base - acc <= 0 {
+                return l.saturating_sub(1).max(1);
+            }
+        }
+        self.intervals.len() + 1
+    }
+
+    /// Theorem 4: the bound on the total number of detour steps,
+    /// `k * (e_max + a_max)` where `k` is [`DetourBound::max_intervals`].
+    pub fn max_detours(&self, d0: u64) -> u64 {
+        let k = self.max_intervals(d0) as u64;
+        k * (self.e_max + self.a_max())
+    }
+
+    /// Theorem 4 restated as a bound on total steps: `d0 + max_detours`.
+    pub fn max_steps(&self, d0: u64) -> u64 {
+        d0 + self.max_detours(d0)
+    }
+}
+
+/// Theorem 1: recoveries never hurt.  Given the detour count measured before a
+/// recovery (with the old, larger blocks) and after it (with the shrunken blocks),
+/// checks the claim that re-stabilised recovery constructions do not make routing
+/// worse.
+pub fn recovery_does_not_increase_detours(before: u64, after: u64) -> bool {
+    after <= before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bound() -> DetourBound {
+        DetourBound {
+            start_step: 10,
+            t_p: 6,
+            intervals: vec![
+                IntervalParams { d: 30, a_steps: 4 },
+                IntervalParams { d: 25, a_steps: 3 },
+                IntervalParams { d: 40, a_steps: 5 },
+            ],
+            e_max: 3,
+        }
+    }
+
+    #[test]
+    fn interval_progress_formula() {
+        let i = IntervalParams { d: 30, a_steps: 4 };
+        assert_eq!(i.progress(3), 30 - 8 - 6);
+        let short = IntervalParams { d: 5, a_steps: 4 };
+        assert!(short.progress(3) < 0, "too-short intervals give negative progress");
+    }
+
+    #[test]
+    fn remaining_distance_decreases_per_theorem_3() {
+        let b = sample_bound();
+        // After the first interval: D - (d_p - (t - t_p) - 2a - 2e) = 20 - (16 - 4) = 8.
+        assert_eq!(b.remaining_distance_bound(20, 1), Some(8));
+        // After the second interval another 25 - 6 - 6 = 13 is subtracted -> <= 0.
+        assert_eq!(b.remaining_distance_bound(20, 2), None);
+        // A huge initial distance stays positive.
+        assert_eq!(b.remaining_distance_bound(100, 3), Some(100 - 12 - 13 - 24));
+    }
+
+    #[test]
+    fn max_intervals_matches_theorem_4_expression() {
+        let b = sample_bound();
+        // D = 20, t - t_p = 4: base = 24.
+        // l = 1: no subtraction, 24 > 0 -> continue.
+        // l = 2: subtract interval p (progress 16): 8 > 0 -> continue.
+        // l = 3: subtract interval p+1 (progress 13): -5 <= 0 -> k = 2.
+        assert_eq!(b.max_intervals(20), 2);
+        // A short route finishes within the very first interval.
+        assert_eq!(b.max_intervals(5), 1);
+        // A very long route outlives every scheduled fault.
+        assert_eq!(b.max_intervals(1000), 4);
+    }
+
+    #[test]
+    fn detour_bound_is_k_times_emax_plus_amax() {
+        let b = sample_bound();
+        assert_eq!(b.a_max(), 5);
+        assert_eq!(b.max_detours(20), 2 * (3 + 5));
+        assert_eq!(b.max_steps(20), 20 + 16);
+        assert_eq!(b.max_detours(5), 8);
+    }
+
+    #[test]
+    fn empty_schedule_means_no_detours() {
+        let b = DetourBound {
+            start_step: 0,
+            t_p: 0,
+            intervals: vec![],
+            e_max: 0,
+        };
+        assert_eq!(b.max_intervals(17), 1);
+        assert_eq!(b.max_detours(17), 0);
+        assert_eq!(b.max_steps(17), 17);
+        assert_eq!(b.remaining_distance_bound(17, 1), Some(17));
+    }
+
+    #[test]
+    fn theorem_1_check() {
+        assert!(recovery_does_not_increase_detours(5, 3));
+        assert!(recovery_does_not_increase_detours(5, 5));
+        assert!(!recovery_does_not_increase_detours(2, 4));
+    }
+}

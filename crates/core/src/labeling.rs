@@ -1,0 +1,455 @@
+//! Algorithm 1: block construction by rounds of local status exchange.
+//!
+//! Two equivalent implementations are provided:
+//!
+//! * [`LabelingEngine`] — an array-based synchronous fixpoint engine used by the rest
+//!   of the library (fast, convenient access to the full status vector, measures the
+//!   number of rounds to convergence, which is the paper's `a_i`);
+//! * [`LabelingProtocol`] — the same rules expressed as a [`lgfi_sim::Protocol`] so
+//!   that the labeling can be run on the generic round engine as a genuinely
+//!   distributed protocol; the test suite checks that both produce identical fixpoints
+//!   round by round.
+
+use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+use lgfi_topology::{Coord, Mesh, NodeId};
+
+use crate::status::{next_status, NeighborStatus, NodeStatus};
+
+/// Array-based synchronous implementation of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct LabelingEngine {
+    mesh: Mesh,
+    statuses: Vec<NodeStatus>,
+    rounds: u64,
+}
+
+impl LabelingEngine {
+    /// Creates an engine with every node enabled (the initial condition of
+    /// Algorithm 1: "all non-faulty nodes are enabled").
+    pub fn new(mesh: Mesh) -> Self {
+        let n = mesh.node_count();
+        LabelingEngine {
+            mesh,
+            statuses: vec![NodeStatus::Enabled; n],
+            rounds: 0,
+        }
+    }
+
+    /// Creates an engine with the given faulty nodes already marked.
+    pub fn with_faults(mesh: Mesh, faults: &[Coord]) -> Self {
+        let mut eng = LabelingEngine::new(mesh);
+        for f in faults {
+            eng.inject_fault_coord(f);
+        }
+        eng
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of labeling rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The status vector, indexed by node id.
+    pub fn statuses(&self) -> &[NodeStatus] {
+        &self.statuses
+    }
+
+    /// The status of a node.
+    pub fn status(&self, id: NodeId) -> NodeStatus {
+        self.statuses[id]
+    }
+
+    /// The status of a node given by coordinate.
+    pub fn status_at(&self, c: &Coord) -> NodeStatus {
+        self.statuses[self.mesh.id_of(c)]
+    }
+
+    /// Marks a node faulty (a new fault occurrence).
+    pub fn inject_fault(&mut self, id: NodeId) {
+        self.statuses[id] = NodeStatus::Faulty;
+    }
+
+    /// Marks the node at `c` faulty.
+    pub fn inject_fault_coord(&mut self, c: &Coord) {
+        let id = self.mesh.id_of(c);
+        self.inject_fault(id);
+    }
+
+    /// Recovers a faulty node (rule 5: faulty → clean).
+    ///
+    /// # Panics
+    /// Panics if the node is not currently faulty.
+    pub fn recover(&mut self, id: NodeId) {
+        assert_eq!(
+            self.statuses[id],
+            NodeStatus::Faulty,
+            "only a faulty node can recover"
+        );
+        self.statuses[id] = NodeStatus::Clean;
+    }
+
+    /// Recovers the faulty node at `c`.
+    pub fn recover_coord(&mut self, c: &Coord) {
+        let id = self.mesh.id_of(c);
+        self.recover(id);
+    }
+
+    /// Executes one synchronous round of rules 1–4; returns the number of nodes whose
+    /// status changed.
+    pub fn run_round(&mut self) -> usize {
+        let mut next = self.statuses.clone();
+        let mut changes = 0usize;
+        for id in 0..self.statuses.len() {
+            if self.statuses[id] == NodeStatus::Faulty {
+                continue;
+            }
+            let neighbors: Vec<NeighborStatus> = self
+                .mesh
+                .neighbor_ids(id)
+                .into_iter()
+                .map(|(dir, nid)| (dir, self.statuses[nid]))
+                .collect();
+            let ns = next_status(self.statuses[id], &neighbors);
+            if ns != self.statuses[id] {
+                changes += 1;
+            }
+            next[id] = ns;
+        }
+        self.statuses = next;
+        self.rounds += 1;
+        changes
+    }
+
+    /// Runs rounds until no status changes; returns the number of rounds executed
+    /// (this is the paper's `a_i` for the fault change that preceded the call).
+    ///
+    /// Returns `None` if `max_rounds` is exceeded (which would indicate a
+    /// non-stabilising configuration; Algorithm 1 always stabilises, so the tests
+    /// treat this as a failure).
+    pub fn run_to_fixpoint(&mut self, max_rounds: u64) -> Option<u64> {
+        let mut executed = 0u64;
+        loop {
+            if executed >= max_rounds {
+                return None;
+            }
+            let changes = self.run_round();
+            executed += 1;
+            if changes == 0 {
+                return Some(executed);
+            }
+        }
+    }
+
+    /// Convenience: inject a set of faults and run to fixpoint, returning the number
+    /// of rounds (`a_i`).
+    pub fn apply_faults(&mut self, faults: &[Coord]) -> u64 {
+        for f in faults {
+            self.inject_fault_coord(f);
+        }
+        self.run_to_fixpoint(self.safe_round_bound())
+            .expect("labeling must stabilise")
+    }
+
+    /// Convenience: recover a set of nodes and run to fixpoint, returning the number
+    /// of rounds.
+    pub fn apply_recoveries(&mut self, recovered: &[Coord]) -> u64 {
+        for r in recovered {
+            self.recover_coord(r);
+        }
+        self.run_to_fixpoint(self.safe_round_bound())
+            .expect("labeling must stabilise")
+    }
+
+    /// A generous upper bound on stabilisation rounds used as a watchdog: the labeling
+    /// waves cannot travel further than the mesh diameter plus a constant, and the
+    /// clean/enabled oscillation of a single node is bounded by a small constant, so
+    /// `4 * (diameter + 4)` is far beyond anything Algorithm 1 needs.
+    pub fn safe_round_bound(&self) -> u64 {
+        4 * (u64::from(self.mesh.diameter()) + 4)
+    }
+
+    /// True if one more round would not change any status.
+    pub fn is_stable(&self) -> bool {
+        let mut probe = self.clone();
+        probe.run_round() == 0
+    }
+
+    /// Counts nodes by status: `(faulty, disabled, clean, enabled)`.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut f = 0;
+        let mut d = 0;
+        let mut c = 0;
+        let mut e = 0;
+        for s in &self.statuses {
+            match s {
+                NodeStatus::Faulty => f += 1,
+                NodeStatus::Disabled => d += 1,
+                NodeStatus::Clean => c += 1,
+                NodeStatus::Enabled => e += 1,
+            }
+        }
+        (f, d, c, e)
+    }
+
+    /// Ids of all nodes currently in a block (faulty or disabled).
+    pub fn block_nodes(&self) -> Vec<NodeId> {
+        (0..self.statuses.len())
+            .filter(|&i| self.statuses[i].in_block())
+            .collect()
+    }
+}
+
+/// The same rules as a distributed [`Protocol`] for the generic round engine.
+///
+/// The protocol state is simply the node's [`NodeStatus`]; faults are injected with
+/// [`RoundEngine::inject_fault`] (the engine then reports the neighbor as faulty) and
+/// recoveries with [`RoundEngine::recover`] using [`NodeStatus::Clean`] as the
+/// post-recovery state (rule 5).
+#[derive(Debug, Clone, Default)]
+pub struct LabelingProtocol;
+
+impl Protocol for LabelingProtocol {
+    type State = NodeStatus;
+    type Msg = ();
+
+    fn init(&self, _ctx: &NodeCtx<'_>) -> NodeStatus {
+        NodeStatus::Enabled
+    }
+
+    fn on_round(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        prev: &NodeStatus,
+        neighbors: &[NeighborView<'_, NodeStatus>],
+        _inbox: &[()],
+        _outbox: &mut Outbox<()>,
+    ) -> NodeStatus {
+        let views: Vec<NeighborStatus> = neighbors
+            .iter()
+            .map(|nb| {
+                (
+                    nb.dir,
+                    if nb.faulty {
+                        NodeStatus::Faulty
+                    } else {
+                        *nb.state.expect("non-faulty neighbor must expose state")
+                    },
+                )
+            })
+            .collect();
+        next_status(*prev, &views)
+    }
+}
+
+/// Runs the distributed labeling protocol on a round engine with the given faults and
+/// returns `(statuses, rounds_to_quiescence)`.  Mainly used by tests and experiments
+/// to cross-validate [`LabelingEngine`].
+pub fn run_distributed_labeling(mesh: &Mesh, faults: &[Coord]) -> (Vec<NodeStatus>, u64) {
+    let mut engine = RoundEngine::new(mesh.clone(), LabelingProtocol);
+    for f in faults {
+        engine.inject_fault(mesh.id_of(f));
+    }
+    let rounds = engine
+        .run_until_quiescent(4 * (u64::from(mesh.diameter()) + 4))
+        .expect("labeling must stabilise");
+    let statuses: Vec<NodeStatus> = (0..mesh.node_count())
+        .map(|id| {
+            if engine.is_faulty(id) {
+                NodeStatus::Faulty
+            } else {
+                *engine.state(id)
+            }
+        })
+        .collect();
+    (statuses, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_topology::coord;
+
+    /// The fault set of Figure 1: (3,5,4), (4,5,4), (5,5,3), (3,6,3) in a 3-D mesh.
+    fn figure1_faults() -> Vec<Coord> {
+        vec![coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]
+    }
+
+    #[test]
+    fn figure1_faults_produce_the_block_3_5__5_6__3_4() {
+        let mesh = Mesh::cubic(10, 3);
+        let mut eng = LabelingEngine::new(mesh.clone());
+        let rounds = eng.apply_faults(&figure1_faults());
+        assert!(rounds >= 2, "the example needs at least two waves of disabling");
+        // Every node of [3:5, 5:6, 3:4] is faulty or disabled...
+        let block = lgfi_topology::Region::new(vec![3, 5, 3], vec![5, 6, 4]);
+        for c in block.iter_coords() {
+            assert!(
+                eng.status_at(&c).in_block(),
+                "{c:?} should be part of the block, got {:?}",
+                eng.status_at(&c)
+            );
+        }
+        // ... and nothing else is.
+        let (f, d, _c, _e) = eng.census();
+        assert_eq!(f, 4);
+        assert_eq!((f + d) as u64, block.volume());
+    }
+
+    #[test]
+    fn single_fault_disables_nobody() {
+        let mesh = Mesh::cubic(8, 3);
+        let mut eng = LabelingEngine::new(mesh);
+        let rounds = eng.apply_faults(&[coord![4, 4, 4]]);
+        assert_eq!(rounds, 1, "a single fault stabilises after one (no-change) round");
+        let (f, d, c, e) = eng.census();
+        assert_eq!((f, d, c), (1, 0, 0));
+        assert_eq!(e, 8 * 8 * 8 - 1);
+    }
+
+    #[test]
+    fn l_shaped_fault_pair_disables_the_corner_node() {
+        // Faults at (2,3) and (3,2): node (2,2)... has neighbors (2,3) [Y] and (3,2)?
+        // (3,2) is not a neighbor of (2,2). Use the classic staircase: faults (2,3),
+        // (3,2) leave (2,2) and (3,3) each with two faulty neighbors in different
+        // dimensions? (2,2)'s neighbors: (1,2),(3,2),(2,1),(2,3) -> (3,2) faulty [X],
+        // (2,3) faulty [Y] -> disabled. Same for (3,3).
+        let mesh = Mesh::cubic(8, 2);
+        let mut eng = LabelingEngine::new(mesh);
+        eng.apply_faults(&[coord![2, 3], coord![3, 2]]);
+        assert_eq!(eng.status_at(&coord![2, 2]), NodeStatus::Disabled);
+        assert_eq!(eng.status_at(&coord![3, 3]), NodeStatus::Disabled);
+        let (f, d, _, _) = eng.census();
+        assert_eq!(f, 2);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn distributed_protocol_matches_array_engine() {
+        let mesh = Mesh::cubic(9, 3);
+        let faults = figure1_faults();
+        let mut array = LabelingEngine::new(mesh.clone());
+        array.apply_faults(&faults);
+        let (distributed, _rounds) = run_distributed_labeling(&mesh, &faults);
+        assert_eq!(array.statuses(), distributed.as_slice());
+    }
+
+    #[test]
+    fn distributed_protocol_matches_on_random_fault_sets() {
+        use lgfi_sim::DetRng;
+        let mesh = Mesh::cubic(7, 3);
+        let interior = mesh.interior_region().unwrap();
+        let interior_nodes: Vec<Coord> = interior.iter_coords().collect();
+        for seed in 0..5u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let picks = rng.sample_indices(interior_nodes.len(), 12);
+            let faults: Vec<Coord> = picks.iter().map(|&i| interior_nodes[i].clone()).collect();
+            let mut array = LabelingEngine::new(mesh.clone());
+            array.apply_faults(&faults);
+            let (distributed, _) = run_distributed_labeling(&mesh, &faults);
+            assert_eq!(array.statuses(), distributed.as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure4_recovery_sequence() {
+        // Figure 4: after the Figure-1 block is stable, node (5,5,3) recovers.
+        let mesh = Mesh::cubic(10, 3);
+        let mut eng = LabelingEngine::new(mesh.clone());
+        eng.apply_faults(&figure1_faults());
+        eng.recover_coord(&coord![5, 5, 3]);
+        // Round 1: the recovered node is clean; its disabled neighbors that do not
+        // have two faults in different dimensions turn clean next round.
+        eng.run_round();
+        assert_eq!(eng.status_at(&coord![4, 5, 3]), NodeStatus::Clean);
+        assert_eq!(eng.status_at(&coord![5, 6, 3]), NodeStatus::Clean);
+        assert_eq!(eng.status_at(&coord![5, 5, 4]), NodeStatus::Clean);
+        // (3,5,3) must never become clean: it has faulty neighbors (3,5,4) and (3,6,3)
+        // in different dimensions.
+        let mut saw_clean_353 = false;
+        for _ in 0..20 {
+            if eng.run_round() == 0 {
+                break;
+            }
+            saw_clean_353 |= eng.status_at(&coord![3, 5, 3]) == NodeStatus::Clean;
+        }
+        assert!(!saw_clean_353, "(3,5,3) must stay disabled throughout");
+        assert_eq!(eng.status_at(&coord![3, 5, 3]), NodeStatus::Disabled);
+        // (4,5,3) ends up disabled again: after turning enabled it still has the
+        // faulty neighbor (4,5,4) and the disabled neighbor (3,5,3) in different
+        // dimensions (the worked example in the paper).
+        assert_eq!(eng.status_at(&coord![4, 5, 3]), NodeStatus::Disabled);
+        // The recovered node itself ends enabled: the stabilised block shrinks to
+        // [3:4, 5:6, 3:4] and no longer reaches x = 5 (Figure 4 (b)).
+        assert_eq!(eng.status_at(&coord![5, 5, 3]), NodeStatus::Enabled);
+        assert_eq!(eng.status_at(&coord![5, 5, 4]), NodeStatus::Enabled);
+        assert_eq!(eng.status_at(&coord![5, 6, 3]), NodeStatus::Enabled);
+        let new_block = lgfi_topology::Region::new(vec![3, 5, 3], vec![4, 6, 4]);
+        for c in new_block.iter_coords() {
+            assert!(
+                eng.status_at(&c).in_block(),
+                "{c:?} should remain in the shrunken block"
+            );
+        }
+        // No clean nodes remain once stable.
+        let (_, _, c, _) = eng.census();
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn full_recovery_returns_mesh_to_all_enabled() {
+        let mesh = Mesh::cubic(8, 2);
+        let mut eng = LabelingEngine::new(mesh.clone());
+        let faults = [coord![3, 3], coord![4, 4], coord![3, 4], coord![4, 3]];
+        eng.apply_faults(&faults);
+        let (f, d, _, _) = eng.census();
+        assert_eq!(f, 4);
+        assert!(d > 0 || f == 4);
+        for fault in &faults {
+            eng.recover_coord(fault);
+        }
+        eng.run_to_fixpoint(200).unwrap();
+        let (f, d, c, e) = eng.census();
+        assert_eq!((f, d, c), (0, 0, 0));
+        assert_eq!(e, 64);
+    }
+
+    #[test]
+    fn convergence_rounds_scale_with_cluster_size_not_mesh_size() {
+        // a_i depends on how far the disabling wave travels, not on the mesh size.
+        let faults = [coord![4, 5], coord![5, 4], coord![6, 5], coord![5, 6]];
+        let mut small = LabelingEngine::new(Mesh::cubic(11, 2));
+        let r_small = small.apply_faults(&faults);
+        let mut large = LabelingEngine::new(Mesh::cubic(41, 2));
+        let r_large = large.apply_faults(&faults);
+        assert_eq!(r_small, r_large);
+    }
+
+    #[test]
+    fn is_stable_and_census_are_consistent() {
+        let mesh = Mesh::cubic(6, 2);
+        let mut eng = LabelingEngine::new(mesh);
+        assert!(eng.is_stable());
+        eng.inject_fault_coord(&coord![2, 2]);
+        eng.inject_fault_coord(&coord![3, 3]);
+        eng.inject_fault_coord(&coord![2, 3]);
+        assert!(!eng.is_stable());
+        eng.run_to_fixpoint(100).unwrap();
+        assert!(eng.is_stable());
+        let blocked = eng.block_nodes().len();
+        let (f, d, _, _) = eng.census();
+        assert_eq!(blocked, f + d);
+    }
+
+    #[test]
+    #[should_panic(expected = "only a faulty node can recover")]
+    fn recovering_a_healthy_node_panics() {
+        let mesh = Mesh::cubic(5, 2);
+        let mut eng = LabelingEngine::new(mesh);
+        eng.recover_coord(&coord![1, 1]);
+    }
+}

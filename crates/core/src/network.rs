@@ -1,0 +1,746 @@
+//! The dynamic network: labeling, identification, boundary construction and routing
+//! *hand-in-hand* (Figure 7).
+//!
+//! [`LgfiNetwork`] executes the step model of Section 5 over a
+//! [`FaultPlan`](lgfi_sim::FaultPlan):
+//!
+//! * at the beginning of every step the fault events scheduled for that step take
+//!   effect and are detected by the neighbors;
+//! * the step then runs λ information rounds: the labeling advances (Algorithm 1), and
+//!   once it has stabilised the affected blocks are identified (Algorithm 2) and their
+//!   boundaries constructed (Definition 3); the resulting information becomes visible
+//!   at each node only after the corresponding number of rounds has elapsed, so during
+//!   the converging period different nodes hold *inconsistent* information — exactly
+//!   the regime the paper analyses;
+//! * at the end of the step every in-flight probe makes one routing decision
+//!   (Algorithm 3) using whatever information its current node holds at that round,
+//!   and advances one hop.
+//!
+//! The network records one [`ConvergenceRecord`] per disturbance (the paper's `a_i`,
+//! `b_i`, `c_i`) and one [`ProbeReport`] per probe (delivery, detours, the distance
+//! `D(i)` at every fault occurrence) so the experiment harness can compare measured
+//! behaviour against the bounds of Theorems 3–5.
+
+use std::collections::BTreeMap;
+
+use lgfi_sim::{FaultEventKind, FaultPlan, StepConfig};
+use lgfi_topology::{Mesh, NodeId, Region};
+
+use crate::block::BlockSet;
+use crate::boundary::{BoundaryEntry, BoundaryMap};
+use crate::bounds::{DetourBound, IntervalParams};
+use crate::identification::IdentificationProcess;
+use crate::labeling::LabelingEngine;
+use crate::routing::{Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router, RoutingDecision};
+use crate::status::NodeStatus;
+
+/// Configuration of the dynamic network.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Information rounds per step (the paper's λ).
+    pub lambda: u64,
+    /// Safety cap on the number of steps a probe may take before being declared
+    /// exhausted.
+    pub max_probe_steps: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            lambda: 1,
+            max_probe_steps: 100_000,
+        }
+    }
+}
+
+/// Convergence measurements for one disturbance (one burst of fault/recovery events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceRecord {
+    /// The step at which the disturbance took effect.
+    pub step: u64,
+    /// Rounds for the block construction (labeling) to stabilise — the paper's `a_i`.
+    pub a_rounds: u64,
+    /// Rounds for the identification construction — the paper's `b_i` (maximum over
+    /// the blocks that had to be re-identified; 0 if none).
+    pub b_rounds: u64,
+    /// Rounds for the boundary construction — the paper's `c_i` (maximum over the
+    /// re-built boundaries; 0 if none).
+    pub c_rounds: u64,
+    /// Number of block extents that appeared or changed with this disturbance.
+    pub blocks_changed: usize,
+}
+
+impl ConvergenceRecord {
+    /// Total information rounds for this disturbance (`a_i + b_i + c_i`).
+    pub fn total_rounds(&self) -> u64 {
+        self.a_rounds + self.b_rounds + self.c_rounds
+    }
+}
+
+/// A boundary entry together with its visibility window in absolute rounds.
+#[derive(Debug, Clone)]
+struct TimedEntry {
+    entry: BoundaryEntry,
+    visible_from: u64,
+    visible_until: Option<u64>,
+}
+
+/// One launched probe and its bookkeeping.
+struct ProbeState {
+    probe: Probe,
+    router: Box<dyn Router>,
+    launched_at: u64,
+    /// Distance to the destination recorded at every fault-occurrence step (the
+    /// paper's `D(i)` series), keyed by the occurrence step.
+    distance_at_fault: BTreeMap<u64, u32>,
+}
+
+/// Final report for one probe routed through the dynamic network.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// The source node.
+    pub source: NodeId,
+    /// The destination node.
+    pub dest: NodeId,
+    /// Step at which the probe was launched.
+    pub launched_at: u64,
+    /// Step at which the probe finished (delivered, unreachable or exhausted).
+    pub finished_at: u64,
+    /// The routing outcome (steps, backtracks, detours, ...).
+    pub outcome: ProbeOutcome,
+    /// The distance to the destination at every fault occurrence while the probe was
+    /// in flight (`D(i)`), keyed by the occurrence step.
+    pub distance_at_fault: BTreeMap<u64, u32>,
+    /// Name of the router that drove the probe.
+    pub router: &'static str,
+}
+
+/// The dynamic LGFI network.
+pub struct LgfiNetwork {
+    mesh: Mesh,
+    config: NetworkConfig,
+    plan: FaultPlan,
+    labeling: LabelingEngine,
+    step: u64,
+    round: u64,
+    /// True if the labeling has pending changes that have not yet been followed by a
+    /// rebuild of blocks/identification/boundaries.
+    dirty: bool,
+    /// Rounds spent converging since the last disturbance (for the `a_i` record).
+    rounds_since_disturbance: u64,
+    /// The step at which the current disturbance started.
+    disturbance_step: u64,
+    /// Stabilised blocks (as of the last rebuild).
+    blocks: BlockSet,
+    /// Per-node timed information entries.
+    info: Vec<Vec<TimedEntry>>,
+    /// Regions whose information is currently distributed (to avoid re-propagating
+    /// unchanged blocks, the paper's reactive rule).
+    distributed: Vec<Region>,
+    convergence: Vec<ConvergenceRecord>,
+    probes: Vec<ProbeState>,
+    reports: Vec<ProbeReport>,
+}
+
+impl LgfiNetwork {
+    /// Creates a network over `mesh` with a fault plan and configuration.  No events
+    /// are applied until [`LgfiNetwork::run_step`] is called.
+    pub fn new(mesh: Mesh, plan: FaultPlan, config: NetworkConfig) -> Self {
+        let labeling = LabelingEngine::new(mesh.clone());
+        let blocks = BlockSet::extract(&mesh, labeling.statuses());
+        LgfiNetwork {
+            info: vec![Vec::new(); mesh.node_count()],
+            labeling,
+            blocks,
+            mesh,
+            config,
+            plan,
+            step: 0,
+            round: 0,
+            dirty: false,
+            rounds_since_disturbance: 0,
+            disturbance_step: 0,
+            distributed: Vec::new(),
+            convergence: Vec::new(),
+            probes: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The current step number.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The absolute information round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The step configuration as a [`StepConfig`].
+    pub fn step_config(&self) -> StepConfig {
+        StepConfig::with_lambda(self.config.lambda)
+    }
+
+    /// Current node statuses.
+    pub fn statuses(&self) -> &[NodeStatus] {
+        self.labeling.statuses()
+    }
+
+    /// The blocks as of the last rebuild.
+    pub fn blocks(&self) -> &BlockSet {
+        &self.blocks
+    }
+
+    /// The fault plan driving the network.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Convergence records collected so far (one per disturbance).
+    pub fn convergence_records(&self) -> &[ConvergenceRecord] {
+        &self.convergence
+    }
+
+    /// Finished probe reports.
+    pub fn reports(&self) -> &[ProbeReport] {
+        &self.reports
+    }
+
+    /// Number of probes still in flight.
+    pub fn probes_in_flight(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// The boundary/block information visible at a node *right now*.
+    pub fn visible_info(&self, id: NodeId) -> Vec<BoundaryEntry> {
+        self.info[id]
+            .iter()
+            .filter(|t| {
+                t.visible_from <= self.round
+                    && t.visible_until.map(|u| self.round < u).unwrap_or(true)
+            })
+            .map(|t| t.entry.clone())
+            .collect()
+    }
+
+    /// Number of nodes currently holding at least one visible entry.
+    pub fn nodes_with_visible_info(&self) -> usize {
+        (0..self.mesh.node_count())
+            .filter(|&id| !self.visible_info(id).is_empty())
+            .count()
+    }
+
+    /// Launches a probe from `source` to `dest` driven by `router`.  The probe makes
+    /// its first move at the end of the *next* executed step.
+    pub fn launch_probe(&mut self, source: NodeId, dest: NodeId, router: Box<dyn Router>) {
+        let probe = Probe::new(&self.mesh, source, dest);
+        self.probes.push(ProbeState {
+            probe,
+            router,
+            launched_at: self.step,
+            distance_at_fault: BTreeMap::new(),
+        });
+    }
+
+    /// Executes one full step of the Figure-7 model.
+    pub fn run_step(&mut self) {
+        // --- Phase 1: fault detection (events scheduled for this step take effect). --
+        let events: Vec<_> = self.plan.events_at(self.step).copied().collect();
+        let fault_occurred = events.iter().any(|e| e.kind == FaultEventKind::Fail);
+        if !events.is_empty() {
+            for e in &events {
+                match e.kind {
+                    FaultEventKind::Fail => self.labeling.inject_fault(e.node),
+                    FaultEventKind::Recover => self.labeling.recover(e.node),
+                }
+            }
+            if !self.dirty {
+                self.disturbance_step = self.step;
+                self.rounds_since_disturbance = 0;
+            }
+            self.dirty = true;
+        }
+        if fault_occurred {
+            // Record D(i) for every in-flight probe at this fault occurrence.
+            for p in &mut self.probes {
+                let d = self.mesh.distance(p.probe.current, p.probe.dest);
+                p.distance_at_fault.insert(self.step, d);
+            }
+        }
+
+        // --- Phase 2: λ information rounds. ------------------------------------------
+        for _ in 0..self.config.lambda {
+            self.round += 1;
+            if self.dirty {
+                let changes = self.labeling.run_round();
+                self.rounds_since_disturbance += 1;
+                if changes == 0 {
+                    // The labeling has stabilised: rebuild blocks, identification and
+                    // boundaries, and schedule the visibility of the new information.
+                    self.rebuild_information();
+                    self.dirty = false;
+                }
+            }
+        }
+
+        // --- Phases 3-5: reception, routing decision, sending. -----------------------
+        let mut finished = Vec::new();
+        for (idx, state) in self.probes.iter_mut().enumerate() {
+            if state.probe.status != ProbeStatus::InFlight {
+                finished.push(idx);
+                continue;
+            }
+            if state.probe.steps >= self.config.max_probe_steps {
+                state.probe.status = ProbeStatus::Exhausted;
+                finished.push(idx);
+                continue;
+            }
+            let current = state.probe.current;
+            // A probe sitting on a node that just became faulty is forced back onto
+            // the previous node of its reserved path.
+            if self.labeling.status(current) == NodeStatus::Faulty {
+                state.probe.apply(&self.mesh, RoutingDecision::Backtrack);
+                if state.probe.status != ProbeStatus::InFlight {
+                    finished.push(idx);
+                }
+                continue;
+            }
+            if self.labeling.status(state.probe.dest) == NodeStatus::Faulty {
+                state.probe.status = ProbeStatus::Unreachable;
+                finished.push(idx);
+                continue;
+            }
+            let visible: Vec<BoundaryEntry> = self.info[current]
+                .iter()
+                .filter(|t| {
+                    t.visible_from <= self.round
+                        && t.visible_until.map(|u| self.round < u).unwrap_or(true)
+                })
+                .map(|t| t.entry.clone())
+                .collect();
+            let ctx = RouteCtx {
+                mesh: &self.mesh,
+                current: self.mesh.coord_of(current),
+                dest: self.mesh.coord_of(state.probe.dest),
+                current_status: self.labeling.status(current),
+                neighbors: self
+                    .mesh
+                    .neighbor_ids(current)
+                    .into_iter()
+                    .map(|(d, nid)| (d, nid, self.labeling.status(nid)))
+                    .collect(),
+                boundary_info: visible,
+                global_blocks: self.blocks.blocks().to_vec(),
+                used: state.probe.used_here(),
+                incoming: state.probe.incoming,
+            };
+            let decision = state.router.decide(&ctx);
+            state.probe.apply(&self.mesh, decision);
+            if state.probe.status != ProbeStatus::InFlight {
+                finished.push(idx);
+            }
+        }
+        // Collect finished probes into reports (in reverse index order for safe
+        // removal).
+        for idx in finished.into_iter().rev() {
+            let state = self.probes.remove(idx);
+            self.reports.push(ProbeReport {
+                source: state.probe.source,
+                dest: state.probe.dest,
+                launched_at: state.launched_at,
+                finished_at: self.step,
+                outcome: state.probe.outcome(),
+                distance_at_fault: state.distance_at_fault,
+                router: state.router.name(),
+            });
+        }
+
+        self.step += 1;
+    }
+
+    /// Runs steps until all probes have finished and all scheduled fault events have
+    /// been applied and stabilised, or `max_steps` have been executed.  Returns the
+    /// number of steps executed.
+    pub fn run_to_completion(&mut self, max_steps: u64) -> u64 {
+        let mut executed = 0u64;
+        while executed < max_steps {
+            let plan_done = self.plan.last_step().map(|s| self.step > s).unwrap_or(true);
+            if self.probes.is_empty() && plan_done && !self.dirty {
+                break;
+            }
+            self.run_step();
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Rebuilds blocks, identification outcomes and boundary maps after the labeling
+    /// has stabilised, scheduling the visibility of every piece of information.
+    fn rebuild_information(&mut self) {
+        let new_blocks = BlockSet::extract(&self.mesh, self.labeling.statuses());
+        let new_regions = new_blocks.regions();
+
+        // Information for regions that no longer exist is deleted; the deletion wave
+        // travels the same path as the original distribution, so the entry disappears
+        // `arrival_offset` rounds after the deletion starts (now).
+        for entries in self.info.iter_mut() {
+            for t in entries.iter_mut() {
+                if t.visible_until.is_none() && !new_regions.contains(&t.entry.block) {
+                    t.visible_until = Some(self.round + t.entry.arrival_offset + 1);
+                }
+            }
+        }
+        self.distributed.retain(|r| new_regions.contains(r));
+
+        // Identification + boundary construction for regions that are new or changed.
+        let changed: Vec<Region> = new_regions
+            .iter()
+            .filter(|r| !self.distributed.contains(r))
+            .cloned()
+            .collect();
+        let mut b_rounds = 0u64;
+        let mut c_rounds = 0u64;
+        if !changed.is_empty() {
+            let ident = IdentificationProcess::default();
+            let boundary = BoundaryMap::construct(&self.mesh, &new_blocks);
+            for region in &changed {
+                let block_id = new_blocks
+                    .blocks()
+                    .iter()
+                    .find(|b| &b.region == region)
+                    .map(|b| b.id)
+                    .expect("changed region must be in the new block set");
+                let outcome =
+                    ident.run_from_default_corner(&self.mesh, region, self.labeling.statuses());
+                let b = outcome
+                    .as_ref()
+                    .filter(|o| o.stable)
+                    .map(|o| o.completed_round)
+                    .unwrap_or(0);
+                b_rounds = b_rounds.max(b);
+                // Schedule the boundary entries of this block: visible b + offset
+                // rounds after now.
+                for node in 0..self.mesh.node_count() {
+                    for entry in boundary.entries(node) {
+                        if entry.block_id != block_id {
+                            continue;
+                        }
+                        c_rounds = c_rounds.max(entry.arrival_offset);
+                        self.info[node].push(TimedEntry {
+                            entry: entry.clone(),
+                            visible_from: self.round + b + entry.arrival_offset,
+                            visible_until: None,
+                        });
+                    }
+                }
+                self.distributed.push(region.clone());
+            }
+        }
+
+        self.convergence.push(ConvergenceRecord {
+            step: self.disturbance_step,
+            a_rounds: self.rounds_since_disturbance,
+            b_rounds,
+            c_rounds,
+            blocks_changed: changed.len(),
+        });
+        self.blocks = new_blocks;
+    }
+
+    /// Builds the [`DetourBound`] of Theorems 3–5 for a probe launched at `start_step`
+    /// from the network's fault plan and convergence records: intervals are taken from
+    /// the fault occurrence times after the routing start, `a_i` from the matching
+    /// convergence records (converted to steps with λ), and `e_max` from the largest
+    /// block seen.
+    pub fn detour_bound_for(&self, start_step: u64) -> DetourBound {
+        let cfg = self.step_config();
+        let times = self.plan.occurrence_times();
+        let t_p = times
+            .iter()
+            .copied()
+            .filter(|&t| t <= start_step)
+            .max()
+            .unwrap_or(0);
+        let mut intervals = Vec::new();
+        let after: Vec<u64> = times.iter().copied().filter(|&t| t >= t_p).collect();
+        for w in after.windows(2) {
+            let d = w[1] - w[0];
+            let a_rounds = self
+                .convergence
+                .iter()
+                .find(|c| c.step == w[0])
+                .map(|c| c.a_rounds)
+                .unwrap_or(0);
+            intervals.push(IntervalParams {
+                d,
+                a_steps: cfg.steps_for_rounds(a_rounds),
+            });
+        }
+        // The last interval extends to "after the last fault": treat it as long enough
+        // for any remaining distance (diameter of the mesh).
+        if let Some(&last) = after.last() {
+            let a_rounds = self
+                .convergence
+                .iter()
+                .find(|c| c.step == last)
+                .map(|c| c.a_rounds)
+                .unwrap_or(0);
+            intervals.push(IntervalParams {
+                d: u64::from(self.mesh.diameter()) * 4,
+                a_steps: cfg.steps_for_rounds(a_rounds),
+            });
+        }
+        let e_max = self
+            .blocks
+            .e_max()
+            .max(
+                self.convergence
+                    .iter()
+                    .map(|_| 0)
+                    .max()
+                    .unwrap_or(0),
+            )
+            .max(0) as u64;
+        DetourBound {
+            start_step,
+            t_p,
+            intervals,
+            e_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::LgfiRouter;
+    use lgfi_sim::FaultEvent;
+    use lgfi_topology::coord;
+
+    fn mesh10() -> Mesh {
+        Mesh::cubic(10, 2)
+    }
+
+    #[test]
+    fn static_plan_routes_like_the_static_engine() {
+        let mesh = mesh10();
+        let plan = FaultPlan::static_faults(&[
+            mesh.id_of(&coord![4, 4]),
+            mesh.id_of(&coord![5, 5]),
+            mesh.id_of(&coord![4, 5]),
+            mesh.id_of(&coord![5, 4]),
+        ]);
+        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        // Let the information stabilise before launching the probe.
+        for _ in 0..60 {
+            net.run_step();
+        }
+        assert_eq!(net.blocks().len(), 1);
+        assert!(net.nodes_with_visible_info() > 0);
+        net.launch_probe(
+            mesh.id_of(&coord![0, 0]),
+            mesh.id_of(&coord![9, 9]),
+            Box::new(LgfiRouter::new()),
+        );
+        net.run_to_completion(1_000);
+        assert_eq!(net.reports().len(), 1);
+        let report = &net.reports()[0];
+        assert!(report.outcome.delivered());
+        assert_eq!(report.router, "lgfi");
+        // The block does intersect the bounding box, but a detour of at most the block
+        // perimeter suffices.
+        assert!(report.outcome.detours().unwrap() <= 8);
+    }
+
+    #[test]
+    fn convergence_records_track_each_disturbance() {
+        let mesh = mesh10();
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(0, mesh.id_of(&coord![3, 3])),
+            FaultEvent::fail(0, mesh.id_of(&coord![4, 4])),
+            FaultEvent::fail(0, mesh.id_of(&coord![3, 4])),
+            FaultEvent::fail(40, mesh.id_of(&coord![7, 7])),
+            FaultEvent::fail(40, mesh.id_of(&coord![8, 8])),
+            FaultEvent::fail(40, mesh.id_of(&coord![7, 8])),
+        ]);
+        let mut net = LgfiNetwork::new(mesh, plan, NetworkConfig::default());
+        for _ in 0..120 {
+            net.run_step();
+        }
+        assert_eq!(net.convergence_records().len(), 2);
+        let first = net.convergence_records()[0];
+        let second = net.convergence_records()[1];
+        assert_eq!(first.step, 0);
+        assert_eq!(second.step, 40);
+        assert!(first.a_rounds >= 1);
+        assert!(first.b_rounds > 0);
+        assert!(first.c_rounds > 0);
+        assert_eq!(first.blocks_changed, 1);
+        assert_eq!(second.blocks_changed, 1);
+        assert!(first.total_rounds() >= first.a_rounds);
+        assert_eq!(net.blocks().len(), 2);
+    }
+
+    #[test]
+    fn information_becomes_visible_gradually() {
+        let mesh = mesh10();
+        let plan = FaultPlan::static_faults(&[
+            mesh.id_of(&coord![4, 5]),
+            mesh.id_of(&coord![5, 6]),
+            mesh.id_of(&coord![4, 6]),
+            mesh.id_of(&coord![5, 5]),
+        ]);
+        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        // Run just a few steps: labeling stabilises quickly, but far-away wall nodes
+        // must not have the information yet.
+        for _ in 0..4 {
+            net.run_step();
+        }
+        let far_wall = mesh.id_of(&coord![3, 0]);
+        let near_wall = mesh.id_of(&coord![3, 4]);
+        let visible_far_early = net.visible_info(far_wall).len();
+        // Keep running until everything is distributed.
+        for _ in 0..60 {
+            net.run_step();
+        }
+        let visible_far_late = net.visible_info(far_wall).len();
+        let visible_near_late = net.visible_info(near_wall).len();
+        assert_eq!(visible_far_early, 0, "distant wall nodes must not know the block yet");
+        assert!(visible_far_late > 0, "eventually the information arrives");
+        assert!(visible_near_late > 0);
+    }
+
+    #[test]
+    fn lambda_speeds_up_information_distribution() {
+        let mesh = mesh10();
+        let faults = [
+            mesh.id_of(&coord![4, 5]),
+            mesh.id_of(&coord![5, 6]),
+            mesh.id_of(&coord![4, 6]),
+            mesh.id_of(&coord![5, 5]),
+        ];
+        let steps_until_visible = |lambda: u64| {
+            let plan = FaultPlan::static_faults(&faults);
+            let mut net = LgfiNetwork::new(
+                mesh.clone(),
+                plan,
+                NetworkConfig {
+                    lambda,
+                    ..NetworkConfig::default()
+                },
+            );
+            let far_wall = mesh.id_of(&coord![3, 0]);
+            for step in 0..200 {
+                net.run_step();
+                if !net.visible_info(far_wall).is_empty() {
+                    return step;
+                }
+            }
+            panic!("information never arrived");
+        };
+        let slow = steps_until_visible(1);
+        let fast = steps_until_visible(4);
+        assert!(fast < slow, "lambda=4 ({fast}) must distribute faster than lambda=1 ({slow})");
+    }
+
+    #[test]
+    fn dynamic_fault_mid_route_is_survived() {
+        // A fault cluster appears right in front of the probe while it travels.
+        let mesh = Mesh::cubic(14, 2);
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(6, mesh.id_of(&coord![7, 7])),
+            FaultEvent::fail(6, mesh.id_of(&coord![8, 8])),
+            FaultEvent::fail(6, mesh.id_of(&coord![7, 8])),
+            FaultEvent::fail(6, mesh.id_of(&coord![8, 7])),
+        ]);
+        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        net.launch_probe(
+            mesh.id_of(&coord![1, 1]),
+            mesh.id_of(&coord![12, 12]),
+            Box::new(LgfiRouter::new()),
+        );
+        net.run_to_completion(2_000);
+        assert_eq!(net.reports().len(), 1);
+        let report = &net.reports()[0];
+        assert!(report.outcome.delivered(), "probe must survive the dynamic fault: {report:?}");
+        // D(i) was recorded at the fault occurrence.
+        assert_eq!(report.distance_at_fault.len(), 1);
+        let d_at_fault = *report.distance_at_fault.get(&6).unwrap();
+        assert!(d_at_fault < 22 && d_at_fault > 0);
+        // The detour bound of Theorem 4 holds.
+        let bound = net.detour_bound_for(report.launched_at);
+        let max_steps = bound.max_steps(u64::from(report.outcome.initial_distance));
+        assert!(
+            report.outcome.steps <= max_steps,
+            "steps {} must be within the Theorem-4 bound {max_steps}",
+            report.outcome.steps
+        );
+    }
+
+    #[test]
+    fn recovery_shrinks_visible_information() {
+        let mesh = mesh10();
+        let ids = [
+            mesh.id_of(&coord![4, 4]),
+            mesh.id_of(&coord![5, 5]),
+            mesh.id_of(&coord![4, 5]),
+            mesh.id_of(&coord![5, 4]),
+        ];
+        let mut plan = FaultPlan::static_faults(&ids);
+        for &id in &ids {
+            plan.push(FaultEvent::recover(50, id));
+        }
+        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        for _ in 0..40 {
+            net.run_step();
+        }
+        let with_block = net.nodes_with_visible_info();
+        assert!(with_block > 0);
+        assert_eq!(net.blocks().len(), 1);
+        for _ in 0..80 {
+            net.run_step();
+        }
+        assert_eq!(net.blocks().len(), 0, "all faults recovered");
+        assert_eq!(
+            net.nodes_with_visible_info(),
+            0,
+            "stale boundary information must be deleted after recovery"
+        );
+        assert!(net.convergence_records().len() >= 2);
+    }
+
+    #[test]
+    fn exhaustion_cap_is_enforced() {
+        let mesh = mesh10();
+        let mut net = LgfiNetwork::new(
+            mesh.clone(),
+            FaultPlan::empty(),
+            NetworkConfig {
+                lambda: 1,
+                max_probe_steps: 3,
+            },
+        );
+        net.launch_probe(
+            mesh.id_of(&coord![0, 0]),
+            mesh.id_of(&coord![9, 9]),
+            Box::new(LgfiRouter::new()),
+        );
+        net.run_to_completion(100);
+        assert_eq!(net.reports().len(), 1);
+        assert_eq!(net.reports()[0].outcome.status, ProbeStatus::Exhausted);
+    }
+
+    #[test]
+    fn run_to_completion_stops_when_idle() {
+        let mesh = Mesh::cubic(6, 2);
+        let mut net = LgfiNetwork::new(mesh, FaultPlan::empty(), NetworkConfig::default());
+        let executed = net.run_to_completion(1_000);
+        assert_eq!(executed, 0, "an idle network does not spin");
+    }
+}

@@ -1,0 +1,734 @@
+//! Algorithm 3: fault-information-based PCS routing.
+//!
+//! Routing in the paper is the *path setup phase* of pipelined circuit switching: a
+//! probe travels from the source towards the destination one hop per step, reserving a
+//! path; when it runs into trouble it backtracks and tries another direction.  The
+//! probe header carries the destination address and, for every forwarding node along
+//! the path, the list of directions already used there, so that no direction is tried
+//! twice.
+//!
+//! At every step the current node classifies its outgoing directions
+//! ([`DirectionClass`]) and picks an unused one with the highest priority:
+//!
+//! 1. **preferred** — reduces the distance to the destination and is not flagged as a
+//!    detour by the boundary information (non-critical routing);
+//! 2. **spare along block** — does not reduce the distance, but slides along the
+//!    surface of a block that is blocking a preferred direction;
+//! 3. **preferred but detour** — a preferred direction that the boundary information
+//!    at this node marks as entering a dangerous area (critical routing);
+//! 4. **spare** — any other non-shortening direction (the paper folds these into the
+//!    spare class; we keep them after the detour class so that progress is preferred
+//!    over wandering);
+//! 5. **incoming** — going back the way the probe came, which is the same as
+//!    backtracking one hop.
+//!
+//! If the current node is disabled, or no unused direction remains, the probe
+//! backtracks; if it backtracks past the source, the destination is unreachable.
+//!
+//! The [`Router`] trait abstracts the decision rule so that the baseline routers of
+//! `lgfi-baselines` can be driven by the same probe engine; [`LgfiRouter`] is the
+//! paper's rule.
+
+use std::collections::BTreeMap;
+
+use lgfi_topology::direction::DirectionSet;
+use lgfi_topology::{Coord, Direction, Mesh, NodeId};
+
+use crate::block::FaultyBlock;
+use crate::boundary::BoundaryEntry;
+use crate::status::NodeStatus;
+
+/// Everything a node is allowed to look at when making a routing decision.
+///
+/// The limited-global-information router only uses the node-local fields (`current`,
+/// `dest`, `current_status`, `neighbors`, `boundary_info`, `used`, `incoming`); the
+/// `global_blocks` field exists solely for the idealised global-information baselines
+/// and is empty when the context is built by [`LgfiNetwork`](crate::network::LgfiNetwork)
+/// for the LGFI router.
+#[derive(Debug)]
+pub struct RouteCtx<'a> {
+    /// The mesh.
+    pub mesh: &'a Mesh,
+    /// Coordinate of the node currently holding the probe.
+    pub current: Coord,
+    /// Coordinate of the destination.
+    pub dest: Coord,
+    /// The current node's own status (it may have become disabled under dynamic
+    /// faults while holding the probe).
+    pub current_status: NodeStatus,
+    /// The detected status of every in-mesh neighbor (fault detection happens at the
+    /// beginning of every step, so this is current information).
+    pub neighbors: Vec<(Direction, NodeId, NodeStatus)>,
+    /// The boundary/block information stored at the current node and visible at this
+    /// round (limited global information).
+    pub boundary_info: Vec<BoundaryEntry>,
+    /// Global block view — only for the global-information baselines.
+    pub global_blocks: Vec<FaultyBlock>,
+    /// Directions already used by this probe at this node.
+    pub used: DirectionSet,
+    /// The direction by which the probe entered this node, if any.
+    pub incoming: Option<Direction>,
+}
+
+impl RouteCtx<'_> {
+    /// The Manhattan distance from the current node to the destination.
+    pub fn distance(&self) -> u32 {
+        self.current.manhattan(&self.dest)
+    }
+
+    /// True if the hop in `dir` reduces the distance to the destination.
+    pub fn is_preferred(&self, dir: Direction) -> bool {
+        let delta = self.dest[dir.dim] - self.current[dir.dim];
+        (dir.positive && delta > 0) || (!dir.positive && delta < 0)
+    }
+
+    /// The detected status of the neighbor in `dir`, if it exists.
+    pub fn neighbor_status(&self, dir: Direction) -> Option<NodeStatus> {
+        self.neighbors
+            .iter()
+            .find(|(d, _, _)| *d == dir)
+            .map(|(_, _, s)| *s)
+    }
+}
+
+/// The priority class of one candidate outgoing direction (lower = better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DirectionClass {
+    /// Reduces the distance and is not flagged by boundary information.
+    Preferred,
+    /// Does not reduce the distance but slides along a block that is in the way.
+    SpareAlongBlock,
+    /// Reduces the distance but the boundary information marks it as entering a
+    /// dangerous detour area (critical routing).
+    PreferredButDetour,
+    /// Any other direction that does not reduce the distance.
+    Spare,
+    /// The direction the probe came from (equivalent to backtracking one hop).
+    Incoming,
+}
+
+/// The decision a router takes for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingDecision {
+    /// Forward the probe one hop in the given direction.
+    Forward(Direction),
+    /// Backtrack one hop along the reserved path.
+    Backtrack,
+    /// Give up: the router has determined the destination is unreachable from here
+    /// (only deterministic, non-backtracking baselines use this).
+    Fail,
+}
+
+/// A routing decision rule.
+pub trait Router {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides what the probe should do at the current node.
+    fn decide(&self, ctx: &RouteCtx<'_>) -> RoutingDecision;
+}
+
+/// The paper's fault-information-based PCS routing rule (Algorithm 3).
+#[derive(Debug, Clone, Default)]
+pub struct LgfiRouter {
+    /// If true (default), directions whose next node is *known* to be faulty or
+    /// disabled (detected at this step) are never selected; the probe slides around
+    /// blocks instead of bouncing off them.  Setting it to false reproduces a purely
+    /// reactive variant that only reacts after entering a disabled node.
+    pub avoid_known_blocked: bool,
+}
+
+impl LgfiRouter {
+    /// The default configuration.
+    pub fn new() -> Self {
+        LgfiRouter {
+            avoid_known_blocked: true,
+        }
+    }
+
+    /// Classifies one candidate direction, or returns `None` if it must not be used at
+    /// all (outside the mesh, already used, or pointing at a known faulty/disabled
+    /// node).
+    pub fn classify(&self, ctx: &RouteCtx<'_>, dir: Direction) -> Option<DirectionClass> {
+        if ctx.used.contains(dir) {
+            return None;
+        }
+        let status = ctx.neighbor_status(dir)?;
+        if status == NodeStatus::Faulty {
+            return None;
+        }
+        if self.avoid_known_blocked && status == NodeStatus::Disabled {
+            return None;
+        }
+        if Some(dir) == ctx.incoming.map(|d| d.opposite()) {
+            return Some(DirectionClass::Incoming);
+        }
+        if ctx.is_preferred(dir) {
+            // Critical-routing test: does any boundary entry stored here flag this hop?
+            let next = ctx.current.step(dir);
+            let critical = ctx
+                .boundary_info
+                .iter()
+                .any(|e| e.is_critical_hop(&next, &ctx.dest));
+            if critical {
+                return Some(DirectionClass::PreferredButDetour);
+            }
+            return Some(DirectionClass::Preferred);
+        }
+        // Spare direction.  "Along the block" means: some preferred direction is
+        // blocked by a faulty/disabled neighbor, so moving sideways slides around that
+        // block's surface.
+        let blocked_preferred = Direction::all(ctx.mesh.ndim()).into_iter().any(|p| {
+            ctx.is_preferred(p)
+                && ctx
+                    .neighbor_status(p)
+                    .map(|s| s.in_block())
+                    .unwrap_or(false)
+        });
+        if blocked_preferred {
+            Some(DirectionClass::SpareAlongBlock)
+        } else {
+            Some(DirectionClass::Spare)
+        }
+    }
+
+    /// Orders the candidate directions by (class, tie-break) and returns the best one.
+    fn best_direction(&self, ctx: &RouteCtx<'_>) -> Option<(Direction, DirectionClass)> {
+        let mut best: Option<(Direction, DirectionClass, i64)> = None;
+        for dir in Direction::all(ctx.mesh.ndim()) {
+            let Some(class) = self.classify(ctx, dir) else {
+                continue;
+            };
+            // Tie-break within a class: preferred moves pick the dimension with the
+            // largest remaining offset (classic adaptive heuristic); spare moves pick
+            // the dimension with the *smallest* remaining offset, so that a detour
+            // slides around the block instead of retreating along the main travel
+            // axis.  The direction index breaks remaining ties deterministically.
+            let offset = (ctx.dest[dir.dim] - ctx.current[dir.dim]).abs() as i64;
+            let score = match class {
+                DirectionClass::Preferred | DirectionClass::PreferredButDetour => {
+                    -offset * 16 + dir.index() as i64
+                }
+                _ => offset * 16 + dir.index() as i64,
+            };
+            match &best {
+                None => best = Some((dir, class, score)),
+                Some((_, bc, bs)) => {
+                    if (class, score) < (*bc, *bs) {
+                        best = Some((dir, class, score));
+                    }
+                }
+            }
+        }
+        best.map(|(d, c, _)| (d, c))
+    }
+}
+
+impl Router for LgfiRouter {
+    fn name(&self) -> &'static str {
+        "lgfi"
+    }
+
+    fn decide(&self, ctx: &RouteCtx<'_>) -> RoutingDecision {
+        // Step 1 of Algorithm 3: a disabled node cannot host the probe.
+        if ctx.current_status == NodeStatus::Disabled {
+            return RoutingDecision::Backtrack;
+        }
+        match self.best_direction(ctx) {
+            // Choosing the incoming direction is the same as backtracking.
+            Some((_, DirectionClass::Incoming)) | None => RoutingDecision::Backtrack,
+            Some((dir, _)) => RoutingDecision::Forward(dir),
+        }
+    }
+}
+
+/// The final status of a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStatus {
+    /// Still travelling.
+    InFlight,
+    /// Reached the destination: the path is set up.
+    Delivered,
+    /// Backtracked past the source with no usable direction left.
+    Unreachable,
+    /// The step budget was exhausted before reaching the destination.
+    Exhausted,
+    /// A deterministic router gave up (see [`RoutingDecision::Fail`]).
+    Failed,
+}
+
+/// A PCS path-setup probe with its header state.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// The source node.
+    pub source: NodeId,
+    /// The destination node.
+    pub dest: NodeId,
+    /// The node currently holding the probe.
+    pub current: NodeId,
+    /// The reserved path, source first, current node last.
+    pub path: Vec<NodeId>,
+    /// Per-node used-direction lists (the header of Algorithm 3).  Kept for every node
+    /// the probe has ever visited so that the search terminates even under dynamic
+    /// faults.
+    pub used: BTreeMap<NodeId, DirectionSet>,
+    /// Direction by which the probe entered the current node.
+    pub incoming: Option<Direction>,
+    /// Steps taken so far (each forward or backtrack hop is one step).
+    pub steps: u64,
+    /// Number of backtrack hops taken.
+    pub backtracks: u64,
+    /// Current status.
+    pub status: ProbeStatus,
+    /// The initial source-to-destination distance (the paper's `D`).
+    pub initial_distance: u32,
+}
+
+impl Probe {
+    /// A new probe at its source.
+    pub fn new(mesh: &Mesh, source: NodeId, dest: NodeId) -> Self {
+        Probe {
+            source,
+            dest,
+            current: source,
+            path: vec![source],
+            used: BTreeMap::new(),
+            incoming: None,
+            steps: 0,
+            backtracks: 0,
+            status: ProbeStatus::InFlight,
+            initial_distance: mesh.distance(source, dest),
+        }
+    }
+
+    /// The used-direction set of the current node.
+    pub fn used_here(&self) -> DirectionSet {
+        self.used.get(&self.current).copied().unwrap_or_default()
+    }
+
+    /// Applies a routing decision, moving the probe by one hop (one step of the
+    /// Figure-7 model).  `faulty_current` indicates that the node holding the probe
+    /// has itself become faulty, in which case the reservation collapses back to the
+    /// previous node.
+    pub fn apply(&mut self, mesh: &Mesh, decision: RoutingDecision) {
+        debug_assert_eq!(self.status, ProbeStatus::InFlight);
+        self.steps += 1;
+        match decision {
+            RoutingDecision::Forward(dir) => {
+                self.used.entry(self.current).or_default().insert(dir);
+                let next = mesh
+                    .neighbor_id(self.current, dir)
+                    .expect("router returned an off-mesh direction");
+                self.path.push(next);
+                self.current = next;
+                self.incoming = Some(dir);
+                if next == self.dest {
+                    self.status = ProbeStatus::Delivered;
+                }
+            }
+            RoutingDecision::Backtrack => {
+                self.backtracks += 1;
+                if self.path.len() <= 1 {
+                    self.status = ProbeStatus::Unreachable;
+                    return;
+                }
+                self.path.pop();
+                let prev = *self.path.last().unwrap();
+                self.incoming = mesh
+                    .coord_of(self.current)
+                    .direction_to(&mesh.coord_of(prev));
+                self.current = prev;
+            }
+            RoutingDecision::Fail => {
+                self.status = ProbeStatus::Failed;
+            }
+        }
+    }
+
+    /// Summarises the finished probe.
+    pub fn outcome(&self) -> ProbeOutcome {
+        ProbeOutcome {
+            status: self.status,
+            steps: self.steps,
+            backtracks: self.backtracks,
+            path_length: self.path.len().saturating_sub(1) as u64,
+            initial_distance: self.initial_distance,
+        }
+    }
+}
+
+/// Summary of a finished (or abandoned) probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Final status.
+    pub status: ProbeStatus,
+    /// Total steps taken (forward + backtrack hops).
+    pub steps: u64,
+    /// Backtrack hops.
+    pub backtracks: u64,
+    /// Length of the reserved path at the end.
+    pub path_length: u64,
+    /// The source-destination distance `D` at start.
+    pub initial_distance: u32,
+}
+
+impl ProbeOutcome {
+    /// True if the path was set up.
+    pub fn delivered(&self) -> bool {
+        self.status == ProbeStatus::Delivered
+    }
+
+    /// Extra steps beyond the initial distance (the paper's *detours*); `None` when
+    /// the probe was not delivered.
+    pub fn detours(&self) -> Option<u64> {
+        if self.delivered() {
+            Some(self.steps.saturating_sub(u64::from(self.initial_distance)))
+        } else {
+            None
+        }
+    }
+
+    /// Path stretch: final path length divided by the initial distance.
+    pub fn stretch(&self) -> Option<f64> {
+        if self.delivered() && self.initial_distance > 0 {
+            Some(self.path_length as f64 / f64::from(self.initial_distance))
+        } else {
+            None
+        }
+    }
+}
+
+/// Routes a probe in a *static* environment (no dynamic faults during the routing):
+/// statuses, blocks and boundary information are fixed, every node's boundary
+/// information has fully arrived.  Returns the probe outcome.
+///
+/// This is the workhorse for the static experiments and the baselines; the dynamic
+/// Figure-7 loop lives in [`crate::network::LgfiNetwork`].
+#[allow(clippy::too_many_arguments)]
+pub fn route_static(
+    mesh: &Mesh,
+    statuses: &[NodeStatus],
+    blocks: &[FaultyBlock],
+    boundary: &crate::boundary::BoundaryMap,
+    router: &dyn Router,
+    source: NodeId,
+    dest: NodeId,
+    max_steps: u64,
+) -> ProbeOutcome {
+    let mut probe = Probe::new(mesh, source, dest);
+    if source == dest {
+        probe.status = ProbeStatus::Delivered;
+        return probe.outcome();
+    }
+    if statuses[source] == NodeStatus::Faulty || statuses[dest] == NodeStatus::Faulty {
+        probe.status = ProbeStatus::Unreachable;
+        return probe.outcome();
+    }
+    while probe.status == ProbeStatus::InFlight {
+        if probe.steps >= max_steps {
+            probe.status = ProbeStatus::Exhausted;
+            break;
+        }
+        let current_coord = mesh.coord_of(probe.current);
+        let ctx = RouteCtx {
+            mesh,
+            current: current_coord.clone(),
+            dest: mesh.coord_of(dest),
+            current_status: statuses[probe.current],
+            neighbors: mesh
+                .neighbor_ids(probe.current)
+                .into_iter()
+                .map(|(d, nid)| (d, nid, statuses[nid]))
+                .collect(),
+            boundary_info: boundary.entries(probe.current).to_vec(),
+            global_blocks: blocks.to_vec(),
+            used: probe.used_here(),
+            incoming: probe.incoming,
+        };
+        let decision = router.decide(&ctx);
+        probe.apply(mesh, decision);
+    }
+    probe.outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSet;
+    use crate::boundary::BoundaryMap;
+    use crate::labeling::LabelingEngine;
+    use lgfi_topology::coord;
+
+    struct Env {
+        mesh: Mesh,
+        statuses: Vec<NodeStatus>,
+        blocks: BlockSet,
+        boundary: BoundaryMap,
+    }
+
+    fn build_env(mesh: Mesh, faults: &[Coord]) -> Env {
+        let mut eng = LabelingEngine::new(mesh.clone());
+        eng.apply_faults(faults);
+        let blocks = BlockSet::extract(&mesh, eng.statuses());
+        let boundary = BoundaryMap::construct(&mesh, &blocks);
+        Env {
+            statuses: eng.statuses().to_vec(),
+            blocks,
+            boundary,
+            mesh,
+        }
+    }
+
+    fn route(env: &Env, s: &Coord, d: &Coord) -> ProbeOutcome {
+        route_static(
+            &env.mesh,
+            &env.statuses,
+            env.blocks.blocks(),
+            &env.boundary,
+            &LgfiRouter::new(),
+            env.mesh.id_of(s),
+            env.mesh.id_of(d),
+            10_000,
+        )
+    }
+
+    #[test]
+    fn fault_free_routing_is_minimal() {
+        let env = build_env(Mesh::cubic(8, 3), &[]);
+        let out = route(&env, &coord![0, 0, 0], &coord![7, 7, 7]);
+        assert!(out.delivered());
+        assert_eq!(out.steps, 21);
+        assert_eq!(out.detours(), Some(0));
+        assert_eq!(out.path_length, 21);
+        assert_eq!(out.stretch(), Some(1.0));
+        assert_eq!(out.backtracks, 0);
+    }
+
+    #[test]
+    fn routing_to_self_is_trivially_delivered() {
+        let env = build_env(Mesh::cubic(5, 2), &[]);
+        let out = route(&env, &coord![2, 2], &coord![2, 2]);
+        assert!(out.delivered());
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn faulty_destination_is_unreachable() {
+        let env = build_env(Mesh::cubic(8, 2), &[coord![4, 4]]);
+        let out = route(&env, &coord![0, 0], &coord![4, 4]);
+        assert_eq!(out.status, ProbeStatus::Unreachable);
+    }
+
+    #[test]
+    fn safe_source_route_around_block_stays_minimal() {
+        // Block in the middle; source and destination positioned so that the block
+        // does not intersect the bounding box: a minimal path must be found.
+        let env = build_env(
+            Mesh::cubic(12, 2),
+            &[coord![5, 5], coord![6, 6], coord![5, 6], coord![6, 5]],
+        );
+        let out = route(&env, &coord![1, 1], &coord![3, 10]);
+        assert!(out.delivered());
+        assert_eq!(out.detours(), Some(0), "safe source must get a minimal path");
+    }
+
+    #[test]
+    fn boundary_information_prevents_entering_the_dangerous_area() {
+        // 2-D mesh with a wide block; destination directly above the block, source
+        // directly below it.  The LGFI router must be warned at the boundary and go
+        // around; it must still deliver, and the number of extra hops is bounded by
+        // the block perimeter.
+        let env = build_env(
+            Mesh::cubic(16, 2),
+            &[
+                coord![5, 7],
+                coord![10, 7],
+                coord![5, 8],
+                coord![10, 8],
+                coord![7, 7],
+                coord![8, 8],
+                coord![6, 7],
+                coord![9, 8],
+            ],
+        );
+        // One wide block [5:10, 7:8].
+        assert_eq!(env.blocks.len(), 1);
+        assert_eq!(
+            env.blocks.blocks()[0].region,
+            lgfi_topology::Region::new(vec![5, 7], vec![10, 8])
+        );
+        let out = route(&env, &coord![8, 2], &coord![8, 13]);
+        assert!(out.delivered());
+        // Minimal distance is 11; going around the block costs at most the block's
+        // half-perimeter extra.
+        let detours = out.detours().unwrap();
+        assert!(detours > 0, "the block forces a detour");
+        assert!(detours <= 2 * (6 + 2), "detours {detours} should be bounded by the block size");
+    }
+
+    #[test]
+    fn without_boundary_info_the_probe_wastes_steps_in_the_dangerous_area() {
+        // Same scenario as above but with the boundary map removed: the router only
+        // discovers the block when it bumps into it, so it needs strictly more steps.
+        let env = build_env(
+            Mesh::cubic(16, 2),
+            &[
+                coord![5, 7],
+                coord![10, 7],
+                coord![5, 8],
+                coord![10, 8],
+                coord![7, 7],
+                coord![8, 8],
+                coord![6, 7],
+                coord![9, 8],
+            ],
+        );
+        let with_info = route(&env, &coord![8, 2], &coord![8, 13]);
+        let empty = BoundaryMap::empty(&env.mesh);
+        let without_info = route_static(
+            &env.mesh,
+            &env.statuses,
+            env.blocks.blocks(),
+            &empty,
+            &LgfiRouter::new(),
+            env.mesh.id_of(&coord![8, 2]),
+            env.mesh.id_of(&coord![8, 13]),
+            10_000,
+        );
+        assert!(with_info.delivered());
+        assert!(without_info.delivered());
+        assert!(
+            with_info.steps <= without_info.steps,
+            "limited-global information must not hurt ({} vs {})",
+            with_info.steps,
+            without_info.steps
+        );
+    }
+
+    #[test]
+    fn direction_classification_matches_algorithm_3() {
+        let env = build_env(
+            Mesh::cubic(16, 2),
+            &[
+                coord![5, 7],
+                coord![10, 7],
+                coord![5, 8],
+                coord![10, 8],
+                coord![7, 7],
+                coord![8, 8],
+                coord![6, 7],
+                coord![9, 8],
+            ],
+        );
+        let router = LgfiRouter::new();
+        // A node on the boundary wall left of the block (x = 4), destination above the
+        // block within its cross-section: +X (into the shadow) is preferred-but-detour,
+        // +Y is preferred.
+        let node = coord![4, 5];
+        let ctx = RouteCtx {
+            mesh: &env.mesh,
+            current: node.clone(),
+            dest: coord![8, 13],
+            current_status: NodeStatus::Enabled,
+            neighbors: env
+                .mesh
+                .neighbor_ids(env.mesh.id_of(&node))
+                .into_iter()
+                .map(|(d, nid)| (d, nid, env.statuses[nid]))
+                .collect(),
+            boundary_info: env.boundary.entries(env.mesh.id_of(&node)).to_vec(),
+            global_blocks: vec![],
+            used: DirectionSet::empty(),
+            incoming: Some(Direction::pos(1)),
+        };
+        assert!(!ctx.boundary_info.is_empty(), "x=4 wall node must hold boundary info");
+        assert_eq!(
+            router.classify(&ctx, Direction::pos(0)),
+            Some(DirectionClass::PreferredButDetour)
+        );
+        assert_eq!(
+            router.classify(&ctx, Direction::pos(1)),
+            Some(DirectionClass::Preferred)
+        );
+        assert_eq!(
+            router.classify(&ctx, Direction::neg(0)),
+            Some(DirectionClass::Spare)
+        );
+        assert_eq!(
+            router.classify(&ctx, Direction::neg(1)),
+            Some(DirectionClass::Incoming)
+        );
+        assert_eq!(router.decide(&ctx), RoutingDecision::Forward(Direction::pos(1)));
+    }
+
+    #[test]
+    fn used_directions_are_never_retried() {
+        let env = build_env(Mesh::cubic(6, 2), &[]);
+        let mesh = &env.mesh;
+        let mut probe = Probe::new(mesh, mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![5, 5]));
+        probe.apply(mesh, RoutingDecision::Forward(Direction::pos(0)));
+        assert!(probe.used[&mesh.id_of(&coord![0, 0])].contains(Direction::pos(0)));
+        probe.apply(mesh, RoutingDecision::Backtrack);
+        assert_eq!(probe.current, mesh.id_of(&coord![0, 0]));
+        assert_eq!(probe.backtracks, 1);
+        // The used set survived the backtrack.
+        assert!(probe.used[&mesh.id_of(&coord![0, 0])].contains(Direction::pos(0)));
+    }
+
+    #[test]
+    fn backtracking_past_the_source_reports_unreachable() {
+        let env = build_env(Mesh::cubic(6, 2), &[]);
+        let mesh = &env.mesh;
+        let mut probe = Probe::new(mesh, mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![5, 5]));
+        probe.apply(mesh, RoutingDecision::Backtrack);
+        assert_eq!(probe.status, ProbeStatus::Unreachable);
+    }
+
+    #[test]
+    fn completely_walled_in_destination_is_unreachable() {
+        // A destination surrounded by faults on all four sides cannot be reached; the
+        // probe must terminate with Unreachable rather than loop forever.
+        let env = build_env(
+            Mesh::cubic(10, 2),
+            &[coord![4, 5], coord![6, 5], coord![5, 4], coord![5, 6]],
+        );
+        // The destination itself is disabled by the labeling (it has faulty neighbors
+        // in two dimensions), so the router refuses to enter it; the probe gives up.
+        let out = route(&env, &coord![0, 0], &coord![5, 5]);
+        assert_ne!(out.status, ProbeStatus::Delivered);
+        assert_ne!(out.status, ProbeStatus::Exhausted, "must terminate by search, not timeout");
+    }
+
+    #[test]
+    fn exhaustion_is_reported_when_step_budget_is_too_small() {
+        let env = build_env(Mesh::cubic(10, 3), &[]);
+        let out = route_static(
+            &env.mesh,
+            &env.statuses,
+            env.blocks.blocks(),
+            &env.boundary,
+            &LgfiRouter::new(),
+            env.mesh.id_of(&coord![0, 0, 0]),
+            env.mesh.id_of(&coord![9, 9, 9]),
+            5,
+        );
+        assert_eq!(out.status, ProbeStatus::Exhausted);
+    }
+
+    #[test]
+    fn random_static_fault_patterns_always_deliver_between_enabled_corners() {
+        use lgfi_sim::DetRng;
+        // With interior faults and enabled corner nodes, the mesh stays connected
+        // (property from [14]); the LGFI router must always set up a path.
+        let mesh = Mesh::cubic(10, 3);
+        let interior: Vec<Coord> = mesh.interior_region().unwrap().iter_coords().collect();
+        for seed in 0..6u64 {
+            let mut rng = DetRng::seed_from_u64(1000 + seed);
+            let picks = rng.sample_indices(interior.len(), 30);
+            let faults: Vec<Coord> = picks.iter().map(|&i| interior[i].clone()).collect();
+            let env = build_env(mesh.clone(), &faults);
+            let out = route(&env, &coord![0, 0, 0], &coord![9, 9, 9]);
+            assert!(out.delivered(), "seed {seed}: corner-to-corner route failed: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Node statuses and the local labeling rules.
+//!
+//! Definition 1 (from Wu [14]) and Definition 4 / Algorithm 1 of the paper define four
+//! statuses and five local transition rules.  The rules are *local*: a node's next
+//! status depends only on its own status and the statuses of its `2n` neighbors, which
+//! is what allows the labeling to run as rounds of status exchanges among neighbors.
+//!
+//! | rule | transition | condition |
+//! |------|------------|-----------|
+//! | 1 | enabled → disabled | two or more disabled-or-faulty neighbors in different dimensions |
+//! | 2 | disabled → clean | has a clean neighbor and does **not** have two faulty neighbors in different dimensions |
+//! | 3 | clean → disabled | has two or more faulty neighbors in different dimensions |
+//! | 4 | clean → enabled | does **not** have two or more faulty neighbors in different dimensions |
+//! | 5 | faulty → clean | the node is recovered |
+//!
+//! Rule 5 is triggered by the recovery event itself (see
+//! [`LabelingEngine::recover`](crate::labeling::LabelingEngine::recover)); rules 1–4
+//! are applied synchronously every round by [`next_status`].
+
+use lgfi_topology::Direction;
+
+/// The status of a node under the extended enabled/disabled labeling scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeStatus {
+    /// The node is faulty (cannot route, store information or run the labeling).
+    Faulty,
+    /// A non-faulty node that may cause routing difficulty: it has (or had) two or
+    /// more disabled/faulty neighbors in different dimensions and is therefore treated
+    /// as part of a faulty block.
+    Disabled,
+    /// A transient status taken by nodes recovering from faulty status and by disabled
+    /// nodes re-activated by a clean neighbor (Definition 4); after one round it
+    /// resolves to enabled or disabled.
+    Clean,
+    /// A normal, usable node.
+    Enabled,
+}
+
+impl NodeStatus {
+    /// True for faulty or disabled nodes, i.e. nodes that belong to a faulty block.
+    pub fn in_block(self) -> bool {
+        matches!(self, NodeStatus::Faulty | NodeStatus::Disabled)
+    }
+
+    /// True if the node can participate in routing and information distribution
+    /// (everything except faulty).
+    pub fn participates(self) -> bool {
+        self != NodeStatus::Faulty
+    }
+
+    /// Single-letter code used by the ASCII visualisations (`F`, `D`, `C`, `E`).
+    pub fn code(self) -> char {
+        match self {
+            NodeStatus::Faulty => 'F',
+            NodeStatus::Disabled => 'D',
+            NodeStatus::Clean => 'C',
+            NodeStatus::Enabled => 'E',
+        }
+    }
+}
+
+impl std::fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NodeStatus::Faulty => "faulty",
+            NodeStatus::Disabled => "disabled",
+            NodeStatus::Clean => "clean",
+            NodeStatus::Enabled => "enabled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The view a node has of one neighbor during a labeling round: the direction towards
+/// it and its previous-round status.
+pub type NeighborStatus = (Direction, NodeStatus);
+
+/// True if the statuses in `neighbors` that satisfy `pred` span at least two distinct
+/// dimensions (the "two or more ... neighbors along different dimensions" condition
+/// used by rules 1 and 3).
+pub fn spans_two_dimensions<F: Fn(NodeStatus) -> bool>(
+    neighbors: &[NeighborStatus],
+    pred: F,
+) -> bool {
+    let mut first_dim: Option<usize> = None;
+    for (dir, st) in neighbors {
+        if pred(*st) {
+            match first_dim {
+                None => first_dim = Some(dir.dim),
+                Some(d) if d != dir.dim => return true,
+                Some(_) => {}
+            }
+        }
+    }
+    false
+}
+
+/// Applies rules 1–4 of Algorithm 1 to compute a non-faulty node's next status from
+/// its previous status and its neighbors' previous statuses.
+///
+/// Faulty neighbors must be reported as [`NodeStatus::Faulty`]; neighbors outside the
+/// mesh are simply absent from the slice.
+pub fn next_status(prev: NodeStatus, neighbors: &[NeighborStatus]) -> NodeStatus {
+    let two_faulty_dims = spans_two_dimensions(neighbors, |s| s == NodeStatus::Faulty);
+    let two_blocked_dims = spans_two_dimensions(neighbors, NodeStatus::in_block);
+    let has_clean_neighbor = neighbors.iter().any(|(_, s)| *s == NodeStatus::Clean);
+
+    match prev {
+        NodeStatus::Faulty => NodeStatus::Faulty,
+        // rule 1
+        NodeStatus::Enabled => {
+            if two_blocked_dims {
+                NodeStatus::Disabled
+            } else {
+                NodeStatus::Enabled
+            }
+        }
+        // rule 2
+        NodeStatus::Disabled => {
+            if has_clean_neighbor && !two_faulty_dims {
+                NodeStatus::Clean
+            } else {
+                NodeStatus::Disabled
+            }
+        }
+        // rules 3 and 4
+        NodeStatus::Clean => {
+            if two_faulty_dims {
+                NodeStatus::Disabled
+            } else {
+                NodeStatus::Enabled
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use NodeStatus::*;
+
+    fn nb(dim: usize, positive: bool, st: NodeStatus) -> NeighborStatus {
+        (Direction::new(dim, positive), st)
+    }
+
+    #[test]
+    fn rule_1_requires_two_distinct_dimensions() {
+        // Two faulty neighbors along the same dimension do not disable a node.
+        let same_dim = [nb(0, true, Faulty), nb(0, false, Faulty)];
+        assert_eq!(next_status(Enabled, &same_dim), Enabled);
+        // Faulty + disabled in different dimensions do.
+        let diff_dim = [nb(0, true, Faulty), nb(1, false, Disabled)];
+        assert_eq!(next_status(Enabled, &diff_dim), Disabled);
+        // A single blocked neighbor never disables.
+        assert_eq!(next_status(Enabled, &[nb(2, true, Faulty)]), Enabled);
+    }
+
+    #[test]
+    fn rule_2_needs_clean_neighbor_and_no_two_fault_dimensions() {
+        let clean_only = [nb(0, true, Clean), nb(1, true, Disabled)];
+        assert_eq!(next_status(Disabled, &clean_only), Clean);
+        // Still has two faults in different dimensions: stays disabled even with a
+        // clean neighbor (this is the (3,5,3) case of Figure 4).
+        let clean_but_faulty = [nb(0, true, Clean), nb(1, true, Faulty), nb(2, false, Faulty)];
+        assert_eq!(next_status(Disabled, &clean_but_faulty), Disabled);
+        // No clean neighbor: stays disabled.
+        let no_clean = [nb(0, true, Enabled), nb(1, true, Disabled)];
+        assert_eq!(next_status(Disabled, &no_clean), Disabled);
+    }
+
+    #[test]
+    fn rules_3_and_4_resolve_clean_after_one_round() {
+        let harmless = [nb(0, true, Enabled), nb(1, true, Disabled)];
+        assert_eq!(next_status(Clean, &harmless), Enabled);
+        let double_fault = [nb(0, true, Faulty), nb(1, false, Faulty)];
+        assert_eq!(next_status(Clean, &double_fault), Disabled);
+        // Two faults in the same dimension do not keep it disabled.
+        let same_dim_faults = [nb(2, true, Faulty), nb(2, false, Faulty)];
+        assert_eq!(next_status(Clean, &same_dim_faults), Enabled);
+    }
+
+    #[test]
+    fn faulty_nodes_never_change_via_rules() {
+        assert_eq!(next_status(Faulty, &[nb(0, true, Clean)]), Faulty);
+    }
+
+    #[test]
+    fn spans_two_dimensions_counts_dimensions_not_neighbors() {
+        let ns = [nb(1, true, Faulty), nb(1, false, Faulty), nb(1, true, Disabled)];
+        assert!(!spans_two_dimensions(&ns, NodeStatus::in_block));
+        let ns2 = [nb(1, true, Faulty), nb(0, false, Disabled)];
+        assert!(spans_two_dimensions(&ns2, NodeStatus::in_block));
+        assert!(!spans_two_dimensions(&ns2, |s| s == Faulty));
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(Faulty.in_block());
+        assert!(Disabled.in_block());
+        assert!(!Clean.in_block());
+        assert!(!Enabled.in_block());
+        assert!(!Faulty.participates());
+        assert!(Clean.participates());
+        assert_eq!(Enabled.code(), 'E');
+        assert_eq!(format!("{Disabled}"), "disabled");
+    }
+
+    #[test]
+    fn isolated_node_keeps_status() {
+        assert_eq!(next_status(Enabled, &[]), Enabled);
+        assert_eq!(next_status(Disabled, &[]), Disabled);
+        assert_eq!(next_status(Clean, &[]), Enabled);
+    }
+}

@@ -1,0 +1,522 @@
+//! The round-synchronous protocol engine.
+//!
+//! A [`Protocol`] is a purely local rule: in every round each non-faulty node computes
+//! its next state from (a) its previous state, (b) a view of each neighbor — either
+//! the neighbor's previous state or the fact that the neighbor is faulty — and (c) the
+//! messages delivered to it this round; it may also emit messages to neighbors, which
+//! are delivered **in the next round** (one hop per round, as required by the paper's
+//! information model).
+//!
+//! The [`RoundEngine`] executes a protocol over a [`Mesh`], double-buffering node
+//! states so that every update within a round reads only previous-round information —
+//! exactly the "rounds of status exchanges among neighbors" of Algorithm 1 and the
+//! hop-by-hop message propagation of Algorithm 2.
+
+use lgfi_topology::{Coord, Direction, Mesh, NodeId};
+
+use crate::stats::{EngineStats, RoundStats};
+
+/// What a node can see of one of its neighbors during a round.
+#[derive(Debug)]
+pub struct NeighborView<'a, S> {
+    /// Direction from the current node towards this neighbor.
+    pub dir: Direction,
+    /// The neighbor's node id.
+    pub id: NodeId,
+    /// True if the neighbor is currently faulty (detected at the fault-detection phase
+    /// of the enclosing step).
+    pub faulty: bool,
+    /// The neighbor's previous-round state; `None` iff the neighbor is faulty.
+    pub state: Option<&'a S>,
+}
+
+/// Static per-node context handed to the protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// The mesh the protocol runs on.
+    pub mesh: &'a Mesh,
+    /// The node executing the rule.
+    pub id: NodeId,
+    /// The current round number (0-based, monotonically increasing across steps).
+    pub round: u64,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Coordinate of the executing node.
+    pub fn coord(&self) -> Coord {
+        self.mesh.coord_of(self.id)
+    }
+}
+
+/// Collects the messages a node sends during a round; they are delivered to the
+/// addressed neighbors at the beginning of the next round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Sends a message to the neighbor `to` (one hop away; delivered next round).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Number of messages queued so far this round.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if nothing has been sent.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A synchronous, purely local protocol rule.
+pub trait Protocol {
+    /// Per-node protocol state.
+    type State: Clone + PartialEq;
+    /// Messages exchanged between neighbors.
+    type Msg: Clone;
+
+    /// The initial state of node `ctx.id`.
+    fn init(&self, ctx: &NodeCtx<'_>) -> Self::State;
+
+    /// Computes the next state of a non-faulty node.
+    ///
+    /// `prev` is the node's previous state, `neighbors` the views of all in-mesh
+    /// neighbors, `inbox` the messages delivered this round, and `outbox` the channel
+    /// for messages to be delivered next round.
+    fn on_round(
+        &self,
+        ctx: &NodeCtx<'_>,
+        prev: &Self::State,
+        neighbors: &[NeighborView<'_, Self::State>],
+        inbox: &[Self::Msg],
+        outbox: &mut Outbox<Self::Msg>,
+    ) -> Self::State;
+}
+
+/// Executes a [`Protocol`] over a mesh in synchronous rounds.
+pub struct RoundEngine<P: Protocol> {
+    mesh: Mesh,
+    protocol: P,
+    /// Previous-round (committed) state per node.
+    states: Vec<P::State>,
+    /// Faulty flag per node.
+    faulty: Vec<bool>,
+    /// Mailboxes holding messages to be delivered in the *next* executed round.
+    mailboxes: Vec<Vec<P::Msg>>,
+    /// Neighbor cache: for each node, its (direction, neighbor id) pairs.
+    neighbors: Vec<Vec<(Direction, NodeId)>>,
+    round: u64,
+    stats: EngineStats,
+}
+
+impl<P: Protocol> RoundEngine<P> {
+    /// Creates an engine with every node non-faulty and in its initial protocol state.
+    pub fn new(mesh: Mesh, protocol: P) -> Self {
+        let n = mesh.node_count();
+        let neighbors: Vec<Vec<(Direction, NodeId)>> =
+            (0..n).map(|id| mesh.neighbor_ids(id)).collect();
+        let states = (0..n)
+            .map(|id| {
+                protocol.init(&NodeCtx {
+                    mesh: &mesh,
+                    id,
+                    round: 0,
+                })
+            })
+            .collect();
+        RoundEngine {
+            protocol,
+            states,
+            faulty: vec![false; n],
+            mailboxes: vec![Vec::new(); n],
+            neighbors,
+            round: 0,
+            stats: EngineStats::default(),
+            mesh,
+        }
+    }
+
+    /// The mesh the engine runs on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol (e.g. to change scenario knobs between rounds).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Current round number (number of rounds executed so far).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Accumulated engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The committed state of a node.
+    pub fn state(&self, id: NodeId) -> &P::State {
+        &self.states[id]
+    }
+
+    /// All committed states, indexed by node id.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Overwrites the state of a node (used by higher layers for event injection, e.g.
+    /// marking the source of an identification wave).
+    pub fn set_state(&mut self, id: NodeId, state: P::State) {
+        self.states[id] = state;
+    }
+
+    /// True if the node is currently faulty.
+    pub fn is_faulty(&self, id: NodeId) -> bool {
+        self.faulty[id]
+    }
+
+    /// Marks a node faulty.  A faulty node stops executing the protocol, its state is
+    /// invisible to neighbors (they only see `faulty = true`), and messages addressed
+    /// to it are dropped.
+    pub fn inject_fault(&mut self, id: NodeId) {
+        self.faulty[id] = true;
+        self.mailboxes[id].clear();
+    }
+
+    /// Recovers a faulty node: it becomes non-faulty again with the given state
+    /// (protocols usually supply their "recovered / clean" state here, per rule 5 of
+    /// Algorithm 1).
+    pub fn recover(&mut self, id: NodeId, state: P::State) {
+        self.faulty[id] = false;
+        self.states[id] = state;
+        self.mailboxes[id].clear();
+    }
+
+    /// Ids of all currently faulty nodes.
+    pub fn faulty_nodes(&self) -> Vec<NodeId> {
+        (0..self.states.len()).filter(|&i| self.faulty[i]).collect()
+    }
+
+    /// Number of messages currently waiting to be delivered next round.
+    pub fn pending_messages(&self) -> usize {
+        self.mailboxes.iter().map(|m| m.len()).sum()
+    }
+
+    /// Delivers a message into a node's mailbox from "outside" the protocol (used by
+    /// higher layers, e.g. to start an identification wave at a corner node).
+    pub fn post(&mut self, to: NodeId, msg: P::Msg) {
+        if !self.faulty[to] {
+            self.mailboxes[to].push(msg);
+        }
+    }
+
+    /// Executes one synchronous round; returns the number of nodes whose state
+    /// changed.
+    pub fn run_round(&mut self) -> usize {
+        let n = self.states.len();
+        let mut new_states: Vec<Option<P::State>> = vec![None; n];
+        let mut new_mail: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+        let mut messages_sent = 0u64;
+        let mut changes = 0usize;
+
+        for id in 0..n {
+            if self.faulty[id] {
+                continue;
+            }
+            let ctx = NodeCtx {
+                mesh: &self.mesh,
+                id,
+                round: self.round,
+            };
+            let views: Vec<NeighborView<'_, P::State>> = self.neighbors[id]
+                .iter()
+                .map(|&(dir, nid)| NeighborView {
+                    dir,
+                    id: nid,
+                    faulty: self.faulty[nid],
+                    state: if self.faulty[nid] {
+                        None
+                    } else {
+                        Some(&self.states[nid])
+                    },
+                })
+                .collect();
+            let inbox = std::mem::take(&mut self.mailboxes[id]);
+            let mut outbox = Outbox::new();
+            let next = self
+                .protocol
+                .on_round(&ctx, &self.states[id], &views, &inbox, &mut outbox);
+            if next != self.states[id] {
+                changes += 1;
+            }
+            for (to, msg) in outbox.msgs {
+                if !self.faulty[to] {
+                    new_mail[to].push(msg);
+                    messages_sent += 1;
+                }
+            }
+            new_states[id] = Some(next);
+        }
+
+        for (id, st) in new_states.into_iter().enumerate() {
+            if let Some(st) = st {
+                self.states[id] = st;
+            }
+        }
+        // Mailboxes of faulty nodes were cleared on injection; anything that was not
+        // consumed this round (faulty nodes skipped) is dropped, and the newly sent
+        // messages become next round's inboxes.
+        for (id, mail) in new_mail.into_iter().enumerate() {
+            self.mailboxes[id] = mail;
+        }
+
+        self.round += 1;
+        self.stats.record_round(RoundStats {
+            state_changes: changes as u64,
+            messages_sent,
+        });
+        changes
+    }
+
+    /// Runs rounds until the protocol is quiescent: no state changed in the last round
+    /// **and** no messages are in flight.  Returns the number of rounds executed, or
+    /// `None` if `max_rounds` was reached without quiescence.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> Option<u64> {
+        let mut executed = 0u64;
+        loop {
+            if executed >= max_rounds {
+                return None;
+            }
+            let changes = self.run_round();
+            executed += 1;
+            if changes == 0 && self.pending_messages() == 0 {
+                return Some(executed);
+            }
+        }
+    }
+
+    /// Runs exactly `rounds` rounds (the per-step λ budget of the Figure-7 model);
+    /// returns the total number of state changes observed.
+    pub fn run_rounds(&mut self, rounds: u64) -> usize {
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            total += self.run_round();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_topology::coord;
+
+    /// A toy protocol: every node stores the minimum value it has heard of; a single
+    /// seed node starts with 0, everyone else with its node id + 1.  Messages carry
+    /// the sender's current value.  The minimum floods the mesh one hop per round.
+    struct MinFlood {
+        seed: NodeId,
+    }
+
+    impl Protocol for MinFlood {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+            if ctx.id == self.seed {
+                0
+            } else {
+                ctx.id as u64 + 1
+            }
+        }
+
+        fn on_round(
+            &self,
+            _ctx: &NodeCtx<'_>,
+            prev: &u64,
+            neighbors: &[NeighborView<'_, u64>],
+            inbox: &[u64],
+            outbox: &mut Outbox<u64>,
+        ) -> u64 {
+            let mut best = *prev;
+            for v in inbox {
+                best = best.min(*v);
+            }
+            for nb in neighbors {
+                if let Some(&s) = nb.state {
+                    best = best.min(s);
+                }
+            }
+            if best < *prev {
+                for nb in neighbors {
+                    outbox.send(nb.id, best);
+                }
+            }
+            best
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_in_eccentricity_rounds() {
+        let mesh = Mesh::cubic(5, 2);
+        let seed = mesh.id_of(&coord![0, 0]);
+        let mut eng = RoundEngine::new(mesh.clone(), MinFlood { seed });
+        let rounds = eng.run_until_quiescent(1000).expect("must converge");
+        // The value spreads one hop per round via neighbor-state reads; the farthest
+        // node is 8 hops away, plus one final no-change round for quiescence detection
+        // and message drain.
+        assert!(rounds >= 8 && rounds <= 12, "rounds = {rounds}");
+        for id in mesh.node_ids() {
+            assert_eq!(*eng.state(id), 0, "node {id} did not learn the minimum");
+        }
+    }
+
+    #[test]
+    fn faulty_nodes_do_not_participate_or_relay() {
+        // Cut the 1-D mesh in the middle: the minimum cannot cross the faulty node.
+        let mesh = Mesh::new(&[9]);
+        let seed = mesh.id_of(&coord![0]);
+        let mut eng = RoundEngine::new(mesh.clone(), MinFlood { seed });
+        let blocker = mesh.id_of(&coord![4]);
+        eng.inject_fault(blocker);
+        eng.run_until_quiescent(1000).expect("must converge");
+        assert_eq!(*eng.state(mesh.id_of(&coord![3])), 0);
+        // Beyond the faulty node the original values survive.
+        assert_ne!(*eng.state(mesh.id_of(&coord![5])), 0);
+        assert_eq!(eng.faulty_nodes(), vec![blocker]);
+    }
+
+    #[test]
+    fn recovery_restores_participation() {
+        let mesh = Mesh::new(&[9]);
+        let seed = mesh.id_of(&coord![0]);
+        let mut eng = RoundEngine::new(mesh.clone(), MinFlood { seed });
+        let blocker = mesh.id_of(&coord![4]);
+        eng.inject_fault(blocker);
+        eng.run_until_quiescent(1000).unwrap();
+        assert_ne!(*eng.state(mesh.id_of(&coord![8])), 0);
+        // Recover with a large value; the flood resumes and reaches the far end.
+        eng.recover(blocker, 1_000);
+        eng.run_until_quiescent(1000).unwrap();
+        assert_eq!(*eng.state(mesh.id_of(&coord![8])), 0);
+    }
+
+    #[test]
+    fn messages_travel_one_hop_per_round() {
+        /// Counts how many rounds after the post a node received the token.
+        struct TokenRelay;
+        impl Protocol for TokenRelay {
+            type State = Option<u64>; // round at which the token arrived
+            type Msg = ();
+
+            fn init(&self, _ctx: &NodeCtx<'_>) -> Self::State {
+                None
+            }
+
+            fn on_round(
+                &self,
+                ctx: &NodeCtx<'_>,
+                prev: &Self::State,
+                neighbors: &[NeighborView<'_, Self::State>],
+                inbox: &[()],
+                outbox: &mut Outbox<()>,
+            ) -> Self::State {
+                if prev.is_some() {
+                    return *prev;
+                }
+                if !inbox.is_empty() {
+                    // Forward the token in the +X direction only.
+                    for nb in neighbors {
+                        if nb.dir == Direction::pos(0) {
+                            outbox.send(nb.id, ());
+                        }
+                    }
+                    return Some(ctx.round);
+                }
+                None
+            }
+        }
+
+        let mesh = Mesh::new(&[6]);
+        let mut eng = RoundEngine::new(mesh.clone(), TokenRelay);
+        eng.post(mesh.id_of(&coord![0]), ());
+        eng.run_until_quiescent(100).unwrap();
+        for x in 0..6 {
+            let arrived = eng.state(mesh.id_of(&coord![x])).expect("token must arrive");
+            assert_eq!(arrived, x as u64, "token must advance exactly one hop/round");
+        }
+    }
+
+    #[test]
+    fn stats_track_rounds_and_messages() {
+        let mesh = Mesh::cubic(4, 2);
+        let seed = mesh.id_of(&coord![0, 0]);
+        let mut eng = RoundEngine::new(mesh, MinFlood { seed });
+        eng.run_until_quiescent(100).unwrap();
+        let stats = eng.stats();
+        assert_eq!(stats.rounds(), eng.round());
+        assert!(stats.total_messages() > 0);
+        assert!(stats.total_state_changes() > 0);
+    }
+
+    #[test]
+    fn run_rounds_executes_exactly_that_many() {
+        let mesh = Mesh::cubic(3, 3);
+        let seed = mesh.id_of(&coord![0, 0, 0]);
+        let mut eng = RoundEngine::new(mesh, MinFlood { seed });
+        eng.run_rounds(4);
+        assert_eq!(eng.round(), 4);
+    }
+
+    #[test]
+    fn quiescence_times_out_when_protocol_never_settles() {
+        /// A protocol that toggles forever.
+        struct Blinker;
+        impl Protocol for Blinker {
+            type State = bool;
+            type Msg = ();
+            fn init(&self, _ctx: &NodeCtx<'_>) -> bool {
+                false
+            }
+            fn on_round(
+                &self,
+                _ctx: &NodeCtx<'_>,
+                prev: &bool,
+                _neighbors: &[NeighborView<'_, bool>],
+                _inbox: &[()],
+                _outbox: &mut Outbox<()>,
+            ) -> bool {
+                !*prev
+            }
+        }
+        let mesh = Mesh::new(&[4]);
+        let mut eng = RoundEngine::new(mesh, Blinker);
+        assert_eq!(eng.run_until_quiescent(16), None);
+        assert_eq!(eng.round(), 16);
+    }
+
+    #[test]
+    fn post_to_faulty_node_is_dropped() {
+        let mesh = Mesh::new(&[4]);
+        let mut eng = RoundEngine::new(mesh.clone(), MinFlood { seed: 0 });
+        let f = mesh.id_of(&coord![2]);
+        eng.inject_fault(f);
+        eng.post(f, 0);
+        assert_eq!(eng.pending_messages(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # lgfi-sim
+//!
+//! A round/step-synchronous distributed-protocol simulator for k-ary n-D meshes.
+//!
+//! The dynamic fault model of Jiang & Wu (Section 5, Figure 7) is an abstract
+//! synchronous machine:
+//!
+//! * time is divided into **steps**; a routing message advances one hop per step;
+//! * each step contains **fault detection**, **λ rounds** of fault-information
+//!   exchange and update, **message reception**, a **routing decision** and a
+//!   **message send**;
+//! * every status/identification/boundary message advances **one hop per round**.
+//!
+//! This crate implements that machine as a reusable substrate:
+//!
+//! * [`engine::RoundEngine`] executes a [`engine::Protocol`] — a per-node local rule
+//!   that sees only its own state, its neighbors' states (or the fact that a neighbor
+//!   is faulty), and the messages delivered this round — in synchronous rounds with
+//!   one-hop-per-round message delivery,
+//! * [`step::StepClock`] and [`step::StepConfig`] provide the Figure-7 step structure,
+//! * [`faults::FaultPlan`] schedules dynamic fault occurrences and recoveries,
+//! * [`stats`], [`trace`] and [`rng`] provide measurement, event tracing and
+//!   deterministic randomness.
+//!
+//! The protocols themselves (labeling, identification, boundary construction, routing)
+//! live in `lgfi-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod faults;
+pub mod rng;
+pub mod stats;
+pub mod step;
+pub mod trace;
+
+pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
+pub use rng::DetRng;
+pub use stats::{EngineStats, Histogram, RoundStats};
+pub use step::{StepClock, StepConfig, StepPhase};
+pub use trace::{Trace, TraceEvent};

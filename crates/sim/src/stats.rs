@@ -1,0 +1,220 @@
+//! Engine statistics and simple measurement containers.
+
+/// Per-round engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of nodes whose protocol state changed this round.
+    pub state_changes: u64,
+    /// Number of messages sent this round (to non-faulty recipients).
+    pub messages_sent: u64,
+}
+
+/// Accumulated statistics of a [`RoundEngine`](crate::engine::RoundEngine) run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    per_round: Vec<RoundStats>,
+}
+
+impl EngineStats {
+    /// Records the counters of one executed round.
+    pub fn record_round(&mut self, stats: RoundStats) {
+        self.per_round.push(stats);
+    }
+
+    /// Number of rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.per_round.len() as u64
+    }
+
+    /// The per-round records.
+    pub fn per_round(&self) -> &[RoundStats] {
+        &self.per_round
+    }
+
+    /// Total messages sent over all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.per_round.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Total state changes over all rounds.
+    pub fn total_state_changes(&self) -> u64 {
+        self.per_round.iter().map(|r| r.state_changes).sum()
+    }
+
+    /// The last round (0-based index) in which any state changed, if any.
+    pub fn last_active_round(&self) -> Option<u64> {
+        self.per_round
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, r)| r.state_changes > 0 || r.messages_sent > 0)
+            .map(|(i, _)| i as u64)
+    }
+}
+
+/// A small integer histogram used for detour/latency distributions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds an observation of value `v`.
+    pub fn record(&mut self, v: u64) {
+        let idx = v as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations of exactly `v`.
+    pub fn count_of(&self, v: u64) -> u64 {
+        self.counts.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// The largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u64)
+    }
+
+    /// The smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .find(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u64)
+    }
+
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) using the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(v as u64);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_stats_aggregate() {
+        let mut s = EngineStats::default();
+        s.record_round(RoundStats {
+            state_changes: 3,
+            messages_sent: 5,
+        });
+        s.record_round(RoundStats {
+            state_changes: 0,
+            messages_sent: 0,
+        });
+        s.record_round(RoundStats {
+            state_changes: 1,
+            messages_sent: 2,
+        });
+        assert_eq!(s.rounds(), 3);
+        assert_eq!(s.total_messages(), 7);
+        assert_eq!(s.total_state_changes(), 4);
+        assert_eq!(s.last_active_round(), Some(2));
+    }
+
+    #[test]
+    fn empty_engine_stats() {
+        let s = EngineStats::default();
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.last_active_round(), None);
+    }
+
+    #[test]
+    fn histogram_basic_statistics() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 1, 3, 3, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.count_of(3), 3);
+        assert_eq!(h.count_of(7), 0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(10));
+        assert!((h.mean() - 20.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(2);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.count_of(2), 2);
+        assert_eq!(a.max(), Some(9));
+    }
+}

@@ -1,0 +1,156 @@
+//! Structured event traces.
+//!
+//! Reproducing the worked examples of the paper (Figures 1–6) requires looking *at the
+//! sequence of events*, not only the final state: e.g. Figure 4 argues about the exact
+//! order in which nodes turn clean, enabled and disabled again.  A [`Trace`] is a
+//! cheap append-only log of `(step, round, event)` records with query helpers; higher
+//! layers define their own event payloads.
+
+use std::fmt;
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent<E> {
+    /// The step during which the event happened (0 if the notion of steps does not
+    /// apply, e.g. in a pure round-level run).
+    pub step: u64,
+    /// The absolute information round during which the event happened.
+    pub round: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// An append-only log of trace events.
+#[derive(Debug, Clone)]
+pub struct Trace<E> {
+    events: Vec<TraceEvent<E>>,
+    enabled: bool,
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+}
+
+impl<E> Trace<E> {
+    /// A new, enabled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// A disabled trace: [`Trace::record`] becomes a no-op (used in large benchmark
+    /// runs where tracing overhead would distort measurements).
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// True if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, step: u64, round: u64, event: E) {
+        if self.enabled {
+            self.events.push(TraceEvent { step, round, event });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent<E>] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of a specific round.
+    pub fn in_round(&self, round: u64) -> impl Iterator<Item = &TraceEvent<E>> {
+        self.events.iter().filter(move |e| e.round == round)
+    }
+
+    /// Events of a specific step.
+    pub fn in_step(&self, step: u64) -> impl Iterator<Item = &TraceEvent<E>> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
+
+    /// The first event matching a predicate.
+    pub fn find<F: Fn(&E) -> bool>(&self, pred: F) -> Option<&TraceEvent<E>> {
+        self.events.iter().find(|e| pred(&e.event))
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count<F: Fn(&E) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<E: fmt::Display> Trace<E> {
+    /// Renders the trace as one line per event (`step/round: event`), mainly for the
+    /// example binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("step {:>4} round {:>5}  {}\n", e.step, e.round, e.event));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t: Trace<&'static str> = Trace::new();
+        t.record(0, 0, "a");
+        t.record(0, 1, "b");
+        t.record(1, 2, "c");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.in_round(1).count(), 1);
+        assert_eq!(t.in_step(0).count(), 2);
+        assert_eq!(t.find(|e| *e == "c").unwrap().round, 2);
+        assert_eq!(t.count(|e| *e != "b"), 2);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t: Trace<u32> = Trace::disabled();
+        t.record(0, 0, 7);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut t: Trace<String> = Trace::new();
+        t.record(2, 5, "hello".to_string());
+        t.record(3, 6, "world".to_string());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("hello"));
+        assert!(s.contains("step    3"));
+    }
+}

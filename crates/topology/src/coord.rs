@@ -1,0 +1,244 @@
+//! n-dimensional node addresses.
+//!
+//! A [`Coord`] is the address `(u_1, ..., u_n)` of a node in a k-ary n-D mesh.  The
+//! paper measures all distances in the Manhattan (L1) metric: the distance between
+//! nodes `u` and `v` is `|u_1 - v_1| + ... + |u_n - v_n|` (Section 2.1).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::direction::Direction;
+
+/// An n-dimensional mesh coordinate.
+///
+/// Coordinates are stored as `i32` so that the "expanded frame" of a faulty block
+/// (one unit outside the block, possibly at `-1` next to the mesh boundary in
+/// intermediate computations) can be represented without wrap-around.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord(pub Vec<i32>);
+
+impl Coord {
+    /// Creates a coordinate from a vector of per-dimension positions.
+    pub fn new(values: Vec<i32>) -> Self {
+        Coord(values)
+    }
+
+    /// Creates the all-zero coordinate (the origin) in `n` dimensions.
+    pub fn origin(n: usize) -> Self {
+        Coord(vec![0; n])
+    }
+
+    /// Creates a coordinate from a slice.
+    pub fn from_slice(values: &[i32]) -> Self {
+        Coord(values.to_vec())
+    }
+
+    /// The number of dimensions of this coordinate.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the underlying positions as a slice.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.0
+    }
+
+    /// Manhattan (L1) distance to another coordinate.
+    ///
+    /// This is the `D(u, v)` of Section 2.1 of the paper.
+    ///
+    /// # Panics
+    /// Panics if the two coordinates have different dimensionality.
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a.abs_diff(*b))
+            .sum()
+    }
+
+    /// Chebyshev (L∞) distance to another coordinate.
+    pub fn chebyshev(&self, other: &Coord) -> u32 {
+        assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a.abs_diff(*b))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns the coordinate obtained by taking one hop in `dir`.
+    ///
+    /// The result is *not* checked against any mesh bounds; use
+    /// [`Mesh::neighbor`](crate::mesh::Mesh::neighbor) for a bounds-checked hop.
+    pub fn step(&self, dir: Direction) -> Coord {
+        let mut c = self.clone();
+        c.0[dir.dim] += dir.delta();
+        c
+    }
+
+    /// True if the two coordinates differ in exactly one dimension by exactly one,
+    /// i.e. they are connected by a mesh link.
+    pub fn is_neighbor_of(&self, other: &Coord) -> bool {
+        if self.ndim() != other.ndim() {
+            return false;
+        }
+        let mut diff_dims = 0usize;
+        let mut unit = true;
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            if a != b {
+                diff_dims += 1;
+                if a.abs_diff(*b) != 1 {
+                    unit = false;
+                }
+            }
+        }
+        diff_dims == 1 && unit
+    }
+
+    /// If `other` is a neighbor of `self`, returns the direction of the hop
+    /// `self -> other`.
+    pub fn direction_to(&self, other: &Coord) -> Option<Direction> {
+        if !self.is_neighbor_of(other) {
+            return None;
+        }
+        for (dim, (a, b)) in self.0.iter().zip(other.0.iter()).enumerate() {
+            if a != b {
+                return Some(Direction::new(dim, b > a));
+            }
+        }
+        None
+    }
+
+    /// The set of dimensions in which `self` and `other` differ.
+    pub fn differing_dims(&self, other: &Coord) -> Vec<usize> {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .enumerate()
+            .filter_map(|(i, (a, b))| if a != b { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Per-dimension offset `other - self`.
+    pub fn offset_to(&self, other: &Coord) -> Vec<i32> {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| b - a)
+            .collect()
+    }
+}
+
+impl Index<usize> for Coord {
+    type Output = i32;
+    fn index(&self, index: usize) -> &i32 {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for Coord {
+    fn index_mut(&mut self, index: usize) -> &mut i32 {
+        &mut self.0[index]
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<i32>> for Coord {
+    fn from(v: Vec<i32>) -> Self {
+        Coord(v)
+    }
+}
+
+impl From<&[i32]> for Coord {
+    fn from(v: &[i32]) -> Self {
+        Coord(v.to_vec())
+    }
+}
+
+/// Convenience macro for writing coordinates in tests and examples: `coord![3, 5, 4]`.
+#[macro_export]
+macro_rules! coord {
+    ($($x:expr),* $(,)?) => {
+        $crate::coord::Coord::new(vec![$($x as i32),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_matches_paper_definition() {
+        let u = coord![1, 2, 3];
+        let v = coord![4, 0, 3];
+        assert_eq!(u.manhattan(&v), 3 + 2 + 0);
+        assert_eq!(v.manhattan(&u), 5);
+        assert_eq!(u.manhattan(&u), 0);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let u = coord![1, 2, 3];
+        let v = coord![4, 0, 3];
+        assert_eq!(u.chebyshev(&v), 3);
+    }
+
+    #[test]
+    fn neighbor_detection_requires_unit_difference_in_one_dimension() {
+        let u = coord![2, 2, 2];
+        assert!(u.is_neighbor_of(&coord![3, 2, 2]));
+        assert!(u.is_neighbor_of(&coord![2, 1, 2]));
+        assert!(!u.is_neighbor_of(&coord![3, 3, 2]));
+        assert!(!u.is_neighbor_of(&coord![4, 2, 2]));
+        assert!(!u.is_neighbor_of(&coord![2, 2, 2]));
+    }
+
+    #[test]
+    fn direction_to_neighbor() {
+        let u = coord![2, 2];
+        assert_eq!(u.direction_to(&coord![3, 2]), Some(Direction::new(0, true)));
+        assert_eq!(u.direction_to(&coord![2, 1]), Some(Direction::new(1, false)));
+        assert_eq!(u.direction_to(&coord![3, 3]), None);
+    }
+
+    #[test]
+    fn step_moves_one_hop() {
+        let u = coord![2, 2, 2];
+        assert_eq!(u.step(Direction::new(2, true)), coord![2, 2, 3]);
+        assert_eq!(u.step(Direction::new(0, false)), coord![1, 2, 2]);
+    }
+
+    #[test]
+    fn differing_dims_and_offset() {
+        let u = coord![0, 5, 2];
+        let v = coord![3, 5, 0];
+        assert_eq!(u.differing_dims(&v), vec![0, 2]);
+        assert_eq!(u.offset_to(&v), vec![3, 0, -2]);
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        assert_eq!(format!("{}", coord![6, 4, 5]), "(6,4,5)");
+    }
+}

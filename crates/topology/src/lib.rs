@@ -1,0 +1,32 @@
+//! # lgfi-topology
+//!
+//! Geometry of k-ary n-dimensional meshes, as used by the limited-global fault
+//! information (LGFI) model of Jiang & Wu (IPDPS 2004).
+//!
+//! A k-ary n-D mesh has `N = k_1 * k_2 * ... * k_n` nodes; node `u` has an address
+//! `(u_1, ..., u_n)` with `0 <= u_i < k_i`, an interior node degree of `2n`, and two
+//! nodes are connected iff their addresses differ by exactly one in exactly one
+//! dimension.  This crate provides:
+//!
+//! * [`Coord`] — an n-dimensional address with Manhattan-distance arithmetic,
+//! * [`Direction`] — one of the `2n` mesh directions,
+//! * [`Mesh`] — the mesh shape: id/coordinate conversion, neighbor enumeration,
+//!   outermost-surface tests and sub-volume iteration,
+//! * [`Region`] — an inclusive n-D box with the face/edge/corner "frame"
+//!   classification that Definitions 2 and 3 of the paper are built on.
+//!
+//! Everything here is purely geometric; protocol state lives in `lgfi-core` and the
+//! simulation substrate in `lgfi-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod direction;
+pub mod mesh;
+pub mod region;
+
+pub use coord::Coord;
+pub use direction::Direction;
+pub use mesh::{Mesh, NodeId};
+pub use region::{FrameLevel, Region};

@@ -1,0 +1,257 @@
+//! Fault placement and dynamic fault schedules.
+
+use lgfi_sim::{DetRng, FaultEvent, FaultPlan};
+use lgfi_topology::{Coord, Mesh, NodeId, Region};
+
+/// How faulty nodes are placed in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlacement {
+    /// Uniformly random nodes in the interior of the mesh (the paper's assumption: no
+    /// fault on the outermost surface).
+    UniformInterior,
+    /// Uniformly random nodes anywhere (violates the paper's assumption; used by the
+    /// stress-test extensions).
+    UniformAnywhere,
+    /// Faults clustered around a small number of seed points, producing large blocks
+    /// (worst case for `e_max`).
+    Clustered {
+        /// Number of cluster seed points.
+        clusters: usize,
+    },
+}
+
+/// Parameters of a dynamic fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicFaultConfig {
+    /// Number of fault occurrences.
+    pub fault_count: usize,
+    /// Step of the first occurrence.
+    pub first_step: u64,
+    /// Fixed gap `d_i` between consecutive occurrences (the paper assumes
+    /// `d_i > (a_i + b_i + c_i)/λ`; choose accordingly or deliberately violate it).
+    pub interval: u64,
+    /// If true, every fault also recovers `recovery_delay` steps after it occurred.
+    pub with_recovery: bool,
+    /// Delay between a fault occurrence and its recovery (ignored unless
+    /// `with_recovery`).
+    pub recovery_delay: u64,
+}
+
+impl Default for DynamicFaultConfig {
+    fn default() -> Self {
+        DynamicFaultConfig {
+            fault_count: 4,
+            first_step: 0,
+            interval: 40,
+            with_recovery: false,
+            recovery_delay: 100,
+        }
+    }
+}
+
+/// Generates fault placements and schedules deterministically from a seed.
+#[derive(Debug, Clone)]
+pub struct FaultGenerator {
+    mesh: Mesh,
+    rng: DetRng,
+}
+
+impl FaultGenerator {
+    /// A generator for `mesh` seeded with `seed`.
+    pub fn new(mesh: Mesh, seed: u64) -> Self {
+        FaultGenerator {
+            mesh,
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The candidate region for a placement policy.
+    fn candidate_nodes(&self, placement: FaultPlacement) -> Vec<Coord> {
+        match placement {
+            FaultPlacement::UniformInterior | FaultPlacement::Clustered { .. } => self
+                .mesh
+                .interior_region()
+                .unwrap_or_else(|| self.mesh.full_region())
+                .iter_coords()
+                .collect(),
+            FaultPlacement::UniformAnywhere => self.mesh.coords().collect(),
+        }
+    }
+
+    /// Picks `count` distinct faulty nodes according to the placement policy.
+    pub fn place(&mut self, count: usize, placement: FaultPlacement) -> Vec<Coord> {
+        let candidates = self.candidate_nodes(placement);
+        assert!(
+            count <= candidates.len(),
+            "cannot place {count} faults among {} candidates",
+            candidates.len()
+        );
+        match placement {
+            FaultPlacement::UniformInterior | FaultPlacement::UniformAnywhere => {
+                let picks = self.rng.sample_indices(candidates.len(), count);
+                picks.into_iter().map(|i| candidates[i].clone()).collect()
+            }
+            FaultPlacement::Clustered { clusters } => {
+                let clusters = clusters.max(1);
+                let seed_picks = self.rng.sample_indices(candidates.len(), clusters.min(count));
+                let seeds: Vec<Coord> = seed_picks.into_iter().map(|i| candidates[i].clone()).collect();
+                let mut chosen: Vec<Coord> = Vec::new();
+                let interior = self
+                    .mesh
+                    .interior_region()
+                    .unwrap_or_else(|| self.mesh.full_region());
+                let mut radius = 1i32;
+                while chosen.len() < count {
+                    // Grow balls around the seeds until enough nodes are collected.
+                    chosen.clear();
+                    for seed in &seeds {
+                        let ball = Region::new(
+                            seed.as_slice().iter().map(|&x| x - radius).collect(),
+                            seed.as_slice().iter().map(|&x| x + radius).collect(),
+                        );
+                        if let Some(clipped) = ball.clip(&interior) {
+                            for c in clipped.iter_coords() {
+                                if !chosen.contains(&c) {
+                                    chosen.push(c);
+                                }
+                            }
+                        }
+                    }
+                    radius += 1;
+                    if radius > self.mesh.dims().iter().copied().max().unwrap_or(1) {
+                        break;
+                    }
+                }
+                self.rng.shuffle(&mut chosen);
+                chosen.truncate(count);
+                chosen
+            }
+        }
+    }
+
+    /// A static plan: all faults present from step 0.
+    pub fn static_plan(&mut self, count: usize, placement: FaultPlacement) -> FaultPlan {
+        let nodes: Vec<NodeId> = self
+            .place(count, placement)
+            .iter()
+            .map(|c| self.mesh.id_of(c))
+            .collect();
+        FaultPlan::static_faults(&nodes)
+    }
+
+    /// A dynamic plan following [`DynamicFaultConfig`]: one fault per interval (the
+    /// paper's model), optionally followed by recoveries.
+    pub fn dynamic_plan(
+        &mut self,
+        config: DynamicFaultConfig,
+        placement: FaultPlacement,
+    ) -> FaultPlan {
+        let nodes = self.place(config.fault_count, placement);
+        let mut events = Vec::new();
+        for (i, c) in nodes.iter().enumerate() {
+            let id = self.mesh.id_of(c);
+            let step = config.first_step + config.interval * i as u64;
+            events.push(FaultEvent::fail(step, id));
+            if config.with_recovery {
+                events.push(FaultEvent::recover(step + config.recovery_delay, id));
+            }
+        }
+        FaultPlan::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_interior_respects_the_outermost_surface_assumption() {
+        let mesh = Mesh::cubic(8, 3);
+        let mut generator = FaultGenerator::new(mesh.clone(), 7);
+        let faults = generator.place(40, FaultPlacement::UniformInterior);
+        assert_eq!(faults.len(), 40);
+        assert!(faults.iter().all(|c| !mesh.on_outermost_surface(c)));
+        // Distinct.
+        let mut sorted = faults.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+    }
+
+    #[test]
+    fn uniform_anywhere_can_hit_the_surface() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 3);
+        let faults = generator.place(12, FaultPlacement::UniformAnywhere);
+        assert!(faults.iter().any(|c| mesh.on_outermost_surface(c)));
+    }
+
+    #[test]
+    fn clustered_faults_are_close_together() {
+        let mesh = Mesh::cubic(16, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 11);
+        let faults = generator.place(9, FaultPlacement::Clustered { clusters: 1 });
+        assert_eq!(faults.len(), 9);
+        let bb = Region::bounding_all(faults.iter()).unwrap();
+        assert!(bb.max_edge() <= 7, "one cluster should stay compact, got {bb:?}");
+    }
+
+    #[test]
+    fn static_plan_is_valid_for_the_mesh() {
+        let mesh = Mesh::cubic(10, 3);
+        let mut generator = FaultGenerator::new(mesh.clone(), 5);
+        let plan = generator.static_plan(20, FaultPlacement::UniformInterior);
+        assert_eq!(plan.len(), 20);
+        assert!(plan.validate(&mesh).is_empty());
+    }
+
+    #[test]
+    fn dynamic_plan_spaces_faults_by_the_interval() {
+        let mesh = Mesh::cubic(10, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 9);
+        let plan = generator.dynamic_plan(
+            DynamicFaultConfig {
+                fault_count: 5,
+                first_step: 10,
+                interval: 25,
+                with_recovery: false,
+                recovery_delay: 0,
+            },
+            FaultPlacement::UniformInterior,
+        );
+        assert_eq!(plan.occurrence_times(), vec![10, 35, 60, 85, 110]);
+        assert!(plan.intervals().iter().all(|&d| d == 25));
+        assert!(plan.validate(&mesh).is_empty());
+    }
+
+    #[test]
+    fn dynamic_plan_with_recovery_adds_matching_recoveries() {
+        let mesh = Mesh::cubic(10, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 13);
+        let plan = generator.dynamic_plan(
+            DynamicFaultConfig {
+                fault_count: 3,
+                first_step: 0,
+                interval: 30,
+                with_recovery: true,
+                recovery_delay: 45,
+            },
+            FaultPlacement::UniformInterior,
+        );
+        assert_eq!(plan.len(), 6);
+        assert!(plan.validate(&mesh).is_empty());
+        // Eventually everything is recovered.
+        assert!(plan.faulty_at(1_000).is_empty());
+        assert_eq!(plan.peak_fault_count(), 2, "faults overlap by 45-30=15 steps");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let mesh = Mesh::cubic(9, 3);
+        let a = FaultGenerator::new(mesh.clone(), 42).place(15, FaultPlacement::UniformInterior);
+        let b = FaultGenerator::new(mesh.clone(), 42).place(15, FaultPlacement::UniformInterior);
+        let c = FaultGenerator::new(mesh, 43).place(15, FaultPlacement::UniformInterior);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

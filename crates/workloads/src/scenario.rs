@@ -1,0 +1,230 @@
+//! Complete experiment scenarios: mesh + fault schedule + traffic + step model.
+
+use lgfi_core::network::{ConvergenceRecord, LgfiNetwork, NetworkConfig, ProbeReport};
+use lgfi_core::routing::Router;
+use lgfi_sim::FaultPlan;
+use lgfi_topology::Mesh;
+
+use crate::faultgen::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
+use crate::traffic::{TrafficGenerator, TrafficPattern};
+
+/// A self-contained experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Mesh radices.
+    pub dims: Vec<i32>,
+    /// Random seed (drives fault placement and traffic).
+    pub seed: u64,
+    /// Number of fault occurrences.
+    pub fault_count: usize,
+    /// Fault placement policy.
+    pub placement: FaultPlacement,
+    /// If `Some`, faults occur dynamically with this configuration; if `None`, all
+    /// faults are static (present from step 0).
+    pub dynamic: Option<DynamicFaultConfig>,
+    /// Rounds of information exchange per step (λ).
+    pub lambda: u64,
+    /// Traffic pattern for the probes.
+    pub traffic: TrafficPattern,
+    /// Number of probes to route.
+    pub messages: usize,
+    /// Step at which the probes are launched.
+    pub launch_step: u64,
+    /// Hard cap on the total number of steps simulated.
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A small default scenario useful in examples and tests.
+    pub fn small() -> Self {
+        Scenario {
+            dims: vec![10, 10],
+            seed: 1,
+            fault_count: 6,
+            placement: FaultPlacement::UniformInterior,
+            dynamic: None,
+            lambda: 1,
+            traffic: TrafficPattern::UniformRandom,
+            messages: 10,
+            launch_step: 60,
+            max_steps: 5_000,
+        }
+    }
+
+    /// The mesh described by this scenario.
+    pub fn mesh(&self) -> Mesh {
+        Mesh::new(&self.dims)
+    }
+
+    /// The fault plan described by this scenario.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut generator = FaultGenerator::new(self.mesh(), self.seed);
+        match self.dynamic {
+            None => generator.static_plan(self.fault_count, self.placement),
+            Some(mut cfg) => {
+                cfg.fault_count = self.fault_count;
+                generator.dynamic_plan(cfg, self.placement)
+            }
+        }
+    }
+
+    /// Runs the scenario with probes driven by routers produced by `router_factory`
+    /// (one router instance per probe).
+    pub fn run(&self, router_factory: &dyn Fn() -> Box<dyn Router>) -> ScenarioResult {
+        let mesh = self.mesh();
+        let plan = self.fault_plan();
+        let mut net = LgfiNetwork::new(
+            mesh.clone(),
+            plan,
+            NetworkConfig {
+                lambda: self.lambda,
+                max_probe_steps: self.max_steps,
+            },
+        );
+        // Warm-up: run to the launch step so static faults and their information can
+        // (partially or fully) stabilise, exactly as a routing that starts at time t
+        // with p earlier faults.
+        while net.step() < self.launch_step {
+            net.run_step();
+        }
+        // Launch the probes over nodes that are usable at launch time.
+        let statuses = net.statuses().to_vec();
+        let mut traffic = TrafficGenerator::new(mesh, self.traffic, self.seed ^ 0x5EED);
+        let requests = traffic.requests(self.messages, |id| {
+            statuses[id] == lgfi_core::status::NodeStatus::Enabled
+        });
+        for r in &requests {
+            net.launch_probe(r.source, r.dest, router_factory());
+        }
+        net.run_to_completion(self.max_steps);
+        ScenarioResult {
+            requested: self.messages,
+            launched: requests.len(),
+            reports: net.reports().to_vec(),
+            convergence: net.convergence_records().to_vec(),
+        }
+    }
+}
+
+/// The outcome of running a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Number of probes requested by the scenario.
+    pub requested: usize,
+    /// Number of probes actually launched (usable endpoints found).
+    pub launched: usize,
+    /// Per-probe reports.
+    pub reports: Vec<ProbeReport>,
+    /// Convergence records of the fault-information constructions.
+    pub convergence: Vec<ConvergenceRecord>,
+}
+
+impl ScenarioResult {
+    /// Number of delivered probes.
+    pub fn delivered(&self) -> usize {
+        self.reports.iter().filter(|r| r.outcome.delivered()).count()
+    }
+
+    /// Delivery ratio over the launched probes.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.delivered() as f64 / self.reports.len() as f64
+        }
+    }
+
+    /// Mean number of detour steps over the delivered probes.
+    pub fn mean_detours(&self) -> f64 {
+        let detours: Vec<u64> = self
+            .reports
+            .iter()
+            .filter_map(|r| r.outcome.detours())
+            .collect();
+        if detours.is_empty() {
+            0.0
+        } else {
+            detours.iter().sum::<u64>() as f64 / detours.len() as f64
+        }
+    }
+
+    /// Mean path stretch over the delivered probes.
+    pub fn mean_stretch(&self) -> f64 {
+        let stretches: Vec<f64> = self
+            .reports
+            .iter()
+            .filter_map(|r| r.outcome.stretch())
+            .collect();
+        if stretches.is_empty() {
+            0.0
+        } else {
+            stretches.iter().sum::<f64>() / stretches.len() as f64
+        }
+    }
+
+    /// The largest `a_i + b_i + c_i` over all disturbances (how long the information
+    /// took to converge).
+    pub fn max_convergence_rounds(&self) -> u64 {
+        self.convergence
+            .iter()
+            .map(|c| c.total_rounds())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_core::routing::LgfiRouter;
+
+    #[test]
+    fn small_scenario_runs_and_delivers() {
+        let scenario = Scenario::small();
+        let result = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(result.requested, 10);
+        assert!(result.launched > 0);
+        assert_eq!(result.reports.len(), result.launched);
+        assert!(result.delivery_ratio() > 0.9, "ratio {}", result.delivery_ratio());
+        assert!(result.mean_stretch() >= 1.0 || result.reports.is_empty());
+        assert!(!result.convergence.is_empty());
+        assert!(result.max_convergence_rounds() > 0);
+    }
+
+    #[test]
+    fn dynamic_scenario_with_recovery_runs() {
+        let scenario = Scenario {
+            dims: vec![12, 12],
+            seed: 3,
+            fault_count: 3,
+            placement: FaultPlacement::UniformInterior,
+            dynamic: Some(DynamicFaultConfig {
+                fault_count: 3,
+                first_step: 5,
+                interval: 60,
+                with_recovery: true,
+                recovery_delay: 120,
+            }),
+            lambda: 2,
+            traffic: TrafficPattern::CornerToCorner,
+            messages: 4,
+            launch_step: 0,
+            max_steps: 5_000,
+        };
+        let result = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(result.launched, 4);
+        assert_eq!(result.delivered(), 4, "corner-to-corner probes must all deliver");
+        // Faults and recoveries both trigger convergence records.
+        assert!(result.convergence.len() >= 3);
+    }
+
+    #[test]
+    fn scenario_results_are_deterministic() {
+        let scenario = Scenario::small();
+        let a = scenario.run(&|| Box::new(LgfiRouter::new()));
+        let b = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(a.delivered(), b.delivered());
+        assert_eq!(a.mean_detours(), b.mean_detours());
+        assert_eq!(a.convergence, b.convergence);
+    }
+}

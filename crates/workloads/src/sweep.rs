@@ -1,0 +1,121 @@
+//! Parallel parameter sweeps.
+//!
+//! Experiment tables are produced by running many independent trials (different seeds,
+//! fault counts, mesh sizes).  [`run_trials`] executes them on all available cores with
+//! crossbeam scoped threads while keeping the output order identical to the input
+//! order, so tables remain deterministic.
+
+/// One point of a parameter sweep, pairing an input with its computed output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint<I, O> {
+    /// The input parameters of the trial.
+    pub input: I,
+    /// The trial's result.
+    pub output: O,
+}
+
+/// Runs `f` over every input, in parallel, preserving input order in the output.
+pub fn run_trials<I, O, F>(inputs: Vec<I>, f: F) -> Vec<SweepPoint<I, O>>
+where
+    I: Send + Sync + Clone,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs
+            .into_iter()
+            .map(|input| {
+                let output = f(&input);
+                SweepPoint { input, output }
+            })
+            .collect();
+    }
+
+    let mut slots: Vec<Option<SweepPoint<I, O>>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if idx >= inputs.len() {
+                    break;
+                }
+                let input = inputs[idx].clone();
+                let output = f(&input);
+                let point = SweepPoint { input, output };
+                let mut guard = slots_mutex.lock().unwrap();
+                guard[idx] = Some(point);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial must produce a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let points = run_trials(inputs.clone(), |&x| x * x);
+        assert_eq!(points.len(), 100);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.input, inputs[i]);
+            assert_eq!(p.output, inputs[i] * inputs[i]);
+        }
+    }
+
+    #[test]
+    fn single_input_runs_sequentially() {
+        let points = run_trials(vec![7u32], |&x| x + 1);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].output, 8);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let points: Vec<SweepPoint<u32, u32>> = run_trials(vec![], |&x| x);
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_results() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let parallel = run_trials(inputs.clone(), |&x| x.wrapping_mul(2654435761) >> 7);
+        let sequential: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        assert_eq!(
+            parallel.iter().map(|p| p.output).collect::<Vec<_>>(),
+            sequential
+        );
+    }
+
+    #[test]
+    fn trials_actually_use_scenarios() {
+        use crate::scenario::Scenario;
+        use lgfi_core::routing::LgfiRouter;
+        let seeds: Vec<u64> = (0..4).collect();
+        let points = run_trials(seeds, |&seed| {
+            let mut s = Scenario::small();
+            s.dims = vec![8, 8];
+            s.fault_count = 3;
+            s.messages = 3;
+            s.seed = seed;
+            s.run(&|| Box::new(LgfiRouter::new())).delivery_ratio()
+        });
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.output >= 0.0 && p.output <= 1.0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Traffic patterns: source/destination pair generators.
+
+use lgfi_sim::DetRng;
+use lgfi_topology::{Coord, Mesh, NodeId};
+
+/// A single routing request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficRequest {
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+}
+
+/// Standard interconnection-network traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniformly random source and destination (distinct).
+    UniformRandom,
+    /// Transpose: the destination address is the reversed coordinate vector of the
+    /// source (`(u_1, ..., u_n) -> (u_n, ..., u_1)`); degenerate pairs are re-drawn.
+    Transpose,
+    /// Bit-complement: `u_i -> k_i - 1 - u_i` in every dimension.
+    BitComplement,
+    /// All requests target one fixed hot-spot node (drawn once per generator).
+    Hotspot,
+    /// Opposite corners of the mesh, alternating orientation.
+    CornerToCorner,
+}
+
+/// Generates routing requests for a pattern, skipping nodes rejected by a filter
+/// (e.g. faulty or disabled nodes).
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    mesh: Mesh,
+    pattern: TrafficPattern,
+    rng: DetRng,
+    hotspot: NodeId,
+    corner_toggle: bool,
+}
+
+impl TrafficGenerator {
+    /// A generator for `mesh` with the given pattern and seed.
+    pub fn new(mesh: Mesh, pattern: TrafficPattern, seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let hotspot = rng.below(mesh.node_count());
+        TrafficGenerator {
+            mesh,
+            pattern,
+            rng,
+            hotspot,
+            corner_toggle: false,
+        }
+    }
+
+    fn complement(&self, c: &Coord) -> Coord {
+        Coord::new(
+            c.as_slice()
+                .iter()
+                .zip(self.mesh.dims())
+                .map(|(&x, &k)| k - 1 - x)
+                .collect(),
+        )
+    }
+
+    fn transpose(&self, c: &Coord) -> Coord {
+        let mut v: Vec<i32> = c.as_slice().to_vec();
+        v.reverse();
+        // Clamp into the mesh for non-cubic shapes.
+        let clamped: Vec<i32> = v
+            .iter()
+            .zip(self.mesh.dims())
+            .map(|(&x, &k)| x.min(k - 1))
+            .collect();
+        Coord::new(clamped)
+    }
+
+    /// Draws the next request whose endpoints both satisfy `usable` and are distinct.
+    /// Returns `None` if no such pair could be found in a bounded number of attempts.
+    pub fn next_request<F: Fn(NodeId) -> bool>(&mut self, usable: F) -> Option<TrafficRequest> {
+        for _ in 0..10_000 {
+            let (source, dest) = match self.pattern {
+                TrafficPattern::UniformRandom => {
+                    let s = self.rng.below(self.mesh.node_count());
+                    let d = self.rng.below(self.mesh.node_count());
+                    (s, d)
+                }
+                TrafficPattern::Transpose => {
+                    let s = self.rng.below(self.mesh.node_count());
+                    let sc = self.mesh.coord_of(s);
+                    (s, self.mesh.id_of(&self.transpose(&sc)))
+                }
+                TrafficPattern::BitComplement => {
+                    let s = self.rng.below(self.mesh.node_count());
+                    let sc = self.mesh.coord_of(s);
+                    (s, self.mesh.id_of(&self.complement(&sc)))
+                }
+                TrafficPattern::Hotspot => {
+                    let s = self.rng.below(self.mesh.node_count());
+                    (s, self.hotspot)
+                }
+                TrafficPattern::CornerToCorner => {
+                    self.corner_toggle = !self.corner_toggle;
+                    let origin = self.mesh.id_of(&Coord::origin(self.mesh.ndim()));
+                    let far = self.mesh.id_of(&Coord::new(
+                        self.mesh.dims().iter().map(|&k| k - 1).collect(),
+                    ));
+                    if self.corner_toggle {
+                        (origin, far)
+                    } else {
+                        (far, origin)
+                    }
+                }
+            };
+            if source != dest && usable(source) && usable(dest) {
+                return Some(TrafficRequest { source, dest });
+            }
+        }
+        None
+    }
+
+    /// Draws `count` requests (skipping unusable endpoints).
+    pub fn requests<F: Fn(NodeId) -> bool>(&mut self, count: usize, usable: F) -> Vec<TrafficRequest> {
+        (0..count)
+            .filter_map(|_| self.next_request(&usable))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_topology::coord;
+
+    #[test]
+    fn uniform_random_pairs_are_distinct_and_in_range() {
+        let mesh = Mesh::cubic(6, 3);
+        let mut g = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 1);
+        let reqs = g.requests(200, |_| true);
+        assert_eq!(reqs.len(), 200);
+        for r in &reqs {
+            assert_ne!(r.source, r.dest);
+            assert!(r.source < mesh.node_count());
+            assert!(r.dest < mesh.node_count());
+        }
+    }
+
+    #[test]
+    fn bit_complement_matches_definition() {
+        let mesh = Mesh::cubic(8, 2);
+        let mut g = TrafficGenerator::new(mesh.clone(), TrafficPattern::BitComplement, 2);
+        let reqs = g.requests(50, |_| true);
+        for r in &reqs {
+            let s = mesh.coord_of(r.source);
+            let d = mesh.coord_of(r.dest);
+            for dim in 0..2 {
+                assert_eq!(d[dim], 7 - s[dim]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mesh = Mesh::cubic(9, 2);
+        let mut g = TrafficGenerator::new(mesh.clone(), TrafficPattern::Transpose, 3);
+        let reqs = g.requests(50, |_| true);
+        for r in &reqs {
+            let s = mesh.coord_of(r.source);
+            let d = mesh.coord_of(r.dest);
+            assert_eq!(d, coord![s[1], s[0]]);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_node() {
+        let mesh = Mesh::cubic(7, 2);
+        let mut g = TrafficGenerator::new(mesh, TrafficPattern::Hotspot, 4);
+        let reqs = g.requests(30, |_| true);
+        let dests: std::collections::BTreeSet<NodeId> = reqs.iter().map(|r| r.dest).collect();
+        assert_eq!(dests.len(), 1);
+    }
+
+    #[test]
+    fn corner_to_corner_alternates() {
+        let mesh = Mesh::cubic(5, 3);
+        let mut g = TrafficGenerator::new(mesh.clone(), TrafficPattern::CornerToCorner, 5);
+        let reqs = g.requests(4, |_| true);
+        let origin = mesh.id_of(&coord![0, 0, 0]);
+        let far = mesh.id_of(&coord![4, 4, 4]);
+        assert_eq!(reqs[0].source, origin);
+        assert_eq!(reqs[0].dest, far);
+        assert_eq!(reqs[1].source, far);
+        assert_eq!(reqs[1].dest, origin);
+        assert_eq!(reqs[2].source, origin);
+    }
+
+    #[test]
+    fn usable_filter_is_respected() {
+        let mesh = Mesh::cubic(6, 2);
+        let banned = mesh.id_of(&coord![3, 3]);
+        let mut g = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 6);
+        let reqs = g.requests(100, |id| id != banned);
+        assert!(reqs.iter().all(|r| r.source != banned && r.dest != banned));
+    }
+
+    #[test]
+    fn impossible_filter_yields_no_requests() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut g = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 7);
+        assert!(g.next_request(|_| false).is_none());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mesh = Mesh::cubic(6, 2);
+        let a = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 9)
+            .requests(20, |_| true);
+        let b = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 9).requests(20, |_| true);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) over the core invariants of the model:
+//!
+//! * the labeling always stabilises and yields rectangular, pairwise-disjoint blocks
+//!   that contain every fault;
+//! * the distributed labeling protocol agrees with the array engine;
+//! * safe sources always receive minimal paths;
+//! * routing between enabled corner nodes always terminates, and delivered routes are
+//!   at least as long as the Manhattan distance;
+//! * boundary information never sits inside a block and the criticality test never
+//!   flags a hop for a destination outside the block's cross-section.
+
+use lgfi::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a mesh dimension vector (2-D or 3-D, modest radices) plus a set of
+/// distinct interior fault coordinates.
+fn mesh_and_faults() -> impl Strategy<Value = (Vec<i32>, Vec<Vec<i32>>)> {
+    let dims = prop_oneof![
+        (6..=12i32, 6..=12i32).prop_map(|(a, b)| vec![a, b]),
+        (5..=8i32, 5..=8i32, 5..=8i32).prop_map(|(a, b, c)| vec![a, b, c]),
+    ];
+    dims.prop_flat_map(|dims| {
+        let interior: Vec<Vec<i32>> = Mesh::new(&dims)
+            .interior_region()
+            .unwrap()
+            .iter_coords()
+            .map(|c| c.as_slice().to_vec())
+            .collect();
+        let max_faults = (interior.len() / 6).clamp(1, 20);
+        proptest::sample::subsequence(interior, 0..=max_faults)
+            .prop_map(move |faults| (dims.clone(), faults))
+    })
+}
+
+fn build(dims: &[i32], faults: &[Vec<i32>]) -> (Mesh, LabelingEngine, BlockSet, BoundaryMap) {
+    let mesh = Mesh::new(dims);
+    let coords: Vec<Coord> = faults.iter().map(|f| Coord::from_slice(f)).collect();
+    let mut labeling = LabelingEngine::new(mesh.clone());
+    labeling.apply_faults(&coords);
+    let blocks = BlockSet::extract(&mesh, labeling.statuses());
+    let boundary = BoundaryMap::construct(&mesh, &blocks);
+    (mesh, labeling, blocks, boundary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn labeling_stabilises_into_rectangular_disjoint_blocks((dims, faults) in mesh_and_faults()) {
+        let (mesh, labeling, blocks, _boundary) = build(&dims, &faults);
+        // Every fault is inside some block; every block is rectangular; block extents
+        // are pairwise disjoint; no clean node survives at the fixpoint.
+        for f in &faults {
+            let c = Coord::from_slice(f);
+            prop_assert!(blocks.block_containing(&c).is_some(), "fault {c:?} not covered");
+        }
+        prop_assert!(blocks.all_rectangular());
+        prop_assert!(blocks.all_disjoint());
+        let (_, _, clean, _) = labeling.census();
+        prop_assert_eq!(clean, 0);
+        prop_assert_eq!(blocks.total_block_nodes(), labeling.block_nodes().len());
+        let _ = mesh;
+    }
+
+    #[test]
+    fn distributed_labeling_matches_the_array_engine((dims, faults) in mesh_and_faults()) {
+        let mesh = Mesh::new(&dims);
+        let coords: Vec<Coord> = faults.iter().map(|f| Coord::from_slice(f)).collect();
+        let mut array = LabelingEngine::new(mesh.clone());
+        array.apply_faults(&coords);
+        let (distributed, _rounds) =
+            lgfi::core::labeling::run_distributed_labeling(&mesh, &coords);
+        prop_assert_eq!(array.statuses(), distributed.as_slice());
+    }
+
+    #[test]
+    fn safe_sources_get_minimal_routes((dims, faults) in mesh_and_faults(), pair_seed in 0u64..1_000) {
+        let (mesh, labeling, blocks, boundary) = build(&dims, &faults);
+        let mut rng = DetRng::seed_from_u64(pair_seed);
+        let s = mesh.coord_of(rng.below(mesh.node_count()));
+        let d = mesh.coord_of(rng.below(mesh.node_count()));
+        prop_assume!(s != d);
+        prop_assume!(labeling.status_at(&s) == NodeStatus::Enabled);
+        prop_assume!(labeling.status_at(&d) == NodeStatus::Enabled);
+        prop_assume!(is_safe_source(&s, &d, blocks.blocks()));
+        let out = route_static(
+            &mesh,
+            labeling.statuses(),
+            blocks.blocks(),
+            &boundary,
+            &LgfiRouter::new(),
+            mesh.id_of(&s),
+            mesh.id_of(&d),
+            100_000,
+        );
+        prop_assert!(out.delivered());
+        prop_assert_eq!(out.detours(), Some(0));
+    }
+
+    #[test]
+    fn corner_to_corner_routing_terminates_and_delivers((dims, faults) in mesh_and_faults()) {
+        let (mesh, labeling, blocks, boundary) = build(&dims, &faults);
+        let s = Coord::origin(mesh.ndim());
+        let d = Coord::new(mesh.dims().iter().map(|&k| k - 1).collect());
+        // Corners are never faulted (interior-only faults) and, for these densities,
+        // never disabled.
+        prop_assume!(labeling.status_at(&s) == NodeStatus::Enabled);
+        prop_assume!(labeling.status_at(&d) == NodeStatus::Enabled);
+        let out = route_static(
+            &mesh,
+            labeling.statuses(),
+            blocks.blocks(),
+            &boundary,
+            &LgfiRouter::new(),
+            mesh.id_of(&s),
+            mesh.id_of(&d),
+            1_000_000,
+        );
+        prop_assert!(out.delivered(), "{out:?}");
+        prop_assert!(out.steps >= u64::from(out.initial_distance));
+        prop_assert!(out.path_length >= u64::from(out.initial_distance));
+        // The reserved path never passes through a faulty or disabled node.
+        prop_assert!(out.status == ProbeStatus::Delivered);
+    }
+
+    #[test]
+    fn boundary_entries_never_sit_inside_blocks((dims, faults) in mesh_and_faults()) {
+        let (mesh, labeling, blocks, boundary) = build(&dims, &faults);
+        for id in mesh.node_ids() {
+            let entries = boundary.entries(id);
+            if entries.is_empty() {
+                continue;
+            }
+            // Nodes holding boundary information are never part of a block themselves.
+            prop_assert!(!labeling.status(id).in_block(), "{:?}", mesh.coord_of(id));
+            for entry in entries {
+                // The stored extent is a real block of the current block set.
+                prop_assert!(blocks.regions().contains(&entry.block));
+                // The node is outside the extent it guards.
+                prop_assert!(!entry.block.contains(&mesh.coord_of(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn criticality_requires_destination_in_the_opposite_shadow(
+        (dims, faults) in mesh_and_faults(),
+        probe_seed in 0u64..1_000,
+    ) {
+        let (mesh, _labeling, blocks, boundary) = build(&dims, &faults);
+        prop_assume!(!blocks.is_empty());
+        let mut rng = DetRng::seed_from_u64(probe_seed);
+        let dest = mesh.coord_of(rng.below(mesh.node_count()));
+        for id in mesh.node_ids() {
+            for entry in boundary.entries(id) {
+                let here = mesh.coord_of(id);
+                for dir in Direction::all(mesh.ndim()) {
+                    let Some(next) = mesh.neighbor(&here, dir) else { continue };
+                    if entry.is_critical_hop(&next, &dest) {
+                        // The destination must lie strictly beyond the block in the
+                        // guarded direction and inside the cross-section.
+                        let g = entry.guard;
+                        if g.positive {
+                            prop_assert!(dest[g.dim] > entry.block.hi()[g.dim]);
+                        } else {
+                            prop_assert!(dest[g.dim] < entry.block.lo()[g.dim]);
+                        }
+                        for d in 0..mesh.ndim() {
+                            if d != g.dim {
+                                prop_assert!(dest[d] >= entry.block.lo()[d]);
+                                prop_assert!(dest[d] <= entry.block.hi()[d]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
