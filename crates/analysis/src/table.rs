@@ -65,12 +65,12 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate() {
                 if i > 0 {
                     line.push_str("  ");
                 }
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                line.push_str(&format!("{cell:<width$}"));
             }
             line.trim_end().to_string()
         };

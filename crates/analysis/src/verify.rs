@@ -136,7 +136,10 @@ mod tests {
         let b = DetourBound {
             start_step: 0,
             t_p: 0,
-            intervals: vec![IntervalParams { d: 1_000, a_steps: 1 }],
+            intervals: vec![IntervalParams {
+                d: 1_000,
+                a_steps: 1,
+            }],
             e_max: 1,
         };
         let report = fake_report(5, 3, &[(0, 3), (1000, 0)]);

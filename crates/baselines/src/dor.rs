@@ -55,7 +55,12 @@ mod tests {
     use lgfi_core::routing::{route_static, ProbeStatus};
     use lgfi_topology::{coord, Coord, Mesh};
 
-    fn run(mesh: &Mesh, faults: &[Coord], s: &Coord, d: &Coord) -> lgfi_core::routing::ProbeOutcome {
+    fn run(
+        mesh: &Mesh,
+        faults: &[Coord],
+        s: &Coord,
+        d: &Coord,
+    ) -> lgfi_core::routing::ProbeOutcome {
         let mut eng = LabelingEngine::new(mesh.clone());
         eng.apply_faults(faults);
         let blocks = BlockSet::extract(mesh, eng.statuses());
@@ -97,7 +102,12 @@ mod tests {
         let mesh = Mesh::cubic(10, 2);
         // Faults at (4,2) and (5,3) disable (4,3) and (5,2); the x-first path at y = 3
         // hits the disabled node (4,3).
-        let out = run(&mesh, &[coord![4, 2], coord![5, 3]], &coord![0, 3], &coord![9, 3]);
+        let out = run(
+            &mesh,
+            &[coord![4, 2], coord![5, 3]],
+            &coord![0, 3],
+            &coord![9, 3],
+        );
         assert_eq!(out.status, ProbeStatus::Failed);
     }
 }

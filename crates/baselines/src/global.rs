@@ -125,8 +125,20 @@ mod tests {
         let s = coord![8, 1];
         let d = coord![9, 15];
         let global = outcome_with(&GlobalInfoRouter::new(), &mesh, &faults, &s, &d);
-        let local = outcome_with(&super::super::local::LocalInfoRouter::new(), &mesh, &faults, &s, &d);
-        let lgfi = outcome_with(&lgfi_core::routing::LgfiRouter::new(), &mesh, &faults, &s, &d);
+        let local = outcome_with(
+            &super::super::local::LocalInfoRouter::new(),
+            &mesh,
+            &faults,
+            &s,
+            &d,
+        );
+        let lgfi = outcome_with(
+            &lgfi_core::routing::LgfiRouter::new(),
+            &mesh,
+            &faults,
+            &s,
+            &d,
+        );
         assert!(global.delivered() && local.delivered() && lgfi.delivered());
         assert!(global.steps <= local.steps);
         // The limited-global router sits between the two extremes (ties allowed).

@@ -42,14 +42,12 @@ impl StaticBlockRouter {
             } else {
                 next[dim] > block.hi()[dim]
             };
-            let cross = (0..block.ndim())
-                .filter(|&d| d != dim)
-                .all(|d| {
-                    next[d] >= block.lo()[d]
-                        && next[d] <= block.hi()[d]
-                        && ctx.dest[d] >= block.lo()[d]
-                        && ctx.dest[d] <= block.hi()[d]
-                });
+            let cross = (0..block.ndim()).filter(|&d| d != dim).all(|d| {
+                next[d] >= block.lo()[d]
+                    && next[d] <= block.hi()[d]
+                    && ctx.dest[d] >= block.lo()[d]
+                    && ctx.dest[d] <= block.hi()[d]
+            });
             if dest_beyond && next_in_shadow && cross {
                 return true;
             }
@@ -105,7 +103,12 @@ mod tests {
     use lgfi_core::routing::{route_static, ProbeStatus};
     use lgfi_topology::{coord, Coord, Mesh};
 
-    fn run(mesh: &Mesh, faults: &[Coord], s: &Coord, d: &Coord) -> lgfi_core::routing::ProbeOutcome {
+    fn run(
+        mesh: &Mesh,
+        faults: &[Coord],
+        s: &Coord,
+        d: &Coord,
+    ) -> lgfi_core::routing::ProbeOutcome {
         let mut eng = LabelingEngine::new(mesh.clone());
         eng.apply_faults(faults);
         let blocks = BlockSet::extract(mesh, eng.statuses());
@@ -166,7 +169,10 @@ mod tests {
                 10_000,
             )
         };
-        assert!(lgfi.delivered(), "the LGFI router detours and still delivers");
+        assert!(
+            lgfi.delivered(),
+            "the LGFI router detours and still delivers"
+        );
     }
 
     #[test]

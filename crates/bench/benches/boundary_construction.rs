@@ -16,7 +16,11 @@ fn bench_boundary_construction(c: &mut Criterion) {
         (vec![32, 32], 16, FaultPlacement::UniformInterior),
         (vec![32, 32], 16, FaultPlacement::Clustered { clusters: 2 }),
         (vec![10, 10, 10], 16, FaultPlacement::UniformInterior),
-        (vec![16, 16, 16], 24, FaultPlacement::Clustered { clusters: 3 }),
+        (
+            vec![16, 16, 16],
+            24,
+            FaultPlacement::Clustered { clusters: 3 },
+        ),
     ] {
         let mesh = Mesh::new(&dims);
         let mut generator = FaultGenerator::new(mesh.clone(), 3);

@@ -10,7 +10,12 @@ use lgfi_workloads::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
 fn bench_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("convergence_scaling");
     group.sample_size(10);
-    for dims in [vec![16, 16], vec![32, 32], vec![10, 10, 10], vec![14, 14, 14]] {
+    for dims in [
+        vec![16, 16],
+        vec![32, 32],
+        vec![10, 10, 10],
+        vec![14, 14, 14],
+    ] {
         let mesh = Mesh::new(&dims);
         let mut generator = FaultGenerator::new(mesh.clone(), 5);
         let plan = generator.dynamic_plan(

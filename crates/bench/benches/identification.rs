@@ -25,8 +25,14 @@ fn bench_identification(c: &mut Criterion) {
         (vec![16, 16], Region::new(vec![5, 5], vec![8, 8])),
         (vec![32, 32], Region::new(vec![5, 5], vec![16, 16])),
         (vec![12, 12, 12], Region::new(vec![4, 4, 4], vec![7, 7, 7])),
-        (vec![16, 16, 16], Region::new(vec![4, 4, 4], vec![11, 11, 11])),
-        (vec![8, 8, 8, 8], Region::new(vec![3, 3, 3, 3], vec![5, 5, 5, 5])),
+        (
+            vec![16, 16, 16],
+            Region::new(vec![4, 4, 4], vec![11, 11, 11]),
+        ),
+        (
+            vec![8, 8, 8, 8],
+            Region::new(vec![3, 3, 3, 3], vec![5, 5, 5, 5]),
+        ),
     ] {
         let (mesh, statuses) = setup(&dims, &block);
         let label = format!("{dims:?}-block{:?}", block.max_edge());

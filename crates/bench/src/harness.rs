@@ -29,7 +29,12 @@ use lgfi_workloads::{
 /// The fault set of Figure 1 of the paper: four faults in a 3-D mesh whose block is
 /// `[3:5, 5:6, 3:4]`.
 pub fn figure1_faults() -> Vec<Coord> {
-    vec![coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]
+    vec![
+        coord![3, 5, 4],
+        coord![4, 5, 4],
+        coord![5, 5, 3],
+        coord![3, 6, 3],
+    ]
 }
 
 fn figure1_setup() -> (Mesh, LabelingEngine, BlockSet) {
@@ -95,7 +100,11 @@ pub fn exp_fig2_corners() -> String {
         "F2  Figure 2: frame of block [3:5, 5:6, 3:4]",
         &["level", "meaning", "count", "example"],
     );
-    let names = ["adjacent node", "2-level corner / 3-level edge node", "3-level corner"];
+    let names = [
+        "adjacent node",
+        "2-level corner / 3-level edge node",
+        "3-level corner",
+    ];
     for level in 1..=3usize {
         let nodes = frame.nodes_at_level(level);
         let example = nodes
@@ -143,7 +152,12 @@ pub fn exp_fig3_boundaries() -> String {
     let map = BoundaryMap::construct(&mesh, &blocks);
     let mut table = Table::new(
         "F3  Figure 3: boundaries of block [3:5, 5:6, 3:4] in a 10^3 mesh",
-        &["surface", "guard dir", "boundary nodes", "max arrival offset (rounds)"],
+        &[
+            "surface",
+            "guard dir",
+            "boundary nodes",
+            "max arrival offset (rounds)",
+        ],
     );
     for guard in Direction::all(3) {
         let nodes = map.boundary_nodes(0, guard);
@@ -200,7 +214,10 @@ pub fn exp_fig3_boundaries() -> String {
         "of which below block B (merged continuation)".into(),
         below_second_block.to_string(),
     ]);
-    merge.row(&["c (boundary construction rounds)".into(), map2.construction_rounds().to_string()]);
+    merge.row(&[
+        "c (boundary construction rounds)".into(),
+        map2.construction_rounds().to_string(),
+    ]);
     format!("{table}\n{merge}")
 }
 
@@ -224,7 +241,9 @@ pub fn exp_fig4_recovery() -> String {
     ];
     let mut table = Table::new(
         "F4  Figure 4: statuses after the recovery of (5,5,3)",
-        &["round", "(5,5,3)", "(4,5,3)", "(5,6,3)", "(5,5,4)", "(3,5,3)"],
+        &[
+            "round", "(5,5,3)", "(4,5,3)", "(5,6,3)", "(5,5,4)", "(3,5,3)",
+        ],
     );
     let row = |round: u64, eng: &LabelingEngine| {
         let cells: Vec<String> = std::iter::once(round.to_string())
@@ -241,9 +260,15 @@ pub fn exp_fig4_recovery() -> String {
         }
     }
     let blocks = BlockSet::extract(&mesh, eng.statuses());
-    let mut summary = Table::new("F4  stabilised blocks after recovery", &["property", "value"]);
+    let mut summary = Table::new(
+        "F4  stabilised blocks after recovery",
+        &["property", "value"],
+    );
     summary.row(&["number of blocks".into(), blocks.len().to_string()]);
-    summary.row(&["block extent".into(), format!("{}", blocks.blocks()[0].region)]);
+    summary.row(&[
+        "block extent".into(),
+        format!("{}", blocks.blocks()[0].region),
+    ]);
     summary.row(&["expected (shrunken)".into(), "[3:4, 5:6, 3:4]".into()]);
     format!("{table}\n{summary}")
 }
@@ -258,13 +283,24 @@ pub fn exp_fig4_recovery() -> String {
 pub fn exp_fig5_identification() -> String {
     let (mesh, eng, blocks) = figure1_setup();
     let ident = IdentificationProcess::default();
-    let outcome = ident.run(&mesh, &blocks.blocks()[0].region, eng.statuses(), &coord![6, 4, 5]);
+    let outcome = ident.run(
+        &mesh,
+        &blocks.blocks()[0].region,
+        eng.statuses(),
+        &coord![6, 4, 5],
+    );
     let mut table = Table::new(
         "F5  Figures 5-6: identification of block [3:5, 5:6, 3:4] from corner (6,4,5)",
         &["quantity", "value"],
     );
-    table.row(&["initialization corner".into(), format!("{}", outcome.init_corner)]);
-    table.row(&["opposite corner".into(), format!("{}", outcome.opposite_corner)]);
+    table.row(&[
+        "initialization corner".into(),
+        format!("{}", outcome.init_corner),
+    ]);
+    table.row(&[
+        "opposite corner".into(),
+        format!("{}", outcome.opposite_corner),
+    ]);
     table.row(&["stable".into(), outcome.stable.to_string()]);
     table.row(&[
         "rounds until block info formed at opposite corner".into(),
@@ -274,7 +310,10 @@ pub fn exp_fig5_identification() -> String {
         "rounds until every frame node holds the info (b_i)".into(),
         outcome.completed_round.to_string(),
     ]);
-    table.row(&["frame nodes holding the info".into(), outcome.info_arrival.len().to_string()]);
+    table.row(&[
+        "frame nodes holding the info".into(),
+        outcome.info_arrival.len().to_string(),
+    ]);
     table.row(&["message hops".into(), outcome.message_hops.to_string()]);
 
     let mut scaling = Table::new(
@@ -293,7 +332,11 @@ pub fn exp_fig5_identification() -> String {
         vec![4, 4, 4, 4, 4],
     ] {
         let t = IdentificationProcess::level_duration(&extents);
-        scaling.row(&[format!("{extents:?}"), extents.len().to_string(), t.to_string()]);
+        scaling.row(&[
+            format!("{extents:?}"),
+            extents.len().to_string(),
+            t.to_string(),
+        ]);
     }
     format!("{table}\n{scaling}")
 }
@@ -329,7 +372,11 @@ pub fn exp_fig7_steps() -> String {
             net.run_step();
             steps += 1;
         }
-        table.row(&[lambda.to_string(), steps.to_string(), net.round().to_string()]);
+        table.row(&[
+            lambda.to_string(),
+            steps.to_string(),
+            net.round().to_string(),
+        ]);
     }
     let mut phases = Table::new("F7  actions within a step", &["order", "phase"]);
     for (i, phase) in lgfi_sim::StepPhase::all().iter().enumerate() {
@@ -347,7 +394,14 @@ pub fn exp_fig7_steps() -> String {
 pub fn exp_thm2_safety() -> String {
     let mut table = Table::new(
         "T2  Theorem 2: routes from safe sources are minimal (static faults, LGFI router)",
-        &["mesh", "faults", "pairs", "safe pairs", "minimal among safe", "violations"],
+        &[
+            "mesh",
+            "faults",
+            "pairs",
+            "safe pairs",
+            "minimal among safe",
+            "violations",
+        ],
     );
     for (dims, fault_count) in [(vec![12, 12], 8), (vec![16, 16], 16), (vec![8, 8, 8], 20)] {
         let mesh = Mesh::new(&dims);
@@ -362,7 +416,8 @@ pub fn exp_thm2_safety() -> String {
             eng.apply_faults(&faults);
             let blocks = BlockSet::extract(&mesh, eng.statuses());
             let boundary = BoundaryMap::construct(&mesh, &blocks);
-            let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, seed);
+            let mut traffic =
+                TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, seed);
             let statuses = eng.statuses().to_vec();
             for req in traffic.requests(30, |id| statuses[id] == NodeStatus::Enabled) {
                 pairs += 1;
@@ -410,7 +465,12 @@ struct DynamicRun {
     bound: lgfi_core::bounds::DetourBound,
 }
 
-fn run_dynamic_probes(dims: &[i32], fault_count: usize, interval: u64, seeds: u64) -> Vec<DynamicRun> {
+fn run_dynamic_probes(
+    dims: &[i32],
+    fault_count: usize,
+    interval: u64,
+    seeds: u64,
+) -> Vec<DynamicRun> {
     let inputs: Vec<u64> = (0..seeds).collect();
     let dims = dims.to_vec();
     let results = run_trials(inputs, move |&seed| {
@@ -484,7 +544,16 @@ pub fn exp_thm3_progress() -> String {
 pub fn exp_thm4_detours() -> String {
     let mut table = Table::new(
         "T4  Theorem 4: measured detours vs. bound (corner-to-corner probes under dynamic faults)",
-        &["mesh", "faults", "interval", "delivered", "mean detours", "max detours", "max allowed", "bound holds"],
+        &[
+            "mesh",
+            "faults",
+            "interval",
+            "delivered",
+            "mean detours",
+            "max detours",
+            "max allowed",
+            "bound holds",
+        ],
     );
     for (dims, fault_count, interval) in [
         (vec![16, 16], 4, 8),
@@ -530,7 +599,14 @@ pub fn exp_thm4_detours() -> String {
 pub fn exp_thm5_unsafe() -> String {
     let mut table = Table::new(
         "T5  Theorem 5: unsafe sources under dynamic faults (16x16 mesh)",
-        &["seed", "safe at launch", "delivered", "steps", "bound (L-based)", "holds"],
+        &[
+            "seed",
+            "safe at launch",
+            "delivered",
+            "steps",
+            "bound (L-based)",
+            "holds",
+        ],
     );
     for seed in 0..10u64 {
         let mesh = Mesh::cubic(16, 2);
@@ -560,7 +636,9 @@ pub fn exp_thm5_unsafe() -> String {
         }
         let source = mesh.id_of(&coord![0, 7]);
         let dest = mesh.id_of(&coord![15, 8]);
-        if net.statuses()[source] != NodeStatus::Enabled || net.statuses()[dest] != NodeStatus::Enabled {
+        if net.statuses()[source] != NodeStatus::Enabled
+            || net.statuses()[dest] != NodeStatus::Enabled
+        {
             continue;
         }
         let safe = is_safe_source_in(&mesh.coord_of(source), &mesh.coord_of(dest), net.blocks());
@@ -570,7 +648,10 @@ pub fn exp_thm5_unsafe() -> String {
         let bound = net.detour_bound_for(report.launched_at);
         // Theorem 5 uses the length L of an existing path; the shortest detour path is
         // at most D + half the block perimeter, so use the measured path length as L.
-        let l = report.outcome.path_length.max(u64::from(report.outcome.initial_distance));
+        let l = report
+            .outcome
+            .path_length
+            .max(u64::from(report.outcome.initial_distance));
         let allowed = bound.max_steps(l);
         table.row(&[
             seed.to_string(),
@@ -590,10 +671,22 @@ pub fn exp_thm5_unsafe() -> String {
 pub fn exp_thm1_recovery() -> String {
     let mut table = Table::new(
         "T1  Theorem 1: routing before vs. after a recovery (12x12 mesh, block shrinks)",
-        &["pair", "steps with full block", "steps after recovery", "recovery not worse"],
+        &[
+            "pair",
+            "steps with full block",
+            "steps after recovery",
+            "recovery not worse",
+        ],
     );
     let mesh = Mesh::cubic(12, 2);
-    let faults = [coord![5, 5], coord![6, 6], coord![5, 6], coord![6, 5], coord![7, 5], coord![7, 6]];
+    let faults = [
+        coord![5, 5],
+        coord![6, 6],
+        coord![5, 6],
+        coord![6, 5],
+        coord![7, 5],
+        coord![7, 6],
+    ];
     let mut eng = LabelingEngine::new(mesh.clone());
     eng.apply_faults(&faults);
     let blocks_before = BlockSet::extract(&mesh, eng.statuses());
@@ -649,7 +742,14 @@ pub fn exp_thm1_recovery() -> String {
 pub fn exp_convergence() -> String {
     let mut table = Table::new(
         "C1  convergence rounds of the fault-information constructions (mean over 8 seeds)",
-        &["mesh", "faults per cluster", "a (labeling)", "b (identification)", "c (boundary)", "diameter"],
+        &[
+            "mesh",
+            "faults per cluster",
+            "a (labeling)",
+            "b (identification)",
+            "c (boundary)",
+            "diameter",
+        ],
     );
     for (dims, cluster) in [
         (vec![12, 12], 4usize),
@@ -722,7 +822,13 @@ fn router_by_name(name: &str) -> Box<dyn Router> {
 /// gracefully" — delivery ratio, mean detours and stretch for every router as the
 /// number of dynamic faults grows.
 pub fn exp_graceful_degradation() -> String {
-    let routers = ["lgfi", "global-info", "local-only", "wu-minimal-block", "dimension-order"];
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
     let fault_counts = [0usize, 8, 16, 32, 48];
     let mut table = Table::new(
         "C2  routing under an increasing number of clustered dynamic faults (16x16 mesh, 20 probes x 6 seeds, uniform traffic)",
@@ -784,7 +890,15 @@ pub fn exp_graceful_degradation() -> String {
 pub fn exp_memory_overhead() -> String {
     let mut table = Table::new(
         "C3  information placement vs. the global model (mean over 6 seeds)",
-        &["mesh", "faults", "nodes with info", "coverage", "records (limited)", "records (global)", "ratio"],
+        &[
+            "mesh",
+            "faults",
+            "nodes with info",
+            "coverage",
+            "records (limited)",
+            "records (global)",
+            "ratio",
+        ],
     );
     for (dims, faults) in [
         (vec![16, 16], 8usize),
@@ -854,7 +968,13 @@ pub fn exp_dynamic_convergence() -> String {
     net.run_to_completion(2_000);
     let mut table = Table::new(
         "C4  per-disturbance convergence in a 16x16 mesh (8 dynamic faults, each later recovering)",
-        &["disturbance step", "a (rounds)", "b (rounds)", "c (rounds)", "blocks changed"],
+        &[
+            "disturbance step",
+            "a (rounds)",
+            "b (rounds)",
+            "c (rounds)",
+            "blocks changed",
+        ],
     );
     for rec in net.convergence_records() {
         table.row(&[
@@ -871,7 +991,10 @@ pub fn exp_dynamic_convergence() -> String {
         .map(|c| c.total_rounds())
         .collect();
     let summary = Summary::of_u64(&totals);
-    let mut stats = Table::new("C4  summary of a+b+c per disturbance", &["mean", "max", "p95"]);
+    let mut stats = Table::new(
+        "C4  summary of a+b+c per disturbance",
+        &["mean", "max", "p95"],
+    );
     stats.row(&[f2(summary.mean), f2(summary.max), f2(summary.p95)]);
     format!("{}\n{}", table.render(), stats.render())
 }
@@ -879,7 +1002,8 @@ pub fn exp_dynamic_convergence() -> String {
 /// Runs every experiment in order and returns the concatenated report (what the
 /// `experiments` binary prints and what EXPERIMENTS.md records).
 pub fn run_all_experiments() -> String {
-    let sections: Vec<(&str, fn() -> String)> = vec![
+    type Section = (&'static str, fn() -> String);
+    let sections: Vec<Section> = vec![
         ("F1", exp_fig1_block),
         ("F2", exp_fig2_corners),
         ("F3", exp_fig3_boundaries),
@@ -898,7 +1022,9 @@ pub fn run_all_experiments() -> String {
     ];
     let mut out = String::new();
     for (name, f) in sections {
-        out.push_str(&format!("\n############ experiment {name} ############\n\n"));
+        out.push_str(&format!(
+            "\n############ experiment {name} ############\n\n"
+        ));
         out.push_str(&f());
         out.push('\n');
     }
@@ -920,7 +1046,10 @@ mod tests {
             exp_fig7_steps,
         ] {
             let s = f();
-            assert!(s.contains("=="), "every experiment prints at least one table");
+            assert!(
+                s.contains("=="),
+                "every experiment prints at least one table"
+            );
             assert!(s.lines().count() > 4);
         }
     }

@@ -5,5 +5,6 @@
 //! criterion harnesses; shared helpers live in [`harness`].
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod harness;

@@ -70,7 +70,11 @@ impl BlockSet {
     /// Extracts the blocks of a status vector by breadth-first search over the
     /// faulty/disabled nodes.
     pub fn extract(mesh: &Mesh, statuses: &[NodeStatus]) -> Self {
-        assert_eq!(statuses.len(), mesh.node_count(), "status vector size mismatch");
+        assert_eq!(
+            statuses.len(),
+            mesh.node_count(),
+            "status vector size mismatch"
+        );
         let mut membership: Vec<Option<BlockId>> = vec![None; statuses.len()];
         let mut blocks = Vec::new();
 
@@ -208,7 +212,12 @@ mod tests {
     fn figure1_blocks() -> (Mesh, BlockSet) {
         let mesh = Mesh::cubic(10, 3);
         let mut eng = LabelingEngine::new(mesh.clone());
-        eng.apply_faults(&[coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]);
+        eng.apply_faults(&[
+            coord![3, 5, 4],
+            coord![4, 5, 4],
+            coord![5, 5, 3],
+            coord![3, 6, 3],
+        ]);
         let blocks = BlockSet::extract(&mesh, eng.statuses());
         (mesh, blocks)
     }
@@ -300,13 +309,21 @@ mod tests {
     fn recovery_shrinks_the_block_extent() {
         let mesh = Mesh::cubic(10, 3);
         let mut eng = LabelingEngine::new(mesh.clone());
-        eng.apply_faults(&[coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]);
+        eng.apply_faults(&[
+            coord![3, 5, 4],
+            coord![4, 5, 4],
+            coord![5, 5, 3],
+            coord![3, 6, 3],
+        ]);
         let before = BlockSet::extract(&mesh, eng.statuses());
         eng.recover_coord(&coord![5, 5, 3]);
         eng.run_to_fixpoint(200).unwrap();
         let after = BlockSet::extract(&mesh, eng.statuses());
         assert_eq!(after.len(), 1);
-        assert_eq!(after.blocks()[0].region, Region::new(vec![3, 5, 3], vec![4, 6, 4]));
+        assert_eq!(
+            after.blocks()[0].region,
+            Region::new(vec![3, 5, 3], vec![4, 6, 4])
+        );
         assert!(after.blocks()[0].is_rectangular());
         let (appeared, disappeared) = after.diff(&before);
         assert_eq!(appeared.len(), 1);
@@ -325,7 +342,10 @@ mod tests {
             let mut eng = LabelingEngine::new(mesh.clone());
             eng.apply_faults(&faults);
             let blocks = BlockSet::extract(&mesh, eng.statuses());
-            assert!(blocks.all_rectangular(), "seed {seed}: non-rectangular block");
+            assert!(
+                blocks.all_rectangular(),
+                "seed {seed}: non-rectangular block"
+            );
             assert!(blocks.all_disjoint(), "seed {seed}: blocks not disjoint");
         }
     }

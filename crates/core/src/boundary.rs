@@ -296,7 +296,12 @@ mod tests {
         let mesh = Mesh::cubic(10, 3);
         let (blocks, map) = build(
             &mesh,
-            &[coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]],
+            &[
+                coord![3, 5, 4],
+                coord![4, 5, 4],
+                coord![5, 5, 3],
+                coord![3, 6, 3],
+            ],
         );
         (mesh, blocks, map)
     }
@@ -382,7 +387,10 @@ mod tests {
         // In 2-D the boundary for S_{+Y} of a block is the two columns just left and
         // right of the block, from the block's lower edge down to y = 0.
         let mesh = Mesh::cubic(12, 2);
-        let (blocks, map) = build(&mesh, &[coord![5, 6], coord![6, 7], coord![5, 7], coord![6, 6]]);
+        let (blocks, map) = build(
+            &mesh,
+            &[coord![5, 6], coord![6, 7], coord![5, 7], coord![6, 6]],
+        );
         assert_eq!(blocks.len(), 1);
         let nodes = map.boundary_nodes(0, Direction::pos(1));
         let coords: Vec<Coord> = nodes.iter().map(|&id| mesh.coord_of(id)).collect();
@@ -417,7 +425,7 @@ mod tests {
     }
 
     #[test]
-    fn boundary_merges_into_a_second_block(){
+    fn boundary_merges_into_a_second_block() {
         // Figure 3 (d): block A sits above block B; A's boundary for S_{+Y} propagates
         // downwards, hits B's frame and merges around it instead of stopping.
         let mesh = Mesh::cubic(14, 2);

@@ -146,7 +146,10 @@ mod tests {
         let i = IntervalParams { d: 30, a_steps: 4 };
         assert_eq!(i.progress(3), 30 - 8 - 6);
         let short = IntervalParams { d: 5, a_steps: 4 };
-        assert!(short.progress(3) < 0, "too-short intervals give negative progress");
+        assert!(
+            short.progress(3) < 0,
+            "too-short intervals give negative progress"
+        );
     }
 
     #[test]

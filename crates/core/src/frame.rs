@@ -142,7 +142,10 @@ impl BlockFrame {
     /// `b.dim` and within the extent elsewhere.  For a 3-D block these are the 12
     /// block edges.
     pub fn edge_between(&self, mesh: &Mesh, a: Direction, b: Direction) -> Vec<Coord> {
-        assert_ne!(a.dim, b.dim, "an edge joins surfaces of different dimensions");
+        assert_ne!(
+            a.dim, b.dim,
+            "an edge joins surfaces of different dimensions"
+        );
         let mut out = Vec::new();
         for c in self.block.expand(1).iter_coords() {
             if !mesh.contains(&c) {
@@ -214,10 +217,17 @@ mod tests {
     fn figure2_corner_and_edge_neighbors() {
         let (mesh, frame) = figure1_frame();
         // (6,4,5) is a 3-level corner of the block [3:5, 5:6, 3:4].
-        assert_eq!(frame.role_of(mesh.id_of(&coord![6, 4, 5])), Some(Role::Corner(3)));
+        assert_eq!(
+            frame.role_of(mesh.id_of(&coord![6, 4, 5])),
+            Some(Role::Corner(3))
+        );
         // Its three 3-level edge neighbors are 2-level corners.
         for c in [coord![5, 4, 5], coord![6, 5, 5], coord![6, 4, 4]] {
-            assert_eq!(frame.role_of(mesh.id_of(&c)), Some(Role::Corner(2)), "{c:?}");
+            assert_eq!(
+                frame.role_of(mesh.id_of(&c)),
+                Some(Role::Corner(2)),
+                "{c:?}"
+            );
         }
         // Each of them has two neighbors adjacent to the block, e.g. (5,4,5) has
         // (5,5,5) and (5,4,4).

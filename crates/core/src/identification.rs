@@ -257,7 +257,12 @@ mod tests {
     fn figure1_setup() -> (Mesh, Vec<NodeStatus>, Region) {
         let mesh = Mesh::cubic(10, 3);
         let mut eng = LabelingEngine::new(mesh.clone());
-        eng.apply_faults(&[coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]);
+        eng.apply_faults(&[
+            coord![3, 5, 4],
+            coord![4, 5, 4],
+            coord![5, 5, 3],
+            coord![3, 6, 3],
+        ]);
         let blocks = BlockSet::extract(&mesh, eng.statuses());
         let region = blocks.blocks()[0].region.clone();
         (mesh, eng.statuses().to_vec(), region)
@@ -371,7 +376,11 @@ mod tests {
         assert!(!outcome.stable);
         assert!(outcome.info_arrival.is_empty());
         let generous = IdentificationProcess::with_ttl(1000);
-        assert!(generous.run(&mesh, &block, &statuses, &coord![6, 4, 5]).stable);
+        assert!(
+            generous
+                .run(&mesh, &block, &statuses, &coord![6, 4, 5])
+                .stable
+        );
     }
 
     #[test]

@@ -53,9 +53,9 @@ impl InfoStore {
                 });
             }
         }
-        for id in 0..mesh.node_count() {
+        for (id, infos) in per_node.iter_mut().enumerate() {
             for entry in boundary.entries(id) {
-                per_node[id].push(StoredInfo {
+                infos.push(StoredInfo {
                     block_id: entry.block_id,
                     stored_as: StoredAs::Boundary(entry.guard),
                 });
@@ -162,7 +162,12 @@ mod tests {
         let mesh = Mesh::cubic(10, 3);
         let (blocks, boundary, store) = build(
             &mesh,
-            &[coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]],
+            &[
+                coord![3, 5, 4],
+                coord![4, 5, 4],
+                coord![5, 5, 3],
+                coord![3, 6, 3],
+            ],
         );
         let frame = BlockFrame::of_block(&mesh, &blocks.blocks()[0]);
         for id in mesh.node_ids() {
@@ -202,7 +207,11 @@ mod tests {
         assert_eq!(fp.node_count, 12 * 12 * 12);
         assert_eq!(fp.block_count, 2);
         assert!(fp.nodes_with_info > 0);
-        assert!(fp.coverage() < 0.5, "coverage {} should stay well below 1", fp.coverage());
+        assert!(
+            fp.coverage() < 0.5,
+            "coverage {} should stay well below 1",
+            fp.coverage()
+        );
         assert!(
             fp.record_ratio() < 0.5,
             "limited records {} vs global {}",
@@ -229,7 +238,10 @@ mod tests {
         // A node can be both a frame node of a block and on its boundary start; it
         // still stores only one record for that block.
         let mesh = Mesh::cubic(10, 2);
-        let (_blocks, _boundary, store) = build(&mesh, &[coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]]);
+        let (_blocks, _boundary, store) = build(
+            &mesh,
+            &[coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]],
+        );
         for id in mesh.node_ids() {
             let entries = store.at(id);
             let mut ids: Vec<BlockId> = entries.iter().map(|e| e.block_id).collect();

@@ -104,7 +104,7 @@ impl LabelingEngine {
     pub fn run_round(&mut self) -> usize {
         let mut next = self.statuses.clone();
         let mut changes = 0usize;
-        for id in 0..self.statuses.len() {
+        for (id, slot) in next.iter_mut().enumerate() {
             if self.statuses[id] == NodeStatus::Faulty {
                 continue;
             }
@@ -118,7 +118,7 @@ impl LabelingEngine {
             if ns != self.statuses[id] {
                 changes += 1;
             }
-            next[id] = ns;
+            *slot = ns;
         }
         self.statuses = next;
         self.rounds += 1;
@@ -276,15 +276,23 @@ mod tests {
 
     /// The fault set of Figure 1: (3,5,4), (4,5,4), (5,5,3), (3,6,3) in a 3-D mesh.
     fn figure1_faults() -> Vec<Coord> {
-        vec![coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]
+        vec![
+            coord![3, 5, 4],
+            coord![4, 5, 4],
+            coord![5, 5, 3],
+            coord![3, 6, 3],
+        ]
     }
 
     #[test]
-    fn figure1_faults_produce_the_block_3_5__5_6__3_4() {
+    fn figure1_faults_produce_the_block_3to5_5to6_3to4() {
         let mesh = Mesh::cubic(10, 3);
         let mut eng = LabelingEngine::new(mesh.clone());
         let rounds = eng.apply_faults(&figure1_faults());
-        assert!(rounds >= 2, "the example needs at least two waves of disabling");
+        assert!(
+            rounds >= 2,
+            "the example needs at least two waves of disabling"
+        );
         // Every node of [3:5, 5:6, 3:4] is faulty or disabled...
         let block = lgfi_topology::Region::new(vec![3, 5, 3], vec![5, 6, 4]);
         for c in block.iter_coords() {
@@ -305,7 +313,10 @@ mod tests {
         let mesh = Mesh::cubic(8, 3);
         let mut eng = LabelingEngine::new(mesh);
         let rounds = eng.apply_faults(&[coord![4, 4, 4]]);
-        assert_eq!(rounds, 1, "a single fault stabilises after one (no-change) round");
+        assert_eq!(
+            rounds, 1,
+            "a single fault stabilises after one (no-change) round"
+        );
         let (f, d, c, e) = eng.census();
         assert_eq!((f, d, c), (1, 0, 0));
         assert_eq!(e, 8 * 8 * 8 - 1);

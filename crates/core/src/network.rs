@@ -496,17 +496,7 @@ impl LgfiNetwork {
                 a_steps: cfg.steps_for_rounds(a_rounds),
             });
         }
-        let e_max = self
-            .blocks
-            .e_max()
-            .max(
-                self.convergence
-                    .iter()
-                    .map(|_| 0)
-                    .max()
-                    .unwrap_or(0),
-            )
-            .max(0) as u64;
+        let e_max = self.blocks.e_max() as u64;
         DetourBound {
             start_step,
             t_p,
@@ -611,7 +601,10 @@ mod tests {
         }
         let visible_far_late = net.visible_info(far_wall).len();
         let visible_near_late = net.visible_info(near_wall).len();
-        assert_eq!(visible_far_early, 0, "distant wall nodes must not know the block yet");
+        assert_eq!(
+            visible_far_early, 0,
+            "distant wall nodes must not know the block yet"
+        );
         assert!(visible_far_late > 0, "eventually the information arrives");
         assert!(visible_near_late > 0);
     }
@@ -646,7 +639,10 @@ mod tests {
         };
         let slow = steps_until_visible(1);
         let fast = steps_until_visible(4);
-        assert!(fast < slow, "lambda=4 ({fast}) must distribute faster than lambda=1 ({slow})");
+        assert!(
+            fast < slow,
+            "lambda=4 ({fast}) must distribute faster than lambda=1 ({slow})"
+        );
     }
 
     #[test]
@@ -668,7 +664,10 @@ mod tests {
         net.run_to_completion(2_000);
         assert_eq!(net.reports().len(), 1);
         let report = &net.reports()[0];
-        assert!(report.outcome.delivered(), "probe must survive the dynamic fault: {report:?}");
+        assert!(
+            report.outcome.delivered(),
+            "probe must survive the dynamic fault: {report:?}"
+        );
         // D(i) was recorded at the fault occurrence.
         assert_eq!(report.distance_at_fault.len(), 1);
         let d_at_fault = *report.distance_at_fault.get(&6).unwrap();

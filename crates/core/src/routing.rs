@@ -529,7 +529,11 @@ mod tests {
         );
         let out = route(&env, &coord![1, 1], &coord![3, 10]);
         assert!(out.delivered());
-        assert_eq!(out.detours(), Some(0), "safe source must get a minimal path");
+        assert_eq!(
+            out.detours(),
+            Some(0),
+            "safe source must get a minimal path"
+        );
     }
 
     #[test]
@@ -563,7 +567,10 @@ mod tests {
         // half-perimeter extra.
         let detours = out.detours().unwrap();
         assert!(detours > 0, "the block forces a detour");
-        assert!(detours <= 2 * (6 + 2), "detours {detours} should be bounded by the block size");
+        assert!(
+            detours <= 2 * (6 + 2),
+            "detours {detours} should be bounded by the block size"
+        );
     }
 
     #[test]
@@ -641,7 +648,10 @@ mod tests {
             used: DirectionSet::empty(),
             incoming: Some(Direction::pos(1)),
         };
-        assert!(!ctx.boundary_info.is_empty(), "x=4 wall node must hold boundary info");
+        assert!(
+            !ctx.boundary_info.is_empty(),
+            "x=4 wall node must hold boundary info"
+        );
         assert_eq!(
             router.classify(&ctx, Direction::pos(0)),
             Some(DirectionClass::PreferredButDetour)
@@ -658,7 +668,10 @@ mod tests {
             router.classify(&ctx, Direction::neg(1)),
             Some(DirectionClass::Incoming)
         );
-        assert_eq!(router.decide(&ctx), RoutingDecision::Forward(Direction::pos(1)));
+        assert_eq!(
+            router.decide(&ctx),
+            RoutingDecision::Forward(Direction::pos(1))
+        );
     }
 
     #[test]
@@ -696,7 +709,11 @@ mod tests {
         // in two dimensions), so the router refuses to enter it; the probe gives up.
         let out = route(&env, &coord![0, 0], &coord![5, 5]);
         assert_ne!(out.status, ProbeStatus::Delivered);
-        assert_ne!(out.status, ProbeStatus::Exhausted, "must terminate by search, not timeout");
+        assert_ne!(
+            out.status,
+            ProbeStatus::Exhausted,
+            "must terminate by search, not timeout"
+        );
     }
 
     #[test]
@@ -728,7 +745,10 @@ mod tests {
             let faults: Vec<Coord> = picks.iter().map(|&i| interior[i].clone()).collect();
             let env = build_env(mesh.clone(), &faults);
             let out = route(&env, &coord![0, 0, 0], &coord![9, 9, 9]);
-            assert!(out.delivered(), "seed {seed}: corner-to-corner route failed: {out:?}");
+            assert!(
+                out.delivered(),
+                "seed {seed}: corner-to-corner route failed: {out:?}"
+            );
         }
     }
 }

@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn source_is_safe_when_no_block_touches_the_bounding_box() {
         let mesh = Mesh::cubic(12, 2);
-        let blocks = blocks_for(&mesh, &[coord![8, 8], coord![9, 9], coord![8, 9], coord![9, 8]]);
+        let blocks = blocks_for(
+            &mesh,
+            &[coord![8, 8], coord![9, 9], coord![8, 9], coord![9, 8]],
+        );
         assert!(is_safe_source_in(&coord![0, 0], &coord![5, 5], &blocks));
         assert!(is_safe_source_in(&coord![0, 11], &coord![5, 11], &blocks));
         assert!(blocking_blocks(&coord![0, 0], &coord![5, 5], blocks.blocks()).is_empty());
@@ -61,7 +64,10 @@ mod tests {
     #[test]
     fn source_is_unsafe_when_a_block_intersects_the_bounding_box() {
         let mesh = Mesh::cubic(12, 2);
-        let blocks = blocks_for(&mesh, &[coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]]);
+        let blocks = blocks_for(
+            &mesh,
+            &[coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]],
+        );
         assert!(!is_safe_source_in(&coord![0, 0], &coord![8, 8], &blocks));
         assert_eq!(
             blocking_blocks(&coord![0, 0], &coord![8, 8], blocks.blocks()).len(),
@@ -79,18 +85,35 @@ mod tests {
         let mesh = Mesh::cubic(12, 3);
         let blocks = blocks_for(
             &mesh,
-            &[coord![5, 5, 5], coord![6, 6, 5], coord![5, 6, 5], coord![6, 5, 5]],
+            &[
+                coord![5, 5, 5],
+                coord![6, 6, 5],
+                coord![5, 6, 5],
+                coord![6, 5, 5],
+            ],
         );
-        assert!(!is_safe_source_in(&coord![4, 4, 5], &coord![10, 10, 5], &blocks));
+        assert!(!is_safe_source_in(
+            &coord![4, 4, 5],
+            &coord![10, 10, 5],
+            &blocks
+        ));
         // Shifting the pair away in z makes it safe again.
-        assert!(is_safe_source_in(&coord![4, 4, 0], &coord![10, 10, 2], &blocks));
+        assert!(is_safe_source_in(
+            &coord![4, 4, 0],
+            &coord![10, 10, 2],
+            &blocks
+        ));
     }
 
     #[test]
     fn fault_free_mesh_is_always_safe() {
         let mesh = Mesh::cubic(10, 4);
         let blocks = blocks_for(&mesh, &[]);
-        assert!(is_safe_source_in(&coord![0, 0, 0, 0], &coord![9, 9, 9, 9], &blocks));
+        assert!(is_safe_source_in(
+            &coord![0, 0, 0, 0],
+            &coord![9, 9, 9, 9],
+            &blocks
+        ));
     }
 
     #[test]
@@ -142,6 +165,9 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 20, "the scenario generator must exercise enough safe pairs");
+        assert!(
+            checked > 20,
+            "the scenario generator must exercise enough safe pairs"
+        );
     }
 }

@@ -161,7 +161,11 @@ mod tests {
         assert_eq!(next_status(Disabled, &clean_only), Clean);
         // Still has two faults in different dimensions: stays disabled even with a
         // clean neighbor (this is the (3,5,3) case of Figure 4).
-        let clean_but_faulty = [nb(0, true, Clean), nb(1, true, Faulty), nb(2, false, Faulty)];
+        let clean_but_faulty = [
+            nb(0, true, Clean),
+            nb(1, true, Faulty),
+            nb(2, false, Faulty),
+        ];
         assert_eq!(next_status(Disabled, &clean_but_faulty), Disabled);
         // No clean neighbor: stays disabled.
         let no_clean = [nb(0, true, Enabled), nb(1, true, Disabled)];
@@ -186,7 +190,11 @@ mod tests {
 
     #[test]
     fn spans_two_dimensions_counts_dimensions_not_neighbors() {
-        let ns = [nb(1, true, Faulty), nb(1, false, Faulty), nb(1, true, Disabled)];
+        let ns = [
+            nb(1, true, Faulty),
+            nb(1, false, Faulty),
+            nb(1, true, Disabled),
+        ];
         assert!(!spans_two_dimensions(&ns, NodeStatus::in_block));
         let ns2 = [nb(1, true, Faulty), nb(0, false, Disabled)];
         assert!(spans_two_dimensions(&ns2, NodeStatus::in_block));

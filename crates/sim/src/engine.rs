@@ -234,7 +234,7 @@ impl<P: Protocol> RoundEngine<P> {
         let mut messages_sent = 0u64;
         let mut changes = 0usize;
 
-        for id in 0..n {
+        for (id, new_state) in new_states.iter_mut().enumerate() {
             if self.faulty[id] {
                 continue;
             }
@@ -270,7 +270,7 @@ impl<P: Protocol> RoundEngine<P> {
                     messages_sent += 1;
                 }
             }
-            new_states[id] = Some(next);
+            *new_state = Some(next);
         }
 
         for (id, st) in new_states.into_iter().enumerate() {
@@ -380,7 +380,7 @@ mod tests {
         // The value spreads one hop per round via neighbor-state reads; the farthest
         // node is 8 hops away, plus one final no-change round for quiescence detection
         // and message drain.
-        assert!(rounds >= 8 && rounds <= 12, "rounds = {rounds}");
+        assert!((8..=12).contains(&rounds), "rounds = {rounds}");
         for id in mesh.node_ids() {
             assert_eq!(*eng.state(id), 0, "node {id} did not learn the minimum");
         }
@@ -457,8 +457,13 @@ mod tests {
         eng.post(mesh.id_of(&coord![0]), ());
         eng.run_until_quiescent(100).unwrap();
         for x in 0..6 {
-            let arrived = eng.state(mesh.id_of(&coord![x])).expect("token must arrive");
-            assert_eq!(arrived, x as u64, "token must advance exactly one hop/round");
+            let arrived = eng
+                .state(mesh.id_of(&coord![x]))
+                .expect("token must arrive");
+            assert_eq!(
+                arrived, x as u64,
+                "token must advance exactly one hop/round"
+            );
         }
     }
 

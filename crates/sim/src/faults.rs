@@ -269,7 +269,10 @@ mod tests {
         let mesh = Mesh::cubic(5, 2);
         let surface = mesh.id_of(&coord![0, 2]);
         let interior = mesh.id_of(&coord![2, 2]);
-        let plan = FaultPlan::new(vec![FaultEvent::fail(0, surface), FaultEvent::fail(0, interior)]);
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(0, surface),
+            FaultEvent::fail(0, interior),
+        ]);
         let problems = plan.validate(&mesh);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("outermost-surface"));

@@ -1,28 +1,39 @@
 //! Deterministic random number generation for reproducible experiments.
 //!
 //! Every workload generator and every experiment takes an explicit seed so that a
-//! reported table can be regenerated bit-for-bit.  [`DetRng`] wraps a seeded
-//! [`rand::rngs::StdRng`] and adds *stream derivation*: independent sub-generators for
-//! (trial, purpose) pairs so that, for example, changing the traffic pattern of trial
-//! 7 does not perturb the fault placement of trial 8.
+//! reported table can be regenerated bit-for-bit. [`DetRng`] is a self-contained
+//! xoshiro256++ generator (no external dependencies — the build environment is
+//! offline) seeded via SplitMix64, and adds *stream derivation*: independent
+//! sub-generators for (trial, purpose) pairs so that, for example, changing the
+//! traffic pattern of trial 7 does not perturb the fault placement of trial 8.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step, used both for seeding the main state and for stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// A deterministic, seedable random number generator.
+/// A deterministic, seedable random number generator (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -33,31 +44,66 @@ impl DetRng {
     /// Derives an independent generator for a named stream.  The same `(seed, stream)`
     /// pair always produces the same generator.
     pub fn derive(&self, stream: u64) -> DetRng {
-        // SplitMix64-style mixing of the seed and stream id.
+        // One SplitMix64 step over the (seed, stream) pair: the helper's increment
+        // supplies the `stream + 1` offset.
         let mut z = self
             .seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(stream.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        DetRng::seed_from_u64(z)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream));
+        DetRng::seed_from_u64(splitmix64(&mut z))
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256++ output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// A uniformly random integer in `[0, bound)`.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift method with rejection for exact uniformity.
+        let bound = bound as u64;
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// A uniformly random integer in the inclusive range `[lo, hi]`.
     pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
         assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let span = (i64::from(hi) - i64::from(lo) + 1) as usize;
+        lo.wrapping_add(self.below(span) as i32)
     }
 
     /// A uniformly random `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 uniformly random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli draw with success probability `p`.
@@ -74,7 +120,10 @@ impl DetRng {
     /// Produces a random permutation sample of `count` distinct indices from
     /// `0..population` (Floyd's algorithm, order not uniform but membership is).
     pub fn sample_indices(&mut self, population: usize, count: usize) -> Vec<usize> {
-        assert!(count <= population, "cannot sample more than the population");
+        assert!(
+            count <= population,
+            "cannot sample more than the population"
+        );
         let mut chosen = std::collections::BTreeSet::new();
         for j in population - count..population {
             let t = self.below(j + 1);
@@ -91,21 +140,6 @@ impl DetRng {
             let j = self.below(i + 1);
             items.swap(i, j);
         }
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -175,5 +209,14 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(5);
         assert!((0..100).all(|_| !rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // 13 bytes from a seeded generator are all-zero with probability 2^-104.
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -110,7 +110,10 @@ impl<E: fmt::Display> Trace<E> {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&format!("step {:>4} round {:>5}  {}\n", e.step, e.round, e.event));
+            out.push_str(&format!(
+                "step {:>4} round {:>5}  {}\n",
+                e.step, e.round, e.event
+            ));
         }
         out
     }

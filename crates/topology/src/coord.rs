@@ -192,7 +192,7 @@ mod tests {
     fn manhattan_distance_matches_paper_definition() {
         let u = coord![1, 2, 3];
         let v = coord![4, 0, 3];
-        assert_eq!(u.manhattan(&v), 3 + 2 + 0);
+        assert_eq!(u.manhattan(&v), 3 + 2);
         assert_eq!(v.manhattan(&u), 5);
         assert_eq!(u.manhattan(&u), 0);
     }
@@ -218,7 +218,10 @@ mod tests {
     fn direction_to_neighbor() {
         let u = coord![2, 2];
         assert_eq!(u.direction_to(&coord![3, 2]), Some(Direction::new(0, true)));
-        assert_eq!(u.direction_to(&coord![2, 1]), Some(Direction::new(1, false)));
+        assert_eq!(
+            u.direction_to(&coord![2, 1]),
+            Some(Direction::new(1, false))
+        );
         assert_eq!(u.direction_to(&coord![3, 3]), None);
     }
 

@@ -126,9 +126,9 @@ impl Mesh {
         assert!(id < self.node_count, "node id {id} out of range");
         let mut rest = id;
         let mut c = vec![0i32; self.ndim()];
-        for d in 0..self.ndim() {
-            c[d] = (rest / self.strides[d]) as i32;
-            rest %= self.strides[d];
+        for (slot, &stride) in c.iter_mut().zip(&self.strides) {
+            *slot = (rest / stride) as i32;
+            rest %= stride;
         }
         Coord::new(c)
     }

@@ -160,16 +160,24 @@ impl Region {
         if !self.intersects(other) {
             return None;
         }
-        let lo = (0..self.ndim()).map(|d| self.lo[d].max(other.lo[d])).collect();
-        let hi = (0..self.ndim()).map(|d| self.hi[d].min(other.hi[d])).collect();
+        let lo = (0..self.ndim())
+            .map(|d| self.lo[d].max(other.lo[d]))
+            .collect();
+        let hi = (0..self.ndim())
+            .map(|d| self.hi[d].min(other.hi[d]))
+            .collect();
         Some(Region::new(lo, hi))
     }
 
     /// The smallest region containing both regions.
     pub fn union(&self, other: &Region) -> Region {
         assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
-        let lo = (0..self.ndim()).map(|d| self.lo[d].min(other.lo[d])).collect();
-        let hi = (0..self.ndim()).map(|d| self.hi[d].max(other.hi[d])).collect();
+        let lo = (0..self.ndim())
+            .map(|d| self.lo[d].min(other.lo[d]))
+            .collect();
+        let hi = (0..self.ndim())
+            .map(|d| self.hi[d].max(other.hi[d]))
+            .collect();
         Region::new(lo, hi)
     }
 
@@ -377,7 +385,12 @@ mod tests {
 
     #[test]
     fn bounding_box_of_fault_set_matches_figure_1() {
-        let faults = [coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]];
+        let faults = [
+            coord![3, 5, 4],
+            coord![4, 5, 4],
+            coord![5, 5, 3],
+            coord![3, 6, 3],
+        ];
         let bb = Region::bounding_all(faults.iter()).unwrap();
         assert_eq!(bb, figure1_block());
     }

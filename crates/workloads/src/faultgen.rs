@@ -93,8 +93,13 @@ impl FaultGenerator {
             }
             FaultPlacement::Clustered { clusters } => {
                 let clusters = clusters.max(1);
-                let seed_picks = self.rng.sample_indices(candidates.len(), clusters.min(count));
-                let seeds: Vec<Coord> = seed_picks.into_iter().map(|i| candidates[i].clone()).collect();
+                let seed_picks = self
+                    .rng
+                    .sample_indices(candidates.len(), clusters.min(count));
+                let seeds: Vec<Coord> = seed_picks
+                    .into_iter()
+                    .map(|i| candidates[i].clone())
+                    .collect();
                 let mut chosen: Vec<Coord> = Vec::new();
                 let interior = self
                     .mesh
@@ -193,7 +198,10 @@ mod tests {
         let faults = generator.place(9, FaultPlacement::Clustered { clusters: 1 });
         assert_eq!(faults.len(), 9);
         let bb = Region::bounding_all(faults.iter()).unwrap();
-        assert!(bb.max_edge() <= 7, "one cluster should stay compact, got {bb:?}");
+        assert!(
+            bb.max_edge() <= 7,
+            "one cluster should stay compact, got {bb:?}"
+        );
     }
 
     #[test]
@@ -242,7 +250,11 @@ mod tests {
         assert!(plan.validate(&mesh).is_empty());
         // Eventually everything is recovered.
         assert!(plan.faulty_at(1_000).is_empty());
-        assert_eq!(plan.peak_fault_count(), 2, "faults overlap by 45-30=15 steps");
+        assert_eq!(
+            plan.peak_fault_count(),
+            2,
+            "faults overlap by 45-30=15 steps"
+        );
     }
 
     #[test]

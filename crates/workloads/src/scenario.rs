@@ -122,7 +122,10 @@ pub struct ScenarioResult {
 impl ScenarioResult {
     /// Number of delivered probes.
     pub fn delivered(&self) -> usize {
-        self.reports.iter().filter(|r| r.outcome.delivered()).count()
+        self.reports
+            .iter()
+            .filter(|r| r.outcome.delivered())
+            .count()
     }
 
     /// Delivery ratio over the launched probes.
@@ -185,7 +188,11 @@ mod tests {
         assert_eq!(result.requested, 10);
         assert!(result.launched > 0);
         assert_eq!(result.reports.len(), result.launched);
-        assert!(result.delivery_ratio() > 0.9, "ratio {}", result.delivery_ratio());
+        assert!(
+            result.delivery_ratio() > 0.9,
+            "ratio {}",
+            result.delivery_ratio()
+        );
         assert!(result.mean_stretch() >= 1.0 || result.reports.is_empty());
         assert!(!result.convergence.is_empty());
         assert!(result.max_convergence_rounds() > 0);
@@ -213,7 +220,11 @@ mod tests {
         };
         let result = scenario.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.launched, 4);
-        assert_eq!(result.delivered(), 4, "corner-to-corner probes must all deliver");
+        assert_eq!(
+            result.delivered(),
+            4,
+            "corner-to-corner probes must all deliver"
+        );
         // Faults and recoveries both trigger convergence records.
         assert!(result.convergence.len() >= 3);
     }

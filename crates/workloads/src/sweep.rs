@@ -2,8 +2,8 @@
 //!
 //! Experiment tables are produced by running many independent trials (different seeds,
 //! fault counts, mesh sizes).  [`run_trials`] executes them on all available cores with
-//! crossbeam scoped threads while keeping the output order identical to the input
-//! order, so tables remain deterministic.
+//! `std::thread::scope` while keeping the output order identical to the input order,
+//! so tables remain deterministic.
 
 /// One point of a parameter sweep, pairing an input with its computed output.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,9 +40,9 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if idx >= inputs.len() {
                     break;
@@ -54,8 +54,7 @@ where
                 guard[idx] = Some(point);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()
@@ -95,7 +94,10 @@ mod tests {
     fn parallel_results_match_sequential_results() {
         let inputs: Vec<u64> = (0..64).collect();
         let parallel = run_trials(inputs.clone(), |&x| x.wrapping_mul(2654435761) >> 7);
-        let sequential: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        let sequential: Vec<u64> = inputs
+            .iter()
+            .map(|&x| x.wrapping_mul(2654435761) >> 7)
+            .collect();
         assert_eq!(
             parallel.iter().map(|p| p.output).collect::<Vec<_>>(),
             sequential

@@ -120,7 +120,11 @@ impl TrafficGenerator {
     }
 
     /// Draws `count` requests (skipping unusable endpoints).
-    pub fn requests<F: Fn(NodeId) -> bool>(&mut self, count: usize, usable: F) -> Vec<TrafficRequest> {
+    pub fn requests<F: Fn(NodeId) -> bool>(
+        &mut self,
+        count: usize,
+        usable: F,
+    ) -> Vec<TrafficRequest> {
         (0..count)
             .filter_map(|_| self.next_request(&usable))
             .collect()
@@ -215,7 +219,8 @@ mod tests {
         let mesh = Mesh::cubic(6, 2);
         let a = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 9)
             .requests(20, |_| true);
-        let b = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 9).requests(20, |_| true);
+        let b =
+            TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 9).requests(20, |_| true);
         assert_eq!(a, b);
     }
 }

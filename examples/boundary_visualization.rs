@@ -18,7 +18,12 @@ fn main() {
         faults.push(coord![x, 9]);
         faults.push(coord![x, 10]);
     }
-    faults.extend([coord![15, 15], coord![16, 16], coord![15, 16], coord![16, 15]]);
+    faults.extend([
+        coord![15, 15],
+        coord![16, 16],
+        coord![15, 16],
+        coord![16, 15],
+    ]);
 
     let mut labeling = LabelingEngine::new(mesh.clone());
     let rounds = labeling.apply_faults(&faults);
@@ -31,7 +36,13 @@ fn main() {
         boundary.nodes_with_info()
     );
     for b in blocks.blocks() {
-        println!("  block {}: {} ({} nodes, e = {})", b.id, b.region, b.size(), b.max_edge());
+        println!(
+            "  block {}: {} ({} nodes, e = {})",
+            b.id,
+            b.region,
+            b.size(),
+            b.max_edge()
+        );
     }
 
     // Route a message straight through the wall's shadow.
@@ -57,7 +68,8 @@ fn main() {
 
     // Re-run the probe step by step to recover the final path for drawing.
     let path = {
-        let mut probe = lgfi::core::routing::Probe::new(&mesh, mesh.id_of(&source), mesh.id_of(&dest));
+        let mut probe =
+            lgfi::core::routing::Probe::new(&mesh, mesh.id_of(&source), mesh.id_of(&dest));
         let router = LgfiRouter::new();
         while probe.status == ProbeStatus::InFlight && probe.steps < 10_000 {
             let ctx = lgfi::core::routing::RouteCtx {

@@ -18,10 +18,15 @@ fn main() {
     // Three fault clusters appear at steps 8, 58 and 108 (d_i = 50), each one placed
     // right on the diagonal that the probe wants to follow.
     let cluster = |step: u64, x: i32, y: i32, mesh: &Mesh| -> Vec<FaultEvent> {
-        [coord![x, y], coord![x + 1, y], coord![x, y + 1], coord![x + 1, y + 1]]
-            .iter()
-            .map(|c| FaultEvent::fail(step, mesh.id_of(c)))
-            .collect()
+        [
+            coord![x, y],
+            coord![x + 1, y],
+            coord![x, y + 1],
+            coord![x + 1, y + 1],
+        ]
+        .iter()
+        .map(|c| FaultEvent::fail(step, mesh.id_of(c)))
+        .collect()
     };
     let mut events = Vec::new();
     events.extend(cluster(8, 5, 5, &mesh));
@@ -31,7 +36,9 @@ fn main() {
     println!(
         "fault plan: {} events, occurrence steps {:?}",
         plan.len(),
-        plan.occurrence_times().iter().collect::<std::collections::BTreeSet<_>>()
+        plan.occurrence_times()
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
     );
 
     let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
@@ -60,7 +67,10 @@ fn main() {
         report.outcome.detours(),
         report.outcome.backtracks
     );
-    println!("  D(i) at each fault occurrence: {:?}", report.distance_at_fault);
+    println!(
+        "  D(i) at each fault occurrence: {:?}",
+        report.distance_at_fault
+    );
 
     // Theorem 3 and Theorem 4 checks.
     let bound = net.detour_bound_for(report.launched_at);

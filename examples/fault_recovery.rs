@@ -25,7 +25,12 @@ fn print_slice(labeling: &LabelingEngine, z: i32) {
 
 fn main() {
     let mesh = Mesh::cubic(10, 3);
-    let faults = [coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]];
+    let faults = [
+        coord![3, 5, 4],
+        coord![4, 5, 4],
+        coord![5, 5, 3],
+        coord![3, 6, 3],
+    ];
     let mut labeling = LabelingEngine::new(mesh.clone());
     labeling.apply_faults(&faults);
     let before = BlockSet::extract(&mesh, labeling.statuses());
@@ -35,7 +40,13 @@ fn main() {
     // Figure 4: recover (5,5,3) and watch the clean wave.
     println!("\nrecovering (5,5,3) ...");
     labeling.recover_coord(&coord![5, 5, 3]);
-    let watched = [coord![5, 5, 3], coord![4, 5, 3], coord![5, 6, 3], coord![5, 5, 4], coord![3, 5, 3]];
+    let watched = [
+        coord![5, 5, 3],
+        coord![4, 5, 3],
+        coord![5, 6, 3],
+        coord![5, 5, 4],
+        coord![3, 5, 3],
+    ];
     for round in 1..=10 {
         let changes = labeling.run_round();
         let line: Vec<String> = watched
@@ -48,7 +59,10 @@ fn main() {
         }
     }
     let after = BlockSet::extract(&mesh, labeling.statuses());
-    println!("block after recovery: {} (paper: shrinks, Figure 4 (b))", after.blocks()[0].region);
+    println!(
+        "block after recovery: {} (paper: shrinks, Figure 4 (b))",
+        after.blocks()[0].region
+    );
     print_slice(&labeling, 3);
 
     // Theorem 1: routing across the block is never worse after the recovery.
@@ -90,6 +104,8 @@ fn main() {
     }
     labeling.run_to_fixpoint(200).unwrap();
     let (f, d_count, c, e) = labeling.census();
-    println!("\nafter recovering every fault: {f} faulty, {d_count} disabled, {c} clean, {e} enabled");
+    println!(
+        "\nafter recovering every fault: {f} faulty, {d_count} disabled, {c} clean, {e} enabled"
+    );
     assert_eq!(e, mesh.node_count());
 }

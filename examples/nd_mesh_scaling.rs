@@ -13,10 +13,24 @@ use lgfi::prelude::*;
 fn main() {
     let mut table = Table::new(
         "information convergence and routing across dimensions (one 3-wide fault cluster)",
-        &["mesh", "n", "nodes", "a (labeling)", "b (identify)", "c (boundary)", "route steps", "detours"],
+        &[
+            "mesh",
+            "n",
+            "nodes",
+            "a (labeling)",
+            "b (identify)",
+            "c (boundary)",
+            "route steps",
+            "detours",
+        ],
     );
 
-    for dims in [vec![64, 64], vec![16, 16, 16], vec![8, 8, 8, 8], vec![6, 6, 6, 6, 6]] {
+    for dims in [
+        vec![64, 64],
+        vec![16, 16, 16],
+        vec![8, 8, 8, 8],
+        vec![6, 6, 6, 6, 6],
+    ] {
         let mesh = Mesh::new(&dims);
         let n = mesh.ndim();
         // A 3-wide fault cluster centred in the mesh.
@@ -63,7 +77,9 @@ fn main() {
             b.to_string(),
             c.to_string(),
             out.steps.to_string(),
-            out.detours().map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            out.detours()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     println!("{table}");

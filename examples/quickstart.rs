@@ -12,7 +12,12 @@ use lgfi::prelude::*;
 fn main() {
     // 1. The mesh and the fault pattern of Figure 1.
     let mesh = Mesh::cubic(10, 3);
-    let faults = [coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]];
+    let faults = [
+        coord![3, 5, 4],
+        coord![4, 5, 4],
+        coord![5, 5, 3],
+        coord![3, 6, 3],
+    ];
     println!("mesh: {:?} nodes = {}", mesh.dims(), mesh.node_count());
     println!("faults: {faults:?}\n");
 
@@ -25,7 +30,12 @@ fn main() {
     // 3. The faulty block and its frame (Definitions 1 and 2).
     let blocks = BlockSet::extract(&mesh, labeling.statuses());
     let block = &blocks.blocks()[0];
-    println!("faulty block: {} ({} nodes, rectangular = {})", block.region, block.size(), block.is_rectangular());
+    println!(
+        "faulty block: {} ({} nodes, rectangular = {})",
+        block.region,
+        block.size(),
+        block.is_rectangular()
+    );
     let frame = BlockFrame::of_block(&mesh, block);
     println!(
         "frame: {} adjacent nodes, {} edge nodes, {} corners",

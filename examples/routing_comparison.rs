@@ -23,13 +23,25 @@ fn router_by_name(name: &str) -> Box<dyn Router> {
 }
 
 fn main() {
-    let routers = ["lgfi", "global-info", "local-only", "wu-minimal-block", "dimension-order"];
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
     let fault_counts = [0usize, 6, 12, 18];
     let seeds = 4u64;
 
     let mut table = Table::new(
         "routing under dynamic faults (16x16 mesh, 15 uniform-random probes per seed)",
-        &["router", "faults", "delivery", "mean detours", "mean stretch"],
+        &[
+            "router",
+            "faults",
+            "delivery",
+            "mean detours",
+            "mean stretch",
+        ],
     );
     for router in routers {
         for &faults in &fault_counts {

@@ -94,7 +94,10 @@ fn recovery_mid_route_and_stale_information_deletion() {
     let mesh = Mesh::cubic(14, 2);
     let block_nodes = [coord![6, 6], coord![7, 7], coord![6, 7], coord![7, 6]];
     let mut plan = FaultPlan::static_faults(
-        &block_nodes.iter().map(|c| mesh.id_of(c)).collect::<Vec<_>>(),
+        &block_nodes
+            .iter()
+            .map(|c| mesh.id_of(c))
+            .collect::<Vec<_>>(),
     );
     for c in &block_nodes {
         plan.push(FaultEvent::recover(60, mesh.id_of(c)));
@@ -160,10 +163,20 @@ fn larger_lambda_never_slows_down_information_convergence() {
 #[test]
 fn scenario_harness_end_to_end_with_every_router_name() {
     use lgfi::core::routing::Router;
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Router>>)> = vec![
-        ("lgfi", Box::new(|| Box::new(LgfiRouter::new()) as Box<dyn Router>)),
-        ("global-info", Box::new(|| Box::new(GlobalInfoRouter::new()) as Box<dyn Router>)),
-        ("local-only", Box::new(|| Box::new(LocalInfoRouter::new()) as Box<dyn Router>)),
+    type RouterFactory = Box<dyn Fn() -> Box<dyn Router>>;
+    let factories: Vec<(&str, RouterFactory)> = vec![
+        (
+            "lgfi",
+            Box::new(|| Box::new(LgfiRouter::new()) as Box<dyn Router>),
+        ),
+        (
+            "global-info",
+            Box::new(|| Box::new(GlobalInfoRouter::new()) as Box<dyn Router>),
+        ),
+        (
+            "local-only",
+            Box::new(|| Box::new(LocalInfoRouter::new()) as Box<dyn Router>),
+        ),
     ];
     for (name, factory) in &factories {
         let mut scenario = Scenario::small();

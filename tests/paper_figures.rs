@@ -4,7 +4,12 @@
 use lgfi::prelude::*;
 
 fn figure1_faults() -> Vec<Coord> {
-    vec![coord![3, 5, 4], coord![4, 5, 4], coord![5, 5, 3], coord![3, 6, 3]]
+    vec![
+        coord![3, 5, 4],
+        coord![4, 5, 4],
+        coord![5, 5, 3],
+        coord![3, 6, 3],
+    ]
 }
 
 fn figure1_world() -> (Mesh, LabelingEngine, BlockSet, BoundaryMap) {
@@ -49,7 +54,10 @@ fn figure2_corner_structure() {
     let frame = BlockFrame::of_block(&mesh, &blocks.blocks()[0]);
     // The 3-level corner (6,4,5) and the exact neighbor structure described in the
     // paper.
-    assert_eq!(frame.role_of(mesh.id_of(&coord![6, 4, 5])), Some(Role::Corner(3)));
+    assert_eq!(
+        frame.role_of(mesh.id_of(&coord![6, 4, 5])),
+        Some(Role::Corner(3))
+    );
     let edges = [coord![5, 4, 5], coord![6, 5, 5], coord![6, 4, 4]];
     for e in &edges {
         assert_eq!(frame.role_of(mesh.id_of(e)), Some(Role::Corner(2)), "{e:?}");
@@ -104,7 +112,10 @@ fn figure4_recovery_shrinks_the_block_and_keeps_routing_optimal() {
     labeling.recover_coord(&coord![5, 5, 3]);
     labeling.run_to_fixpoint(200).unwrap();
     let blocks_after = BlockSet::extract(&mesh, labeling.statuses());
-    assert_eq!(blocks_after.blocks()[0].region, Region::new(vec![3, 5, 3], vec![4, 6, 4]));
+    assert_eq!(
+        blocks_after.blocks()[0].region,
+        Region::new(vec![3, 5, 3], vec![4, 6, 4])
+    );
     let boundary_after = BoundaryMap::construct(&mesh, &blocks_after);
     // Theorem 1: the recovery construction does not make routing worse.
     let mut labeling_before = LabelingEngine::new(mesh.clone());

@@ -163,7 +163,10 @@ fn delivery_ranking_over_random_fault_patterns() {
         }
     }
     let total = 4 * 20;
-    assert_eq!(delivered["lgfi"], total, "the backtracking LGFI router delivers everything");
+    assert_eq!(
+        delivered["lgfi"], total,
+        "the backtracking LGFI router delivers everything"
+    );
     assert_eq!(delivered["local-only"], total);
     assert_eq!(delivered["global-info"], total);
     assert!(delivered["dimension-order"] < total);

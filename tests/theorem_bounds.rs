@@ -7,7 +7,12 @@ use lgfi::workloads::DynamicFaultConfig;
 
 /// Routes a corner-to-corner probe through a dynamic fault schedule and returns the
 /// report plus the Theorem-4 bound derived from the network's own measurements.
-fn dynamic_run(dims: &[i32], fault_count: usize, interval: u64, seed: u64) -> (ProbeReport, DetourBound) {
+fn dynamic_run(
+    dims: &[i32],
+    fault_count: usize,
+    interval: u64,
+    seed: u64,
+) -> (ProbeReport, DetourBound) {
     let mesh = Mesh::new(dims);
     let mut generator = FaultGenerator::new(mesh.clone(), seed);
     let plan = generator.dynamic_plan(
@@ -77,7 +82,11 @@ fn theorem3_progress_holds_under_dynamic_faults() {
 
 #[test]
 fn theorem4_detour_bound_holds_under_dynamic_faults() {
-    for (dims, faults, interval) in [(vec![16, 16], 3usize, 60u64), (vec![12, 12], 5, 40), (vec![8, 8, 8], 4, 60)] {
+    for (dims, faults, interval) in [
+        (vec![16, 16], 3usize, 60u64),
+        (vec![12, 12], 5, 40),
+        (vec![8, 8, 8], 4, 60),
+    ] {
         for seed in 0..4u64 {
             let (report, bound) = dynamic_run(&dims, faults, interval, seed);
             assert!(report.outcome.delivered(), "{dims:?} seed {seed}");
@@ -117,7 +126,10 @@ fn theorem5_bound_holds_for_unsafe_sources() {
     let report = net.reports()[0].clone();
     assert!(report.outcome.delivered());
     let bound = net.detour_bound_for(report.launched_at);
-    let l = report.outcome.path_length.max(u64::from(report.outcome.initial_distance));
+    let l = report
+        .outcome
+        .path_length
+        .max(u64::from(report.outcome.initial_distance));
     assert!(report.outcome.steps <= bound.max_steps(l));
 }
 
@@ -139,7 +151,8 @@ fn theorem1_recovery_never_hurts_over_many_random_cases() {
         labeling.apply_recoveries(&recovered);
         let blocks_after = BlockSet::extract(&mesh, labeling.statuses());
         let boundary_after = BoundaryMap::construct(&mesh, &blocks_after);
-        let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, seed + 99);
+        let mut traffic =
+            TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, seed + 99);
         let sb = statuses_before.clone();
         let sa = labeling.statuses().to_vec();
         for req in traffic.requests(15, |id| {
