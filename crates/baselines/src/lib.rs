@@ -5,7 +5,7 @@
 //!
 //! * *"Many traditional models assume all the nodes know global fault information"* —
 //!   represented here by [`GlobalInfoRouter`] (every node sees every block with zero
-//!   distribution delay) and by [`StaticBlockRouter`], a Wu-[14]-style faulty-block
+//!   distribution delay) and by [`StaticBlockRouter`], a Wu-\[14\]-style faulty-block
 //!   adaptive router that takes a one-shot global snapshot at launch time and never
 //!   updates it;
 //! * *"without fault information, the routing process may enter a region where all

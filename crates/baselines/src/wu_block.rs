@@ -1,7 +1,7 @@
 //! Wu-style minimal adaptive faulty-block routing.
 //!
 //! A baseline in the spirit of Wu's fault-tolerant adaptive *and minimal* routing in
-//! n-D meshes [14], which the paper builds on: every node knows the (static) faulty
+//! n-D meshes \[14\], which the paper builds on: every node knows the (static) faulty
 //! blocks, and the routing only ever takes preferred directions, choosing among them
 //! one that does not lead into a dangerous area.  If no such preferred direction
 //! exists (the source was unsafe, or a dynamic fault appeared after launch), the

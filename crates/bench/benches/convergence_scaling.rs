@@ -1,9 +1,15 @@
 //! Criterion bench for claim C1: the end-to-end convergence of all three fault
 //! information constructions (a_i + b_i + c_i) inside the dynamic step loop, for
-//! growing mesh sizes — the "fault information can be distributed quickly" claim.
+//! growing mesh sizes — the "fault information can be distributed quickly" claim —
+//! plus the serial-vs-parallel throughput of the sharded round engines at 1/2/4/8
+//! worker threads on a 64x64 mesh.  Thread counts are part of the benchmark id, so
+//! the report records which execution mode produced each number; results themselves
+//! are bit-identical across modes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_core::labeling::LabelingEngine;
 use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
 use lgfi_topology::Mesh;
 use lgfi_workloads::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
 
@@ -50,5 +56,107 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_convergence);
+/// A never-quiescing gossip rule with MinFlood-like per-node cost: every node mixes
+/// its neighbors' states and occasionally relays messages, so a fixed round budget
+/// measures raw round-engine throughput rather than convergence luck.
+struct ThroughputGossip;
+
+impl Protocol for ThroughputGossip {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+        (ctx.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    }
+
+    fn on_round(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        prev: &u64,
+        neighbors: &[NeighborView<'_, u64>],
+        inbox: &[u64],
+        outbox: &mut Outbox<u64>,
+    ) -> u64 {
+        let mut h = *prev;
+        for &m in inbox {
+            h = h.rotate_left(7) ^ m;
+        }
+        for nb in neighbors {
+            if let Some(&s) = nb.state {
+                h = h.wrapping_add(s.rotate_right(11));
+            }
+        }
+        // Roughly 1/8 of the nodes relay each round: enough cross-shard traffic to
+        // exercise the barrier merge without drowning the round in allocations.
+        if h % 8 == 0 {
+            for nb in neighbors {
+                outbox.send(nb.id, h);
+            }
+        }
+        h
+    }
+}
+
+/// Serial-vs-parallel round-engine throughput on a 64x64 mesh: 40 rounds of the
+/// gossip protocol per iteration at 1/2/4/8 worker threads.
+fn bench_round_engine_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_engine_threads");
+    group.sample_size(10);
+    let mesh = Mesh::cubic(64, 2);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("gossip_64x64_40_rounds", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut eng =
+                        RoundEngine::new(mesh.clone(), ThroughputGossip).with_threads(threads);
+                    eng.run_rounds(40);
+                    std::hint::black_box(eng.states()[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Serial-vs-parallel labeling throughput on a 64x64 mesh: the Algorithm-1 status
+/// rules over a large clustered fault burst, run to fixpoint plus a fixed extra
+/// budget, at 1/2/4/8 worker threads.
+fn bench_labeling_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labeling_threads");
+    group.sample_size(10);
+    let mesh = Mesh::cubic(64, 2);
+    let mut generator = FaultGenerator::new(mesh.clone(), 9);
+    let faults = generator.place(48, FaultPlacement::Clustered { clusters: 6 });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("labeling_64x64_48_faults", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut eng = LabelingEngine::new(mesh.clone()).with_threads(threads);
+                    for f in &faults {
+                        eng.inject_fault_coord(f);
+                    }
+                    // Fixpoint plus a fixed 32-round tail so every thread count does
+                    // identical work regardless of when the labeling stabilises.
+                    eng.run_to_fixpoint(1_000).expect("labeling stabilises");
+                    for _ in 0..32 {
+                        eng.run_round();
+                    }
+                    std::hint::black_box(eng.census())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_convergence,
+    bench_round_engine_threads,
+    bench_labeling_threads
+);
 criterion_main!(benches);

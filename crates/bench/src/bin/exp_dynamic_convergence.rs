@@ -1,6 +1,14 @@
 //! Experiment binary: prints the `dynamic_convergence` experiment table(s).
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+//!
+//! Accepts `--threads N` (or `LGFI_THREADS`) to run the information rounds on N
+//! sharded workers; `0` = one worker per core.  Output is bit-identical for every
+//! setting.
 
 fn main() {
-    println!("{}", lgfi_bench::harness::exp_dynamic_convergence());
+    let threads = lgfi_bench::harness::cli_threads();
+    println!(
+        "{}",
+        lgfi_bench::harness::exp_dynamic_convergence_with(threads)
+    );
 }

@@ -1,6 +1,11 @@
 //! Experiment binary: prints the `fig7_steps` experiment table(s).
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+//!
+//! Accepts `--threads N` (or `LGFI_THREADS`) to run the information rounds on N
+//! sharded workers; `0` = one worker per core.  Output is bit-identical for every
+//! setting.
 
 fn main() {
-    println!("{}", lgfi_bench::harness::exp_fig7_steps());
+    let threads = lgfi_bench::harness::cli_threads();
+    println!("{}", lgfi_bench::harness::exp_fig7_steps_with(threads));
 }

@@ -1,6 +1,14 @@
 //! Experiment binary: prints the `graceful_degradation` experiment table(s).
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
+//!
+//! Accepts `--threads N` (or `LGFI_THREADS`) to run the per-scenario information
+//! rounds on N sharded workers; `0` = one worker per core.  Output is bit-identical
+//! for every setting.
 
 fn main() {
-    println!("{}", lgfi_bench::harness::exp_graceful_degradation());
+    let threads = lgfi_bench::harness::cli_threads();
+    println!(
+        "{}",
+        lgfi_bench::harness::exp_graceful_degradation_with(threads)
+    );
 }

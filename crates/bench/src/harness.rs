@@ -22,9 +22,63 @@ use lgfi_core::status::NodeStatus;
 use lgfi_sim::FaultPlan;
 use lgfi_topology::{coord, Coord, Direction, Mesh};
 use lgfi_workloads::{
-    run_trials, DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario, TrafficGenerator,
-    TrafficPattern,
+    run_trials, run_trials_on, DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario,
+    TrafficGenerator, TrafficPattern,
 };
+
+// ---------------------------------------------------------------------------------
+// The `threads` knob
+// ---------------------------------------------------------------------------------
+
+/// The worker-thread count configured through the environment: `LGFI_THREADS` unset
+/// or empty means `1` (serial, the deterministic default), `0` means one worker per
+/// available core, any other value is used as-is.  Parallelism never changes results
+/// — every experiment output is bit-identical across settings.
+pub fn configured_threads() -> usize {
+    match std::env::var("LGFI_THREADS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("LGFI_THREADS must be an integer, got {s:?}")),
+        _ => 1,
+    }
+}
+
+/// The worker-thread count for an experiment binary: a `--threads N` command-line
+/// argument wins, then the `LGFI_THREADS` environment variable, then serial.
+/// `N = 0` means one worker per available core.
+pub fn cli_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads takes an integer, got {v:?}"));
+        }
+        if a == "--threads" {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--threads takes an integer argument"));
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads takes an integer, got {v:?}"));
+        }
+    }
+    configured_threads()
+}
+
+/// Picks the sweep-level worker count for an experiment whose per-trial engines run
+/// with `engine_threads` workers: the two levels multiply, so the sweep gets the
+/// cores left over after each trial's engine claims its share (at least one sweep
+/// worker; `0` = one sweep worker per core when the engines are serial).
+fn sweep_workers(engine_threads: usize) -> usize {
+    if engine_threads == 1 {
+        0 // one sweep worker per core, engines serial — the historical default
+    } else {
+        let cores = lgfi_sim::resolve_threads(0);
+        (cores / engine_threads).max(1)
+    }
+}
 
 /// The fault set of Figure 1 of the paper: four faults in a 3-D mesh whose block is
 /// `[3:5, 5:6, 3:4]`.
@@ -349,12 +403,19 @@ pub fn exp_fig5_identification() -> String {
 /// information of a new block to reach the far end of its boundary as a function of λ,
 /// and the phase structure of a step.
 pub fn exp_fig7_steps() -> String {
+    exp_fig7_steps_with(configured_threads())
+}
+
+/// [`exp_fig7_steps`] with an explicit worker-thread count for the information
+/// rounds (bit-identical output for every setting).
+pub fn exp_fig7_steps_with(threads: usize) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
     let mesh = Mesh::cubic(12, 2);
     let faults = [coord![5, 6], coord![6, 7], coord![5, 7], coord![6, 6]];
     let ids: Vec<usize> = faults.iter().map(|c| mesh.id_of(c)).collect();
     let observer = mesh.id_of(&coord![4, 0]);
     let mut table = Table::new(
-        "F7  Figure 7: steps until a distant boundary node (4,0) learns of block [5:6,6:7] (12x12 mesh)",
+        &format!("F7  Figure 7: steps until a distant boundary node (4,0) learns of block [5:6,6:7] (12x12 mesh, threads={threads})"),
         &["lambda (rounds/step)", "steps until visible", "total info rounds"],
     );
     for lambda in [1u64, 2, 4, 8] {
@@ -365,6 +426,7 @@ pub fn exp_fig7_steps() -> String {
             NetworkConfig {
                 lambda,
                 max_probe_steps: 10_000,
+                threads,
             },
         );
         let mut steps = 0u64;
@@ -740,8 +802,16 @@ pub fn exp_thm1_recovery() -> String {
 /// Experiment C1: the claim that "fault information can be distributed quickly" —
 /// `a_i`, `b_i`, `c_i` as a function of mesh size, dimension and fault-cluster size.
 pub fn exp_convergence() -> String {
+    exp_convergence_with(configured_threads())
+}
+
+/// [`exp_convergence`] with an explicit worker-thread count for the labeling rounds;
+/// engine parallelism > 1 shrinks the outer seed sweep to the cores left over so the
+/// machine is not oversubscribed.  Output numbers are bit-identical for every setting.
+pub fn exp_convergence_with(threads: usize) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
     let mut table = Table::new(
-        "C1  convergence rounds of the fault-information constructions (mean over 8 seeds)",
+        &format!("C1  convergence rounds of the fault-information constructions (mean over 8 seeds, threads={threads})"),
         &[
             "mesh",
             "faults per cluster",
@@ -765,11 +835,11 @@ pub fn exp_convergence() -> String {
         let mesh = Mesh::new(&dims);
         let inputs: Vec<u64> = (0..8).collect();
         let dims_clone = dims.clone();
-        let points = run_trials(inputs, move |&seed| {
+        let points = run_trials_on(sweep_workers(threads), inputs, move |&seed| {
             let mesh = Mesh::new(&dims_clone);
             let mut generator = FaultGenerator::new(mesh.clone(), seed);
             let faults = generator.place(cluster, FaultPlacement::Clustered { clusters: 1 });
-            let mut eng = LabelingEngine::new(mesh.clone());
+            let mut eng = LabelingEngine::new(mesh.clone()).with_threads(threads);
             let a = eng.apply_faults(&faults);
             let blocks = BlockSet::extract(&mesh, eng.statuses());
             let ident = IdentificationProcess::default();
@@ -822,6 +892,13 @@ fn router_by_name(name: &str) -> Box<dyn Router> {
 /// gracefully" — delivery ratio, mean detours and stretch for every router as the
 /// number of dynamic faults grows.
 pub fn exp_graceful_degradation() -> String {
+    exp_graceful_degradation_with(configured_threads())
+}
+
+/// [`exp_graceful_degradation`] with an explicit worker-thread count for the
+/// per-scenario information rounds (bit-identical output for every setting).
+pub fn exp_graceful_degradation_with(threads: usize) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
     let routers = [
         "lgfi",
         "global-info",
@@ -831,13 +908,13 @@ pub fn exp_graceful_degradation() -> String {
     ];
     let fault_counts = [0usize, 8, 16, 32, 48];
     let mut table = Table::new(
-        "C2  routing under an increasing number of clustered dynamic faults (16x16 mesh, 20 probes x 6 seeds, uniform traffic)",
+        &format!("C2  routing under an increasing number of clustered dynamic faults (16x16 mesh, 20 probes x 6 seeds, uniform traffic, threads={threads})"),
         &["router", "faults", "delivery", "mean detours", "mean stretch"],
     );
     for router in routers {
         for &faults in &fault_counts {
             let inputs: Vec<u64> = (0..6).collect();
-            let points = run_trials(inputs, move |&seed| {
+            let points = run_trials_on(sweep_workers(threads), inputs, move |&seed| {
                 let scenario = Scenario {
                     dims: vec![16, 16],
                     seed,
@@ -857,6 +934,7 @@ pub fn exp_graceful_degradation() -> String {
                     messages: 20,
                     launch_step: 10,
                     max_steps: 100_000,
+                    threads,
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 (
@@ -952,6 +1030,13 @@ pub fn exp_memory_overhead() -> String {
 /// Experiment C4: re-convergence of the information after each of a stream of fault
 /// and recovery events (the "only affected nodes update" / no-oscillation claim).
 pub fn exp_dynamic_convergence() -> String {
+    exp_dynamic_convergence_with(configured_threads())
+}
+
+/// [`exp_dynamic_convergence`] with an explicit worker-thread count for the
+/// information rounds (bit-identical output for every setting).
+pub fn exp_dynamic_convergence_with(threads: usize) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
     let mesh = Mesh::cubic(16, 2);
     let mut generator = FaultGenerator::new(mesh.clone(), 7);
     let plan = generator.dynamic_plan(
@@ -964,10 +1049,17 @@ pub fn exp_dynamic_convergence() -> String {
         },
         FaultPlacement::UniformInterior,
     );
-    let mut net = LgfiNetwork::new(mesh, plan, NetworkConfig::default());
+    let mut net = LgfiNetwork::new(
+        mesh,
+        plan,
+        NetworkConfig {
+            threads,
+            ..NetworkConfig::default()
+        },
+    );
     net.run_to_completion(2_000);
     let mut table = Table::new(
-        "C4  per-disturbance convergence in a 16x16 mesh (8 dynamic faults, each later recovering)",
+        &format!("C4  per-disturbance convergence in a 16x16 mesh (8 dynamic faults, each later recovering, threads={threads})"),
         &[
             "disturbance step",
             "a (rounds)",
@@ -1066,6 +1158,31 @@ mod tests {
             }
             let last = line.split_whitespace().last().unwrap();
             assert_eq!(last, "0", "violation reported in: {line}");
+        }
+    }
+
+    #[test]
+    fn threaded_experiment_variants_produce_identical_rows() {
+        // Everything except the "threads=N" tag in the title must be bit-identical.
+        let rows = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.contains("threads="))
+                .map(String::from)
+                .collect()
+        };
+        let serial = exp_dynamic_convergence_with(1);
+        let parallel = exp_dynamic_convergence_with(3);
+        assert_eq!(rows(&serial), rows(&parallel));
+        let serial = exp_fig7_steps_with(1);
+        let parallel = exp_fig7_steps_with(2);
+        assert_eq!(rows(&serial), rows(&parallel));
+    }
+
+    #[test]
+    fn thread_knob_defaults_to_serial() {
+        if std::env::var("LGFI_THREADS").is_err() {
+            assert_eq!(configured_threads(), 1);
+            assert_eq!(cli_threads(), 1);
         }
     }
 

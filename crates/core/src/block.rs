@@ -2,7 +2,7 @@
 //!
 //! Definition 1 produces a labeling in which "connected disabled and faulty nodes form
 //! a faulty block".  With interior faults and the labeling stabilised, every block is
-//! box-shaped (this is the property of Wu's model [14] that the paper relies on); the
+//! box-shaped (this is the property of Wu's model \[14\] that the paper relies on); the
 //! extent `[lo:hi]` of that box is the *block information* that the identification and
 //! boundary processes distribute.
 //!

@@ -21,6 +21,9 @@ pub struct LabelingEngine {
     mesh: Mesh,
     statuses: Vec<NodeStatus>,
     rounds: u64,
+    /// Worker threads for round execution (1 = serial); results are bit-identical
+    /// for every setting, exactly as for [`RoundEngine`].
+    threads: usize,
 }
 
 impl LabelingEngine {
@@ -32,7 +35,27 @@ impl LabelingEngine {
             mesh,
             statuses: vec![NodeStatus::Enabled; n],
             rounds: 0,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads used to execute labeling rounds: `1` runs
+    /// serially, `0` resolves to one worker per available core.  The labeling rule is
+    /// a pure per-node function of the previous-round statuses, so every setting
+    /// produces bit-identical status vectors and round counts.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = lgfi_sim::resolve_threads(threads);
+    }
+
+    /// Builder-style variant of [`LabelingEngine::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The resolved number of worker threads (>= 1).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Creates an engine with the given faulty nodes already marked.
@@ -100,11 +123,27 @@ impl LabelingEngine {
     }
 
     /// Executes one synchronous round of rules 1–4; returns the number of nodes whose
-    /// status changed.
+    /// status changed.  With [`LabelingEngine::set_threads`] > 1 the round is
+    /// executed by sharded workers (contiguous dimension-0 slabs, as in
+    /// [`RoundEngine`]) with bit-identical results.
     pub fn run_round(&mut self) -> usize {
         let mut next = self.statuses.clone();
+        let changes = if self.threads > 1 {
+            self.compute_round_sharded(&mut next)
+        } else {
+            self.compute_round(0, &mut next)
+        };
+        self.statuses = next;
+        self.rounds += 1;
+        changes
+    }
+
+    /// Applies rules 1–4 to the slice `next` (which holds the nodes starting at id
+    /// `base`), reading the shared previous-round statuses; returns the change count.
+    fn compute_round(&self, base: usize, next: &mut [NodeStatus]) -> usize {
         let mut changes = 0usize;
-        for (id, slot) in next.iter_mut().enumerate() {
+        for (offset, slot) in next.iter_mut().enumerate() {
+            let id = base + offset;
             if self.statuses[id] == NodeStatus::Faulty {
                 continue;
             }
@@ -120,9 +159,30 @@ impl LabelingEngine {
             }
             *slot = ns;
         }
-        self.statuses = next;
-        self.rounds += 1;
         changes
+    }
+
+    /// The sharded round body: workers write disjoint slabs of the next-status buffer
+    /// while sharing read access to the previous statuses (the double buffer is the
+    /// halo exchange), then the change counts are summed at the round barrier.
+    fn compute_round_sharded(&self, next: &mut [NodeStatus]) -> usize {
+        let n = self.statuses.len();
+        let shards =
+            lgfi_sim::shard_ranges(n, lgfi_sim::shard::slab_width(&self.mesh), self.threads);
+        if shards.len() <= 1 {
+            // A single slab cannot be split: skip the worker machinery entirely.
+            return self.compute_round(0, next);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lgfi_sim::shard::split_shards_mut(next, &shards)
+                .into_iter()
+                .map(|(base, mine)| scope.spawn(move || self.compute_round(base, mine)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("labeling shard worker panicked"))
+                .sum()
+        })
     }
 
     /// Runs rounds until no status changes; returns the number of rounds executed
@@ -462,5 +522,54 @@ mod tests {
         let mesh = Mesh::cubic(5, 2);
         let mut eng = LabelingEngine::new(mesh);
         eng.recover_coord(&coord![1, 1]);
+    }
+
+    #[test]
+    fn sharded_labeling_rounds_match_serial_exactly() {
+        for dims in [vec![10, 10], vec![7, 6, 5], vec![4, 4, 3, 3]] {
+            let mesh = Mesh::new(&dims);
+            let faults: Vec<Coord> = mesh
+                .interior_region()
+                .map(|r| r.iter_coords().step_by(7).take(10).collect())
+                .unwrap_or_default();
+            let run = |threads: usize| {
+                let mut eng = LabelingEngine::new(mesh.clone()).with_threads(threads);
+                let mut per_round = Vec::new();
+                for f in &faults {
+                    eng.inject_fault_coord(f);
+                }
+                loop {
+                    let c = eng.run_round();
+                    per_round.push(c);
+                    if c == 0 {
+                        break;
+                    }
+                }
+                // A recovery wave afterwards, still identical.
+                if let Some(f) = faults.first() {
+                    eng.recover_coord(f);
+                    loop {
+                        let c = eng.run_round();
+                        per_round.push(c);
+                        if c == 0 {
+                            break;
+                        }
+                    }
+                }
+                (eng.statuses().to_vec(), eng.rounds(), per_round)
+            };
+            let serial = run(1);
+            for threads in [2, 3, 8] {
+                assert_eq!(serial, run(threads), "dims {dims:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn labeling_threads_knob_resolves() {
+        let eng = LabelingEngine::new(Mesh::cubic(4, 2)).with_threads(0);
+        assert!(eng.threads() >= 1);
+        let eng = LabelingEngine::new(Mesh::cubic(4, 2)).with_threads(3);
+        assert_eq!(eng.threads(), 3);
     }
 }

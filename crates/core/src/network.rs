@@ -2,7 +2,7 @@
 //! *hand-in-hand* (Figure 7).
 //!
 //! [`LgfiNetwork`] executes the step model of Section 5 over a
-//! [`FaultPlan`](lgfi_sim::FaultPlan):
+//! [`FaultPlan`]:
 //!
 //! * at the beginning of every step the fault events scheduled for that step take
 //!   effect and are detected by the neighbors;
@@ -42,6 +42,10 @@ pub struct NetworkConfig {
     /// Safety cap on the number of steps a probe may take before being declared
     /// exhausted.
     pub max_probe_steps: u64,
+    /// Worker threads for the information rounds (`1` = serial, `0` = one per
+    /// available core).  Parallelism is an execution detail: every run is
+    /// bit-identical to the serial one.
+    pub threads: usize,
 }
 
 impl Default for NetworkConfig {
@@ -49,6 +53,7 @@ impl Default for NetworkConfig {
         NetworkConfig {
             lambda: 1,
             max_probe_steps: 100_000,
+            threads: 1,
         }
     }
 }
@@ -146,7 +151,7 @@ impl LgfiNetwork {
     /// Creates a network over `mesh` with a fault plan and configuration.  No events
     /// are applied until [`LgfiNetwork::run_step`] is called.
     pub fn new(mesh: Mesh, plan: FaultPlan, config: NetworkConfig) -> Self {
-        let labeling = LabelingEngine::new(mesh.clone());
+        let labeling = LabelingEngine::new(mesh.clone()).with_threads(config.threads);
         let blocks = BlockSet::extract(&mesh, labeling.statuses());
         LgfiNetwork {
             info: vec![Vec::new(); mesh.node_count()],
@@ -185,6 +190,11 @@ impl LgfiNetwork {
     /// The step configuration as a [`StepConfig`].
     pub fn step_config(&self) -> StepConfig {
         StepConfig::with_lambda(self.config.lambda)
+    }
+
+    /// The resolved worker-thread count the information rounds execute with (>= 1).
+    pub fn threads(&self) -> usize {
+        self.labeling.threads()
     }
 
     /// Current node statuses.
@@ -723,6 +733,7 @@ mod tests {
             NetworkConfig {
                 lambda: 1,
                 max_probe_steps: 3,
+                ..NetworkConfig::default()
             },
         );
         net.launch_probe(
@@ -741,5 +752,45 @@ mod tests {
         let mut net = LgfiNetwork::new(mesh, FaultPlan::empty(), NetworkConfig::default());
         let executed = net.run_to_completion(1_000);
         assert_eq!(executed, 0, "an idle network does not spin");
+    }
+
+    #[test]
+    fn parallel_network_runs_are_bit_identical_to_serial() {
+        let mesh = Mesh::cubic(12, 2);
+        let run = |threads: usize| {
+            let mut plan = FaultPlan::new(vec![
+                FaultEvent::fail(0, mesh.id_of(&coord![5, 5])),
+                FaultEvent::fail(0, mesh.id_of(&coord![6, 6])),
+                FaultEvent::fail(0, mesh.id_of(&coord![5, 6])),
+                FaultEvent::fail(25, mesh.id_of(&coord![2, 8])),
+                FaultEvent::fail(25, mesh.id_of(&coord![3, 9])),
+            ]);
+            plan.push(FaultEvent::recover(60, mesh.id_of(&coord![5, 5])));
+            let mut net = LgfiNetwork::new(
+                mesh.clone(),
+                plan,
+                NetworkConfig {
+                    lambda: 2,
+                    threads,
+                    ..NetworkConfig::default()
+                },
+            );
+            net.launch_probe(
+                mesh.id_of(&coord![0, 0]),
+                mesh.id_of(&coord![11, 11]),
+                Box::new(LgfiRouter::new()),
+            );
+            net.run_to_completion(2_000);
+            (
+                net.statuses().to_vec(),
+                net.blocks().regions(),
+                net.convergence_records().to_vec(),
+                net.round(),
+                format!("{:?}", net.reports()),
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
     }
 }

@@ -1,6 +1,6 @@
 //! Theorem 2: safe sources.
 //!
-//! Wu [14] defines a source node to be *safe* with respect to a destination if no
+//! Wu \[14\] defines a source node to be *safe* with respect to a destination if no
 //! faulty block intersects the sections `[0 : u_i]` along every axis — i.e. no block
 //! overlaps the minimal-path bounding box spanned by the source and the destination.
 //! If the source is safe and no new fault occurs during the routing, a minimal path is

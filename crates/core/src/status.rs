@@ -1,6 +1,6 @@
 //! Node statuses and the local labeling rules.
 //!
-//! Definition 1 (from Wu [14]) and Definition 4 / Algorithm 1 of the paper define four
+//! Definition 1 (from Wu \[14\]) and Definition 4 / Algorithm 1 of the paper define four
 //! statuses and five local transition rules.  The rules are *local*: a node's next
 //! status depends only on its own status and the statuses of its `2n` neighbors, which
 //! is what allows the labeling to run as rounds of status exchanges among neighbors.

@@ -11,9 +11,22 @@
 //! states so that every update within a round reads only previous-round information —
 //! exactly the "rounds of status exchanges among neighbors" of Algorithm 1 and the
 //! hop-by-hop message propagation of Algorithm 2.
+//!
+//! # Parallel execution
+//!
+//! Because every round reads only previous-round data, the engine can execute rounds
+//! in parallel without changing protocol semantics: [`RoundEngine::set_threads`]
+//! partitions the mesh into contiguous slabs along the highest-stride dimension (see
+//! [`crate::shard`]) and gives each slab to a worker under [`std::thread::scope`].
+//! Workers read the shared previous-round state (the halo exchange is implicit in the
+//! double buffer) and their new states and outgoing messages are merged at the round
+//! barrier in shard order, which preserves the exact serial per-mailbox message order.
+//! Parallel runs are therefore **bit-identical** to serial runs for any protocol —
+//! parallelism is an execution detail, not a semantics change.
 
 use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
+use crate::shard::{resolve_threads, shard_ranges, slab_width, split_shards_mut};
 use crate::stats::{EngineStats, RoundStats};
 
 /// What a node can see of one of its neighbors during a round.
@@ -77,11 +90,15 @@ impl<M> Outbox<M> {
 }
 
 /// A synchronous, purely local protocol rule.
-pub trait Protocol {
+///
+/// The rule must be a pure function of its inputs, and states/messages are plain data
+/// (`Send + Sync`), so the engine may evaluate different nodes of the same round on
+/// different worker threads; see the module docs on parallel execution.
+pub trait Protocol: Sync {
     /// Per-node protocol state.
-    type State: Clone + PartialEq;
+    type State: Clone + PartialEq + Send + Sync;
     /// Messages exchanged between neighbors.
-    type Msg: Clone;
+    type Msg: Clone + Send;
 
     /// The initial state of node `ctx.id`.
     fn init(&self, ctx: &NodeCtx<'_>) -> Self::State;
@@ -115,6 +132,8 @@ pub struct RoundEngine<P: Protocol> {
     neighbors: Vec<Vec<(Direction, NodeId)>>,
     round: u64,
     stats: EngineStats,
+    /// Number of worker threads for round execution (1 = serial).
+    threads: usize,
 }
 
 impl<P: Protocol> RoundEngine<P> {
@@ -140,8 +159,28 @@ impl<P: Protocol> RoundEngine<P> {
             neighbors,
             round: 0,
             stats: EngineStats::default(),
+            threads: 1,
             mesh,
         }
+    }
+
+    /// Sets the number of worker threads used to execute rounds: `1` runs serially,
+    /// `0` resolves to one worker per available core, any other value is used as-is.
+    /// Results are bit-identical for every setting (see the module docs).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = resolve_threads(threads);
+        self.stats.set_threads(self.threads);
+    }
+
+    /// Builder-style variant of [`RoundEngine::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The resolved number of worker threads (>= 1).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The mesh the engine runs on.
@@ -226,46 +265,49 @@ impl<P: Protocol> RoundEngine<P> {
     }
 
     /// Executes one synchronous round; returns the number of nodes whose state
-    /// changed.
+    /// changed.  With [`RoundEngine::set_threads`] > 1 the round is executed by
+    /// sharded workers with bit-identical results.
     pub fn run_round(&mut self) -> usize {
+        let (changes, messages_sent) = if self.threads > 1 {
+            self.round_sharded()
+        } else {
+            self.round_serial()
+        };
+        self.round += 1;
+        self.stats.record_round(RoundStats {
+            state_changes: changes as u64,
+            messages_sent,
+        });
+        changes
+    }
+
+    /// The single-threaded round body.
+    fn round_serial(&mut self) -> (usize, u64) {
         let n = self.states.len();
+        let view = RoundView {
+            mesh: &self.mesh,
+            protocol: &self.protocol,
+            states: &self.states,
+            faulty: &self.faulty,
+            neighbors: &self.neighbors,
+            round: self.round,
+        };
         let mut new_states: Vec<Option<P::State>> = vec![None; n];
         let mut new_mail: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
         let mut messages_sent = 0u64;
         let mut changes = 0usize;
 
         for (id, new_state) in new_states.iter_mut().enumerate() {
-            if self.faulty[id] {
+            if view.faulty[id] {
                 continue;
             }
-            let ctx = NodeCtx {
-                mesh: &self.mesh,
-                id,
-                round: self.round,
-            };
-            let views: Vec<NeighborView<'_, P::State>> = self.neighbors[id]
-                .iter()
-                .map(|&(dir, nid)| NeighborView {
-                    dir,
-                    id: nid,
-                    faulty: self.faulty[nid],
-                    state: if self.faulty[nid] {
-                        None
-                    } else {
-                        Some(&self.states[nid])
-                    },
-                })
-                .collect();
             let inbox = std::mem::take(&mut self.mailboxes[id]);
-            let mut outbox = Outbox::new();
-            let next = self
-                .protocol
-                .on_round(&ctx, &self.states[id], &views, &inbox, &mut outbox);
-            if next != self.states[id] {
+            let (next, sent) = view.eval(id, inbox);
+            if next != view.states[id] {
                 changes += 1;
             }
-            for (to, msg) in outbox.msgs {
-                if !self.faulty[to] {
+            for (to, msg) in sent {
+                if !view.faulty[to] {
                     new_mail[to].push(msg);
                     messages_sent += 1;
                 }
@@ -281,16 +323,99 @@ impl<P: Protocol> RoundEngine<P> {
         // Mailboxes of faulty nodes were cleared on injection; anything that was not
         // consumed this round (faulty nodes skipped) is dropped, and the newly sent
         // messages become next round's inboxes.
-        for (id, mail) in new_mail.into_iter().enumerate() {
-            self.mailboxes[id] = mail;
+        self.mailboxes = new_mail;
+        (changes, messages_sent)
+    }
+
+    /// The sharded round body: each worker evaluates one contiguous slab of node ids
+    /// against the shared previous-round state; the per-shard results are merged at
+    /// the round barrier in shard order, reproducing the serial message order exactly.
+    fn round_sharded(&mut self) -> (usize, u64) {
+        /// What one worker hands back at the round barrier.
+        struct ShardOutput<S, M> {
+            /// Next states for the shard's id range (`None` for faulty nodes).
+            new_states: Vec<Option<S>>,
+            /// Messages sent by the shard, in sender-id order, faulty recipients
+            /// already dropped (fault flags cannot change mid-round).
+            sent: Vec<(NodeId, M)>,
+            changes: usize,
+            messages_sent: u64,
         }
 
-        self.round += 1;
-        self.stats.record_round(RoundStats {
-            state_changes: changes as u64,
-            messages_sent,
+        let n = self.states.len();
+        let shards = shard_ranges(n, slab_width(&self.mesh), self.threads);
+        if shards.len() <= 1 {
+            // A single slab cannot be split: skip the worker machinery entirely.
+            return self.round_serial();
+        }
+        let view = RoundView {
+            mesh: &self.mesh,
+            protocol: &self.protocol,
+            states: &self.states,
+            faulty: &self.faulty,
+            neighbors: &self.neighbors,
+            round: self.round,
+        };
+
+        // Hand each worker the mutable mailbox slice of its own shard (for inbox
+        // draining) while every worker shares read access to the previous states.
+        let mut outputs: Vec<ShardOutput<P::State, P::Msg>> = Vec::with_capacity(shards.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards.len());
+            for (base, mine) in split_shards_mut(&mut self.mailboxes, &shards) {
+                let range = base..base + mine.len();
+                handles.push(scope.spawn(move || {
+                    let mut out = ShardOutput {
+                        new_states: Vec::with_capacity(range.len()),
+                        sent: Vec::new(),
+                        changes: 0,
+                        messages_sent: 0,
+                    };
+                    for (local, id) in range.enumerate() {
+                        if view.faulty[id] {
+                            out.new_states.push(None);
+                            continue;
+                        }
+                        let inbox = std::mem::take(&mut mine[local]);
+                        let (next, sent) = view.eval(id, inbox);
+                        if next != view.states[id] {
+                            out.changes += 1;
+                        }
+                        for (to, msg) in sent {
+                            if !view.faulty[to] {
+                                out.sent.push((to, msg));
+                                out.messages_sent += 1;
+                            }
+                        }
+                        out.new_states.push(Some(next));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("shard worker panicked"));
+            }
         });
-        changes
+
+        // Round barrier: merge shard results in shard (= ascending node id) order so
+        // every mailbox receives its messages in the exact serial order.
+        let mut new_mail: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+        let mut changes = 0usize;
+        let mut messages_sent = 0u64;
+        for (range, out) in shards.into_iter().zip(outputs) {
+            changes += out.changes;
+            messages_sent += out.messages_sent;
+            for (offset, st) in out.new_states.into_iter().enumerate() {
+                if let Some(st) = st {
+                    self.states[range.start + offset] = st;
+                }
+            }
+            for (to, msg) in out.sent {
+                new_mail[to].push(msg);
+            }
+        }
+        self.mailboxes = new_mail;
+        (changes, messages_sent)
     }
 
     /// Runs rounds until the protocol is quiescent: no state changed in the last round
@@ -318,6 +443,55 @@ impl<P: Protocol> RoundEngine<P> {
             total += self.run_round();
         }
         total
+    }
+}
+
+/// The shared, read-only inputs of one round, as seen by every worker.
+struct RoundView<'a, P: Protocol> {
+    mesh: &'a Mesh,
+    protocol: &'a P,
+    states: &'a [P::State],
+    faulty: &'a [bool],
+    neighbors: &'a [Vec<(Direction, NodeId)>],
+    round: u64,
+}
+
+impl<P: Protocol> Clone for RoundView<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: Protocol> Copy for RoundView<'_, P> {}
+
+impl<P: Protocol> RoundView<'_, P> {
+    /// Evaluates one non-faulty node against the previous-round state: builds the
+    /// neighbor views, runs the protocol rule on `inbox`, and returns the next state
+    /// together with the messages sent (unfiltered).
+    fn eval(&self, id: NodeId, inbox: Vec<P::Msg>) -> (P::State, Vec<(NodeId, P::Msg)>) {
+        let ctx = NodeCtx {
+            mesh: self.mesh,
+            id,
+            round: self.round,
+        };
+        let views: Vec<NeighborView<'_, P::State>> = self.neighbors[id]
+            .iter()
+            .map(|&(dir, nid)| NeighborView {
+                dir,
+                id: nid,
+                faulty: self.faulty[nid],
+                state: if self.faulty[nid] {
+                    None
+                } else {
+                    Some(&self.states[nid])
+                },
+            })
+            .collect();
+        let mut outbox = Outbox::new();
+        let next = self
+            .protocol
+            .on_round(&ctx, &self.states[id], &views, &inbox, &mut outbox);
+        (next, outbox.msgs)
     }
 }
 
@@ -523,5 +697,118 @@ mod tests {
         eng.inject_fault(f);
         eng.post(f, 0);
         assert_eq!(eng.pending_messages(), 0);
+    }
+
+    /// A protocol whose state folds the inbox with a non-commutative hash, so any
+    /// deviation from the serial message delivery *order* changes the fixpoint.
+    struct OrderSensitiveGossip;
+
+    impl Protocol for OrderSensitiveGossip {
+        type State = u64;
+        type Msg = u64;
+
+        fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.id as u64 + 1
+        }
+
+        fn on_round(
+            &self,
+            ctx: &NodeCtx<'_>,
+            prev: &u64,
+            neighbors: &[NeighborView<'_, u64>],
+            inbox: &[u64],
+            outbox: &mut Outbox<u64>,
+        ) -> u64 {
+            let mut h = *prev;
+            for &m in inbox {
+                // Non-commutative, non-associative mixing: order matters.
+                h = h.rotate_left(7) ^ m.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            for nb in neighbors {
+                if let Some(&s) = nb.state {
+                    h = h.wrapping_add(s.rotate_right(11));
+                }
+            }
+            if ctx.round < 12 {
+                for nb in neighbors {
+                    outbox.send(nb.id, h ^ nb.id as u64);
+                }
+            }
+            h
+        }
+    }
+
+    fn run_gossip(mesh: &Mesh, threads: usize, rounds: u64) -> (Vec<u64>, Vec<RoundStats>) {
+        let mut eng = RoundEngine::new(mesh.clone(), OrderSensitiveGossip).with_threads(threads);
+        eng.inject_fault(mesh.node_count() / 2);
+        eng.run_rounds(rounds);
+        (eng.states().to_vec(), eng.stats().per_round().to_vec())
+    }
+
+    #[test]
+    fn sharded_rounds_are_bit_identical_to_serial() {
+        for dims in [vec![16], vec![8, 6], vec![4, 4, 3], vec![3, 3, 2, 2]] {
+            let mesh = Mesh::new(&dims);
+            let (serial_states, serial_stats) = run_gossip(&mesh, 1, 16);
+            for threads in [2, 3, 5, 8] {
+                let (par_states, par_stats) = run_gossip(&mesh, threads, 16);
+                assert_eq!(serial_states, par_states, "dims {dims:?} threads {threads}");
+                assert_eq!(serial_stats, par_stats, "dims {dims:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_min_flood_matches_serial_round_counts() {
+        let mesh = Mesh::cubic(6, 2);
+        let seed = mesh.id_of(&coord![0, 0]);
+        let mut serial = RoundEngine::new(mesh.clone(), MinFlood { seed });
+        let mut parallel = RoundEngine::new(mesh.clone(), MinFlood { seed }).with_threads(4);
+        let r1 = serial.run_until_quiescent(1000).unwrap();
+        let r2 = parallel.run_until_quiescent(1000).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(serial.states(), parallel.states());
+        assert_eq!(serial.stats().per_round(), parallel.stats().per_round());
+        assert_eq!(parallel.threads(), 4);
+        assert_eq!(parallel.stats().threads(), 4);
+    }
+
+    #[test]
+    fn auto_threads_resolves_to_at_least_one() {
+        let mesh = Mesh::new(&[9]);
+        let eng = RoundEngine::new(mesh, MinFlood { seed: 0 }).with_threads(0);
+        assert!(eng.threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_slabs_still_works() {
+        // dims[0] = 2 hyperplanes but 8 requested workers: shards collapse to 2.
+        let mesh = Mesh::new(&[2, 5]);
+        let seed = mesh.id_of(&coord![0, 0]);
+        let mut serial = RoundEngine::new(mesh.clone(), MinFlood { seed });
+        let mut parallel = RoundEngine::new(mesh, MinFlood { seed }).with_threads(8);
+        serial.run_until_quiescent(100).unwrap();
+        parallel.run_until_quiescent(100).unwrap();
+        assert_eq!(serial.states(), parallel.states());
+    }
+
+    #[test]
+    fn faults_and_recovery_mid_run_stay_identical_in_parallel() {
+        let mesh = Mesh::cubic(7, 2);
+        let run = |threads: usize| {
+            let mut eng =
+                RoundEngine::new(mesh.clone(), OrderSensitiveGossip).with_threads(threads);
+            eng.run_rounds(3);
+            eng.inject_fault(mesh.id_of(&coord![3, 3]));
+            eng.inject_fault(mesh.id_of(&coord![0, 6]));
+            eng.run_rounds(4);
+            eng.recover(mesh.id_of(&coord![3, 3]), 42);
+            eng.run_rounds(5);
+            (eng.states().to_vec(), eng.stats().per_round().to_vec())
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, run(threads), "threads {threads}");
+        }
     }
 }

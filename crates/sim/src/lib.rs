@@ -16,7 +16,8 @@
 //! * [`engine::RoundEngine`] executes a [`engine::Protocol`] — a per-node local rule
 //!   that sees only its own state, its neighbors' states (or the fact that a neighbor
 //!   is faulty), and the messages delivered this round — in synchronous rounds with
-//!   one-hop-per-round message delivery,
+//!   one-hop-per-round message delivery; with [`engine::RoundEngine::set_threads`]
+//!   rounds execute on sharded workers ([`shard`]) with bit-identical results,
 //! * [`step::StepClock`] and [`step::StepConfig`] provide the Figure-7 step structure,
 //! * [`faults::FaultPlan`] schedules dynamic fault occurrences and recoveries,
 //! * [`stats`], [`trace`] and [`rng`] provide measurement, event tracing and
@@ -31,6 +32,7 @@
 pub mod engine;
 pub mod faults;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod step;
 pub mod trace;
@@ -38,6 +40,7 @@ pub mod trace;
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
 pub use rng::DetRng;
+pub use shard::{resolve_threads, shard_ranges};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,184 @@
+//! Slab partitioning for sharded parallel round execution.
+//!
+//! The round-synchronous engines split the mesh into **contiguous slabs along the
+//! highest-stride dimension** (dimension 0 of the row-major node-id layout): a slab is
+//! a run of whole dimension-0 hyperplanes, so every shard is a contiguous node-id
+//! range and all cross-shard neighbor links cross exactly one slab boundary.  Workers
+//! read the shared previous-round state (the "halo" exchange is implicit in the
+//! double buffer) and the per-shard results are merged at the round barrier in shard
+//! order, which keeps parallel execution **bit-identical** to serial execution.
+
+use std::ops::Range;
+
+use lgfi_topology::Mesh;
+
+/// Resolves a requested worker count: `0` means "one worker per available core",
+/// anything else is used as-is (a minimum of one worker is always returned).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Partitions `0..node_count` into at most `threads` contiguous shards whose
+/// boundaries are aligned to multiples of `slab_width` (the number of nodes in one
+/// dimension-0 hyperplane, i.e. the highest stride of the row-major layout).
+///
+/// Slabs are distributed as evenly as possible; if there are fewer slabs than
+/// requested workers, fewer (larger-grained) shards are returned, so empty shards are
+/// never produced.  The ranges cover `0..node_count` exactly, in ascending order.
+///
+/// # Panics
+/// Panics if `slab_width` is zero or does not divide `node_count`.
+pub fn shard_ranges(node_count: usize, slab_width: usize, threads: usize) -> Vec<Range<usize>> {
+    assert!(slab_width > 0, "slab width must be positive");
+    assert_eq!(
+        node_count % slab_width,
+        0,
+        "slab width must divide the node count"
+    );
+    if node_count == 0 {
+        return Vec::new();
+    }
+    let slabs = node_count / slab_width;
+    let shards = threads.max(1).min(slabs);
+    let base = slabs / shards;
+    let extra = slabs % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start_slab = 0usize;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        let end_slab = start_slab + len;
+        ranges.push(start_slab * slab_width..end_slab * slab_width);
+        start_slab = end_slab;
+    }
+    ranges
+}
+
+/// The slab width of a mesh: the number of nodes in one dimension-0 hyperplane,
+/// i.e. the highest stride of the row-major node-id layout.  Shard boundaries
+/// aligned to this width are whole hyperplanes, so every cross-shard neighbor link
+/// crosses exactly one slab boundary.
+pub fn slab_width(mesh: &Mesh) -> usize {
+    mesh.node_count() / mesh.dims()[0] as usize
+}
+
+/// Carves `buf` into the disjoint mutable sub-slices described by `shards`
+/// (contiguous ascending ranges covering `0..buf.len()`, as produced by
+/// [`shard_ranges`]), returning `(shard_start, slice)` pairs ready to hand to the
+/// per-shard workers.
+///
+/// # Panics
+/// Panics if the ranges are not contiguous from 0 or do not cover `buf` exactly.
+pub fn split_shards_mut<'a, T>(
+    mut buf: &'a mut [T],
+    shards: &[Range<usize>],
+) -> Vec<(usize, &'a mut [T])> {
+    let mut out = Vec::with_capacity(shards.len());
+    let mut consumed = 0usize;
+    for range in shards {
+        assert_eq!(range.start, consumed, "shards must be contiguous from 0");
+        let (mine, rest) = buf.split_at_mut(range.len());
+        buf = rest;
+        consumed = range.end;
+        out.push((range.start, mine));
+    }
+    assert!(buf.is_empty(), "shards must cover the whole buffer");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_everything_contiguously() {
+        for (n, slab, threads) in [
+            (100, 10, 4),
+            (100, 10, 3),
+            (64, 8, 8),
+            (64, 8, 16),
+            (12, 4, 1),
+            (7, 1, 2),
+        ] {
+            let ranges = shard_ranges(n, slab, threads);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= threads.max(1));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+            }
+            for r in &ranges {
+                assert_eq!(r.start % slab, 0, "shard start must be slab-aligned");
+                assert!(!r.is_empty(), "no empty shards");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_slabs_collapses_to_one_shard_per_slab() {
+        let ranges = shard_ranges(30, 10, 16);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges, vec![0..10, 10..20, 20..30]);
+    }
+
+    #[test]
+    fn slab_distribution_is_balanced() {
+        // 10 slabs over 4 shards -> 3, 3, 2, 2 slabs.
+        let ranges = shard_ranges(40, 4, 4);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![12, 12, 8, 8]);
+    }
+
+    #[test]
+    fn empty_mesh_yields_no_shards() {
+        assert!(shard_ranges(0, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn resolve_zero_uses_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(6), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn misaligned_slab_width_panics() {
+        shard_ranges(10, 3, 2);
+    }
+
+    #[test]
+    fn slab_width_is_the_highest_stride() {
+        assert_eq!(slab_width(&Mesh::new(&[4, 5, 6])), 30);
+        assert_eq!(slab_width(&Mesh::new(&[7])), 1);
+        assert_eq!(slab_width(&Mesh::cubic(64, 2)), 64);
+    }
+
+    #[test]
+    fn split_shards_mut_carves_disjoint_covering_slices() {
+        let mut buf: Vec<u32> = (0..12).collect();
+        let shards = shard_ranges(12, 2, 3);
+        let pieces = split_shards_mut(&mut buf, &shards);
+        assert_eq!(pieces.len(), 3);
+        let mut seen = 0usize;
+        for (base, slice) in pieces {
+            assert_eq!(base, seen);
+            assert_eq!(slice[0], base as u32, "slice must start at its shard base");
+            seen += slice.len();
+        }
+        assert_eq!(seen, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole buffer")]
+    fn split_shards_mut_rejects_partial_cover() {
+        let mut buf = [0u8; 6];
+        split_shards_mut(&mut buf, &[0..2, 2..4]);
+    }
+}

@@ -10,15 +10,38 @@ pub struct RoundStats {
 }
 
 /// Accumulated statistics of a [`RoundEngine`](crate::engine::RoundEngine) run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineStats {
     per_round: Vec<RoundStats>,
+    /// Worker threads the engine executes rounds with (1 = serial).
+    threads: usize,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            per_round: Vec::new(),
+            threads: 1,
+        }
+    }
 }
 
 impl EngineStats {
     /// Records the counters of one executed round.
     pub fn record_round(&mut self, stats: RoundStats) {
         self.per_round.push(stats);
+    }
+
+    /// Records the active worker-thread count, so downstream summaries and benchmark
+    /// reports know which execution mode produced the numbers.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker-thread count the engine ran with (1 = serial).  Thread count is an
+    /// execution detail: every other statistic is bit-identical across settings.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of rounds recorded.

@@ -181,7 +181,7 @@ impl Mesh {
     /// or `k_i - 1`).
     ///
     /// The dynamic fault model (Section 5) assumes no fault occurs on the outermost
-    /// surface, which together with the properties of [14] guarantees the mesh never
+    /// surface, which together with the properties of \[14\] guarantees the mesh never
     /// disconnects.
     pub fn on_outermost_surface(&self, c: &Coord) -> bool {
         c.as_slice()

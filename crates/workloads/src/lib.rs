@@ -21,5 +21,5 @@ pub mod traffic;
 
 pub use faultgen::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
 pub use scenario::{Scenario, ScenarioResult};
-pub use sweep::{run_trials, SweepPoint};
+pub use sweep::{run_trials, run_trials_on, SweepPoint};
 pub use traffic::{TrafficGenerator, TrafficPattern, TrafficRequest};

@@ -32,6 +32,9 @@ pub struct Scenario {
     pub launch_step: u64,
     /// Hard cap on the total number of steps simulated.
     pub max_steps: u64,
+    /// Worker threads for the network's information rounds (`1` = serial, `0` = one
+    /// per available core); results are bit-identical for every setting.
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -48,6 +51,7 @@ impl Scenario {
             messages: 10,
             launch_step: 60,
             max_steps: 5_000,
+            threads: 1,
         }
     }
 
@@ -79,6 +83,7 @@ impl Scenario {
             NetworkConfig {
                 lambda: self.lambda,
                 max_probe_steps: self.max_steps,
+                threads: self.threads,
             },
         );
         // Warm-up: run to the launch step so static faults and their information can
@@ -100,6 +105,7 @@ impl Scenario {
         ScenarioResult {
             requested: self.messages,
             launched: requests.len(),
+            threads: net.threads(),
             reports: net.reports().to_vec(),
             convergence: net.convergence_records().to_vec(),
         }
@@ -113,6 +119,9 @@ pub struct ScenarioResult {
     pub requested: usize,
     /// Number of probes actually launched (usable endpoints found).
     pub launched: usize,
+    /// Resolved worker-thread count the network ran with (`1` = serial), recorded so
+    /// summaries and benchmark output state which execution mode produced the numbers.
+    pub threads: usize,
     /// Per-probe reports.
     pub reports: Vec<ProbeReport>,
     /// Convergence records of the fault-information constructions.
@@ -217,6 +226,7 @@ mod tests {
             messages: 4,
             launch_step: 0,
             max_steps: 5_000,
+            threads: 1,
         };
         let result = scenario.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.launched, 4);
@@ -237,5 +247,23 @@ mod tests {
         assert_eq!(a.delivered(), b.delivered());
         assert_eq!(a.mean_detours(), b.mean_detours());
         assert_eq!(a.convergence, b.convergence);
+    }
+
+    #[test]
+    fn scenario_threads_knob_does_not_change_results() {
+        let mut scenario = Scenario::small();
+        scenario.dims = vec![12, 12];
+        scenario.fault_count = 5;
+        let serial = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(serial.threads, 1);
+        scenario.threads = 4;
+        let parallel = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(serial.delivered(), parallel.delivered());
+        assert_eq!(serial.convergence, parallel.convergence);
+        assert_eq!(
+            format!("{:?}", serial.reports),
+            format!("{:?}", parallel.reports)
+        );
     }
 }

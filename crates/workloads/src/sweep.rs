@@ -3,7 +3,9 @@
 //! Experiment tables are produced by running many independent trials (different seeds,
 //! fault counts, mesh sizes).  [`run_trials`] executes them on all available cores with
 //! `std::thread::scope` while keeping the output order identical to the input order,
-//! so tables remain deterministic.
+//! so tables remain deterministic; [`run_trials_on`] takes an explicit worker count so
+//! callers can trade sweep-level for engine-level parallelism (see
+//! `NetworkConfig::threads`).
 
 /// One point of a parameter sweep, pairing an input with its computed output.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,17 +16,32 @@ pub struct SweepPoint<I, O> {
     pub output: O,
 }
 
-/// Runs `f` over every input, in parallel, preserving input order in the output.
+/// Runs `f` over every input, in parallel on all available cores, preserving input
+/// order in the output.  Equivalent to [`run_trials_on`] with `threads = 0`.
 pub fn run_trials<I, O, F>(inputs: Vec<I>, f: F) -> Vec<SweepPoint<I, O>>
 where
     I: Send + Sync + Clone,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(inputs.len().max(1));
+    run_trials_on(0, inputs, f)
+}
+
+/// Runs `f` over every input with an explicit sweep worker count (`0` = one worker
+/// per available core, `1` = sequential), preserving input order in the output.
+///
+/// Use `threads = 1` when the trial body itself runs a sharded engine (e.g. an
+/// [`LgfiNetwork`](lgfi_core::network::LgfiNetwork) with
+/// [`NetworkConfig::threads`](lgfi_core::network::NetworkConfig) > 1), so the two
+/// levels of parallelism do not oversubscribe the machine.  Outputs are identical for
+/// every setting — only the execution schedule changes.
+pub fn run_trials_on<I, O, F>(threads: usize, inputs: Vec<I>, f: F) -> Vec<SweepPoint<I, O>>
+where
+    I: Send + Sync + Clone,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = lgfi_sim::resolve_threads(threads).min(inputs.len().max(1));
     if threads <= 1 || inputs.len() <= 1 {
         return inputs
             .into_iter()
@@ -88,6 +105,20 @@ mod tests {
     fn empty_input_is_fine() {
         let points: Vec<SweepPoint<u32, u32>> = run_trials(vec![], |&x| x);
         assert!(points.is_empty());
+    }
+
+    #[test]
+    fn explicit_worker_counts_produce_identical_outputs() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let auto = run_trials_on(0, inputs.clone(), |&x| x.wrapping_mul(31) ^ 5);
+        for threads in [1usize, 2, 3, 8] {
+            let fixed = run_trials_on(threads, inputs.clone(), |&x| x.wrapping_mul(31) ^ 5);
+            assert_eq!(
+                auto.iter().map(|p| p.output).collect::<Vec<_>>(),
+                fixed.iter().map(|p| p.output).collect::<Vec<_>>(),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn main() {
                     messages: 15,
                     launch_step: 10,
                     max_steps: 100_000,
+                    threads: 1,
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 delivery += result.delivery_ratio();

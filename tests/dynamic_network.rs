@@ -142,6 +142,7 @@ fn larger_lambda_never_slows_down_information_convergence() {
             NetworkConfig {
                 lambda,
                 max_probe_steps: 1_000,
+                ..NetworkConfig::default()
             },
         );
         for step in 0..500 {

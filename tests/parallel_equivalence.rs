@@ -1,0 +1,297 @@
+//! Property tests for the determinism contract of the sharded parallel engines:
+//! for any seeded scenario — mixed mesh shapes, fault patterns, recoveries, traffic —
+//! a parallel run produces **bit-identical** final states, statistics and traces to
+//! the serial run.  Parallelism is an execution detail, not a semantics change
+//! (see `docs/ARCHITECTURE.md`).
+
+use lgfi::prelude::*;
+use lgfi::sim::{EngineStats, NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, Trace};
+use lgfi_core::labeling::{LabelingEngine, LabelingProtocol};
+use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_sim::FaultEventKind;
+
+/// The mesh shapes the properties quantify over: 1-D lines, asymmetric 2-D and 3-D
+/// meshes, a 4-D hypermesh, and a mesh with fewer dimension-0 hyperplanes than the
+/// largest tested worker count.
+fn shapes() -> Vec<Vec<i32>> {
+    vec![
+        vec![23],
+        vec![9, 7],
+        vec![12, 12],
+        vec![5, 4, 6],
+        vec![3, 3, 3, 3],
+        vec![2, 9, 5],
+    ]
+}
+
+/// Samples `count` distinct node ids from the mesh with a seeded [`DetRng`].
+fn sample_nodes(mesh: &Mesh, rng: &mut DetRng, count: usize) -> Vec<NodeId> {
+    rng.sample_indices(mesh.node_count(), count.min(mesh.node_count()))
+}
+
+/// A gossip rule whose state folds the inbox with a non-commutative, non-associative
+/// hash and whose sends depend on the state, so any deviation in message *order*,
+/// shard merging or halo reads changes the result within a round or two.
+struct OrderSensitiveGossip;
+
+impl Protocol for OrderSensitiveGossip {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+        (ctx.id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn on_round(
+        &self,
+        ctx: &NodeCtx<'_>,
+        prev: &u64,
+        neighbors: &[NeighborView<'_, u64>],
+        inbox: &[u64],
+        outbox: &mut Outbox<u64>,
+    ) -> u64 {
+        let mut h = *prev;
+        for &m in inbox {
+            h = h.rotate_left(9) ^ m.wrapping_mul(0xD134_2543_DE82_EF95);
+        }
+        for nb in neighbors {
+            match nb.state {
+                Some(&s) => h = h.wrapping_add(s.rotate_right(13)),
+                None => h ^= 0xFAu64 << (ctx.round % 32),
+            }
+        }
+        if h % 3 != 0 {
+            for nb in neighbors {
+                outbox.send(nb.id, h ^ nb.id as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Everything a bit-identical comparison of two gossip runs needs: final states,
+/// fault set, engine statistics and the digested per-round trace.
+struct GossipRun {
+    states: Vec<u64>,
+    faulty: Vec<NodeId>,
+    stats: EngineStats,
+    trace: Vec<(u64, u64, u64)>,
+}
+
+/// Runs the gossip protocol with a seeded fault/recovery schedule and records a full
+/// trace of per-round activity.
+fn gossip_run(mesh: &Mesh, seed: u64, threads: usize) -> GossipRun {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut eng = RoundEngine::new(mesh.clone(), OrderSensitiveGossip).with_threads(threads);
+    let mut trace: Trace<(u64, u64)> = Trace::new();
+    let faults = sample_nodes(mesh, &mut rng, 1 + (seed as usize % 4));
+    for phase in 0..3u64 {
+        match phase {
+            0 => {}
+            1 => {
+                for &f in &faults {
+                    eng.inject_fault(f);
+                }
+            }
+            _ => {
+                if let Some(&f) = faults.first() {
+                    eng.recover(f, 0x5EED ^ seed);
+                }
+            }
+        }
+        for _ in 0..6 {
+            let changes = eng.run_round();
+            let round = eng.round();
+            trace.record(
+                phase,
+                round,
+                (changes as u64, eng.pending_messages() as u64),
+            );
+        }
+    }
+    let trace_log: Vec<(u64, u64, u64)> = trace
+        .events()
+        .iter()
+        .map(|e| (e.step, e.round, e.event.0 ^ e.event.1.rotate_left(17)))
+        .collect();
+    GossipRun {
+        states: eng.states().to_vec(),
+        faulty: eng.faulty_nodes(),
+        stats: eng.stats().clone(),
+        trace: trace_log,
+    }
+}
+
+#[test]
+fn gossip_serial_and_parallel_runs_are_bit_identical() {
+    for dims in shapes() {
+        let mesh = Mesh::new(&dims);
+        for seed in 0..4u64 {
+            let serial = gossip_run(&mesh, seed, 1);
+            for threads in [2usize, 3, 8] {
+                let parallel = gossip_run(&mesh, seed, threads);
+                let tag = format!("dims {dims:?} seed {seed} threads {threads}");
+                assert_eq!(serial.states, parallel.states, "states diverged: {tag}");
+                assert_eq!(serial.faulty, parallel.faulty, "fault sets diverged: {tag}");
+                assert_eq!(serial.trace, parallel.trace, "traces diverged: {tag}");
+                assert_eq!(
+                    serial.stats.per_round(),
+                    parallel.stats.per_round(),
+                    "per-round stats diverged: {tag}"
+                );
+                assert_eq!(
+                    parallel.stats.threads(),
+                    threads,
+                    "thread count not recorded"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn labeling_protocol_serial_and_parallel_fixpoints_are_bit_identical() {
+    for dims in shapes() {
+        let mesh = Mesh::new(&dims);
+        for seed in 10..13u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let faults = sample_nodes(&mesh, &mut rng, 2 + (seed as usize % 5));
+            let run = |threads: usize| {
+                let mut eng =
+                    RoundEngine::new(mesh.clone(), LabelingProtocol).with_threads(threads);
+                for &f in &faults {
+                    eng.inject_fault(f);
+                }
+                let rounds = eng
+                    .run_until_quiescent(4 * (u64::from(mesh.diameter()) + 4))
+                    .expect("labeling must stabilise");
+                (
+                    eng.states().to_vec(),
+                    rounds,
+                    eng.stats().per_round().to_vec(),
+                )
+            };
+            let serial = run(1);
+            for threads in [2usize, 4] {
+                assert_eq!(
+                    serial,
+                    run(threads),
+                    "dims {dims:?} seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn labeling_engine_matches_itself_across_thread_counts_and_the_distributed_protocol() {
+    for dims in [vec![11, 11], vec![6, 7, 5]] {
+        let mesh = Mesh::new(&dims);
+        let interior: Vec<Coord> = match mesh.interior_region() {
+            Some(r) => r.iter_coords().collect(),
+            None => continue,
+        };
+        for seed in 0..3u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let picks = rng.sample_indices(interior.len(), 8.min(interior.len()));
+            let faults: Vec<Coord> = picks.iter().map(|&i| interior[i].clone()).collect();
+            let mut serial = LabelingEngine::new(mesh.clone());
+            let serial_rounds = serial.apply_faults(&faults);
+            for threads in [2usize, 3, 8] {
+                let mut parallel = LabelingEngine::new(mesh.clone()).with_threads(threads);
+                let parallel_rounds = parallel.apply_faults(&faults);
+                assert_eq!(serial.statuses(), parallel.statuses());
+                assert_eq!(serial_rounds, parallel_rounds);
+            }
+            // And both agree with the genuinely distributed protocol run.
+            let (distributed, _) = lgfi_core::labeling::run_distributed_labeling(&mesh, &faults);
+            assert_eq!(serial.statuses(), distributed.as_slice());
+        }
+    }
+}
+
+/// End-to-end: the full dynamic network (labeling + identification + boundary +
+/// routing under a fault/recovery schedule) is bit-identical across thread counts —
+/// states, blocks, convergence records, probe reports and visible information.
+#[test]
+fn dynamic_network_runs_are_bit_identical_across_thread_counts() {
+    for (dims, lambda) in [(vec![14, 14], 1u64), (vec![8, 8, 8], 2)] {
+        let mesh = Mesh::new(&dims);
+        let run = |threads: usize| {
+            let mut generator = FaultGenerator::new(mesh.clone(), 21);
+            let plan = generator.dynamic_plan(
+                DynamicFaultConfig {
+                    fault_count: 6,
+                    first_step: 2,
+                    interval: 25,
+                    with_recovery: true,
+                    recovery_delay: 90,
+                },
+                FaultPlacement::Clustered { clusters: 2 },
+            );
+            let mut net = LgfiNetwork::new(
+                mesh.clone(),
+                plan,
+                NetworkConfig {
+                    lambda,
+                    threads,
+                    ..NetworkConfig::default()
+                },
+            );
+            net.launch_probe(0, mesh.node_count() - 1, Box::new(LgfiRouter::new()));
+            net.run_to_completion(3_000);
+            (
+                net.statuses().to_vec(),
+                net.blocks().regions(),
+                net.convergence_records().to_vec(),
+                net.round(),
+                net.nodes_with_visible_info(),
+                format!("{:?}", net.reports()),
+            )
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(serial, run(threads), "dims {dims:?} threads {threads}");
+        }
+    }
+}
+
+/// The fault plan is replayed identically whichever engine executes it, so the event
+/// schedule itself cannot introduce divergence between modes.
+#[test]
+fn fault_plans_are_mode_independent() {
+    let mesh = Mesh::cubic(10, 2);
+    let mut generator = FaultGenerator::new(mesh.clone(), 3);
+    let plan = generator.dynamic_plan(
+        DynamicFaultConfig {
+            fault_count: 5,
+            first_step: 1,
+            interval: 10,
+            with_recovery: true,
+            recovery_delay: 30,
+        },
+        FaultPlacement::UniformInterior,
+    );
+    let events: Vec<(u64, usize, bool)> = plan
+        .events()
+        .iter()
+        .map(|e| (e.step, e.node, e.kind == FaultEventKind::Fail))
+        .collect();
+    let mut generator2 = FaultGenerator::new(mesh, 3);
+    let plan2 = generator2.dynamic_plan(
+        DynamicFaultConfig {
+            fault_count: 5,
+            first_step: 1,
+            interval: 10,
+            with_recovery: true,
+            recovery_delay: 30,
+        },
+        FaultPlacement::UniformInterior,
+    );
+    let events2: Vec<(u64, usize, bool)> = plan2
+        .events()
+        .iter()
+        .map(|e| (e.step, e.node, e.kind == FaultEventKind::Fail))
+        .collect();
+    assert_eq!(events, events2);
+}
