@@ -2,14 +2,21 @@
 //! information constructions (a_i + b_i + c_i) inside the dynamic step loop, for
 //! growing mesh sizes — the "fault information can be distributed quickly" claim —
 //! plus the serial-vs-parallel throughput of the sharded round engines at 1/2/4/8
-//! worker threads on a 64x64 mesh.  Thread counts are part of the benchmark id, so
-//! the report records which execution mode produced each number; results themselves
-//! are bit-identical across modes.
+//! worker threads on a 64x64 mesh, with and without active-frontier scheduling.
+//! Thread counts and the frontier knob are part of the benchmark id, so the report
+//! records which execution mode produced each number; results themselves are
+//! bit-identical across modes.
+//!
+//! After the criterion groups run, the bench appends machine-readable records (bench
+//! id, mesh, threads, ns/round, messages/round, frontier size) to `BENCH_engine.json`
+//! via [`lgfi_bench::perf`], so the perf trajectory of the round data plane is
+//! tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_bench::perf::{self, ThroughputGossip};
 use lgfi_core::labeling::LabelingEngine;
 use lgfi_core::network::{LgfiNetwork, NetworkConfig};
-use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+use lgfi_sim::RoundEngine;
 use lgfi_topology::Mesh;
 use lgfi_workloads::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
 
@@ -56,47 +63,6 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-/// A never-quiescing gossip rule with MinFlood-like per-node cost: every node mixes
-/// its neighbors' states and occasionally relays messages, so a fixed round budget
-/// measures raw round-engine throughput rather than convergence luck.
-struct ThroughputGossip;
-
-impl Protocol for ThroughputGossip {
-    type State = u64;
-    type Msg = u64;
-
-    fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
-        (ctx.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
-    }
-
-    fn on_round(
-        &self,
-        _ctx: &NodeCtx<'_>,
-        prev: &u64,
-        neighbors: &[NeighborView<'_, u64>],
-        inbox: &[u64],
-        outbox: &mut Outbox<u64>,
-    ) -> u64 {
-        let mut h = *prev;
-        for &m in inbox {
-            h = h.rotate_left(7) ^ m;
-        }
-        for nb in neighbors {
-            if let Some(&s) = nb.state {
-                h = h.wrapping_add(s.rotate_right(11));
-            }
-        }
-        // Roughly 1/8 of the nodes relay each round: enough cross-shard traffic to
-        // exercise the barrier merge without drowning the round in allocations.
-        if h % 8 == 0 {
-            for nb in neighbors {
-                outbox.send(nb.id, h);
-            }
-        }
-        h
-    }
-}
-
 /// Serial-vs-parallel round-engine throughput on a 64x64 mesh: 40 rounds of the
 /// gossip protocol per iteration at 1/2/4/8 worker threads.
 fn bench_round_engine_threads(c: &mut Criterion) {
@@ -122,41 +88,61 @@ fn bench_round_engine_threads(c: &mut Criterion) {
 
 /// Serial-vs-parallel labeling throughput on a 64x64 mesh: the Algorithm-1 status
 /// rules over a large clustered fault burst, run to fixpoint plus a fixed extra
-/// budget, at 1/2/4/8 worker threads.
+/// budget, at 1/2/4/8 worker threads — with active-frontier scheduling on and off
+/// (the `f1`/`f0` id suffix); the statuses and round counts are bit-identical
+/// between the two.
 fn bench_labeling_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("labeling_threads");
     group.sample_size(10);
     let mesh = Mesh::cubic(64, 2);
     let mut generator = FaultGenerator::new(mesh.clone(), 9);
     let faults = generator.place(48, FaultPlacement::Clustered { clusters: 6 });
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("labeling_64x64_48_faults", format!("t{threads}")),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let mut eng = LabelingEngine::new(mesh.clone()).with_threads(threads);
-                    for f in &faults {
-                        eng.inject_fault_coord(f);
-                    }
-                    // Fixpoint plus a fixed 32-round tail so every thread count does
-                    // identical work regardless of when the labeling stabilises.
-                    eng.run_to_fixpoint(1_000).expect("labeling stabilises");
-                    for _ in 0..32 {
-                        eng.run_round();
-                    }
-                    std::hint::black_box(eng.census())
-                })
-            },
-        );
+    for frontier in [true, false] {
+        for threads in [1usize, 2, 4, 8] {
+            let tag = format!("t{threads}_f{}", u8::from(frontier));
+            group.bench_with_input(
+                BenchmarkId::new("labeling_64x64_48_faults", tag),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut eng = LabelingEngine::new(mesh.clone())
+                            .with_threads(threads)
+                            .with_frontier(frontier);
+                        for f in &faults {
+                            eng.inject_fault_coord(f);
+                        }
+                        // Fixpoint plus a fixed 32-round tail so every thread count does
+                        // identical work regardless of when the labeling stabilises.
+                        eng.run_to_fixpoint(1_000).expect("labeling stabilises");
+                        for _ in 0..32 {
+                            eng.run_round();
+                        }
+                        std::hint::black_box(eng.census())
+                    })
+                },
+            );
+        }
     }
     group.finish();
+}
+
+/// Appends the machine-readable engine records to `BENCH_engine.json` (runs after
+/// the criterion groups; see `lgfi_bench::perf`).  Skipped in `-- --test` smoke
+/// mode: a single-iteration pass should neither spend time on the timed
+/// measurements nor append noise records to the tracked trajectory file.
+fn bench_emit_json(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test" || a == "--quick") {
+        println!("BENCH_engine.json emission skipped (smoke mode)");
+        return;
+    }
+    perf::emit_engine_records();
 }
 
 criterion_group!(
     benches,
     bench_convergence,
     bench_round_engine_threads,
-    bench_labeling_threads
+    bench_labeling_threads,
+    bench_emit_json
 );
 criterion_main!(benches);

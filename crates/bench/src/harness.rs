@@ -44,6 +44,17 @@ pub fn configured_threads() -> usize {
     }
 }
 
+/// The active-frontier knob configured through the environment: `LGFI_FRONTIER`
+/// unset or empty means on (the default), `0`/`false`/`off` disables it (full
+/// per-round evaluation).  Like `LGFI_THREADS`, scheduling never changes results —
+/// every experiment output is bit-identical across settings.
+pub fn configured_frontier() -> bool {
+    match std::env::var("LGFI_FRONTIER") {
+        Ok(s) => !matches!(s.trim(), "0" | "false" | "off"),
+        _ => true,
+    }
+}
+
 /// The worker-thread count for an experiment binary: a `--threads N` command-line
 /// argument wins, then the `LGFI_THREADS` environment variable, then serial.
 /// `N = 0` means one worker per available core.
@@ -427,6 +438,7 @@ pub fn exp_fig7_steps_with(threads: usize) -> String {
                 lambda,
                 max_probe_steps: 10_000,
                 threads,
+                frontier: configured_frontier(),
             },
         );
         let mut steps = 0u64;
@@ -839,7 +851,9 @@ pub fn exp_convergence_with(threads: usize) -> String {
             let mesh = Mesh::new(&dims_clone);
             let mut generator = FaultGenerator::new(mesh.clone(), seed);
             let faults = generator.place(cluster, FaultPlacement::Clustered { clusters: 1 });
-            let mut eng = LabelingEngine::new(mesh.clone()).with_threads(threads);
+            let mut eng = LabelingEngine::new(mesh.clone())
+                .with_threads(threads)
+                .with_frontier(configured_frontier());
             let a = eng.apply_faults(&faults);
             let blocks = BlockSet::extract(&mesh, eng.statuses());
             let ident = IdentificationProcess::default();
@@ -935,6 +949,7 @@ pub fn exp_graceful_degradation_with(threads: usize) -> String {
                     launch_step: 10,
                     max_steps: 100_000,
                     threads,
+                    frontier: configured_frontier(),
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 (
@@ -1054,6 +1069,7 @@ pub fn exp_dynamic_convergence_with(threads: usize) -> String {
         plan,
         NetworkConfig {
             threads,
+            frontier: configured_frontier(),
             ..NetworkConfig::default()
         },
     );

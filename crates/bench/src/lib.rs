@@ -8,3 +8,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;

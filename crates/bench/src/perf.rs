@@ -1,0 +1,292 @@
+//! Machine-readable engine performance records (`BENCH_engine.json`).
+//!
+//! The criterion benches print human-readable medians; this module additionally
+//! measures the hot round loops deterministically and appends structured records to a
+//! JSON file (one record per line inside a top-level array) so the performance
+//! trajectory of the round data plane is tracked across PRs.  The
+//! `convergence_scaling` bench emits these records after its criterion groups run;
+//! `LGFI_BENCH_JSON` overrides the output path and `LGFI_BENCH_VARIANT` tags the
+//! measured code/config variant.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use lgfi_core::labeling::LabelingEngine;
+use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+use lgfi_topology::Mesh;
+use lgfi_workloads::{FaultGenerator, FaultPlacement};
+
+/// One measured round-engine configuration, as recorded in `BENCH_engine.json`.
+#[derive(Debug, Clone)]
+pub struct EngineBenchRecord {
+    /// Benchmark id, e.g. `labeling_sweep_64x64` or `gossip_rounds_64x64`.
+    pub bench: String,
+    /// The code/config variant that produced the number, e.g. `pre_rework` or
+    /// `frontier_on` (from `LGFI_BENCH_VARIANT` when emitted by the bench).
+    pub variant: String,
+    /// Mesh shape, e.g. `64x64`.
+    pub mesh: String,
+    /// Worker threads the engine ran with.
+    pub threads: usize,
+    /// Rounds executed per measured run (deterministic across runs).
+    pub rounds: u64,
+    /// Median nanoseconds per round over the timed runs.
+    pub ns_per_round: f64,
+    /// Mean messages sent per round.
+    pub messages_per_round: f64,
+    /// Mean evaluated nodes per round: the active-frontier size, or the full node
+    /// count when the engine evaluates every node.
+    pub mean_frontier: f64,
+}
+
+impl EngineBenchRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"threads\":{},\
+             \"rounds\":{},\"ns_per_round\":{:.1},\"messages_per_round\":{:.2},\
+             \"mean_frontier\":{:.1}}}",
+            escape(&self.bench),
+            escape(&self.variant),
+            escape(&self.mesh),
+            self.threads,
+            self.rounds,
+            self.ns_per_round,
+            self.messages_per_round,
+            self.mean_frontier,
+        );
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The default output path: `BENCH_engine.json` at the workspace root, overridable
+/// with the `LGFI_BENCH_JSON` environment variable.
+pub fn default_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("LGFI_BENCH_JSON") {
+        if !p.trim().is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// The variant tag for emitted records: `LGFI_BENCH_VARIANT`, defaulting to
+/// `current`.
+pub fn variant_tag() -> String {
+    match std::env::var("LGFI_BENCH_VARIANT") {
+        Ok(v) if !v.trim().is_empty() => v.trim().to_string(),
+        _ => "current".to_string(),
+    }
+}
+
+/// Appends records to the JSON file at `path`, keeping the file a valid JSON array
+/// with one record per line (existing records are preserved).
+pub fn append_records(path: &Path, records: &[EngineBenchRecord]) -> std::io::Result<()> {
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if t.starts_with('{') {
+                lines.push(t.to_string());
+            }
+        }
+    }
+    lines.extend(records.iter().map(|r| r.to_json()));
+    let mut out = String::from("[\n");
+    for (i, l) in lines.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(l);
+        out.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out.push('\n');
+    std::fs::write(path, out)
+}
+
+/// A never-quiescing gossip rule with MinFlood-like per-node cost, shared by the
+/// criterion bench and the JSON measurements: every node mixes its neighbors' states
+/// and roughly 1/8 of the nodes relay messages each round, so a fixed round budget
+/// measures raw round-engine throughput rather than convergence luck.
+pub struct ThroughputGossip;
+
+impl Protocol for ThroughputGossip {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+        (ctx.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    }
+
+    fn on_round(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        prev: &u64,
+        neighbors: &[NeighborView<'_, u64>],
+        inbox: &[u64],
+        outbox: &mut Outbox<u64>,
+    ) -> u64 {
+        let mut h = *prev;
+        for &m in inbox {
+            h = h.rotate_left(7) ^ m;
+        }
+        for nb in neighbors {
+            if let Some(&s) = nb.state {
+                h = h.wrapping_add(s.rotate_right(11));
+            }
+        }
+        if h % 8 == 0 {
+            for nb in neighbors {
+                outbox.send(nb.id, h);
+            }
+        }
+        h
+    }
+}
+
+/// Median of a non-empty slice (sorts a copy).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The number of timed runs per measurement (after one warm-up run).
+const RUNS: usize = 5;
+
+/// Measures the 64×64 labeling sweep of the `labeling_threads` criterion bench: 48
+/// clustered faults run to fixpoint plus a fixed 32-round tail, reported as
+/// nanoseconds per round, with active-frontier scheduling on or off.
+pub fn measure_labeling_sweep(threads: usize, frontier: bool, variant: &str) -> EngineBenchRecord {
+    let mesh = Mesh::cubic(64, 2);
+    let mut generator = FaultGenerator::new(mesh.clone(), 9);
+    let faults = generator.place(48, FaultPlacement::Clustered { clusters: 6 });
+    let mut samples = Vec::with_capacity(RUNS);
+    let mut rounds = 0u64;
+    let mut mean_frontier = 0.0f64;
+    for run in 0..=RUNS {
+        let start = Instant::now();
+        let mut eng = LabelingEngine::new(mesh.clone())
+            .with_threads(threads)
+            .with_frontier(frontier);
+        for f in &faults {
+            eng.inject_fault_coord(f);
+        }
+        eng.run_to_fixpoint(1_000).expect("labeling stabilises");
+        for _ in 0..32 {
+            eng.run_round();
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(eng.census());
+        rounds = eng.rounds();
+        mean_frontier = eng.mean_evaluated_per_round();
+        if run > 0 {
+            samples.push(elapsed.as_nanos() as f64 / rounds as f64);
+        }
+    }
+    EngineBenchRecord {
+        bench: format!("labeling_sweep_64x64_48_faults_f{}", u8::from(frontier)),
+        variant: variant.into(),
+        mesh: "64x64".into(),
+        threads,
+        rounds,
+        ns_per_round: median(&mut samples),
+        messages_per_round: 0.0,
+        mean_frontier,
+    }
+}
+
+/// Measures 40 rounds of [`ThroughputGossip`] on a 64×64 mesh (the
+/// `round_engine_threads` criterion bench), reported as nanoseconds per round.
+pub fn measure_gossip_rounds(threads: usize, variant: &str) -> EngineBenchRecord {
+    let mesh = Mesh::cubic(64, 2);
+    let mut samples = Vec::with_capacity(RUNS);
+    let mut messages = 0.0f64;
+    let mut frontier = 0.0f64;
+    const ROUNDS: u64 = 40;
+    for run in 0..=RUNS {
+        let start = Instant::now();
+        let mut eng = RoundEngine::new(mesh.clone(), ThroughputGossip).with_threads(threads);
+        eng.run_rounds(ROUNDS);
+        let elapsed = start.elapsed();
+        std::hint::black_box(eng.states()[0]);
+        messages = eng.stats().total_messages() as f64 / ROUNDS as f64;
+        frontier = eng.stats().mean_evaluated_per_round();
+        if run > 0 {
+            samples.push(elapsed.as_nanos() as f64 / ROUNDS as f64);
+        }
+    }
+    EngineBenchRecord {
+        bench: "gossip_64x64_40_rounds".into(),
+        variant: variant.into(),
+        mesh: "64x64".into(),
+        threads,
+        rounds: ROUNDS,
+        ns_per_round: median(&mut samples),
+        messages_per_round: messages,
+        mean_frontier: frontier,
+    }
+}
+
+/// Runs the standard engine measurements (labeling sweep and gossip rounds at 1 and 4
+/// workers) and appends the records to [`default_json_path`].
+pub fn emit_engine_records() {
+    let variant = variant_tag();
+    let records = vec![
+        measure_labeling_sweep(1, true, &variant),
+        measure_labeling_sweep(1, false, &variant),
+        measure_labeling_sweep(4, true, &variant),
+        measure_gossip_rounds(1, &variant),
+        measure_gossip_rounds(4, &variant),
+    ];
+    let path = default_json_path();
+    match append_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_as_json_lines_in_an_array() {
+        let rec = EngineBenchRecord {
+            bench: "b".into(),
+            variant: "v".into(),
+            mesh: "8x8".into(),
+            threads: 2,
+            rounds: 10,
+            ns_per_round: 123.4,
+            messages_per_round: 5.25,
+            mean_frontier: 64.0,
+        };
+        let json = rec.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bench\":\"b\""));
+        assert!(json.contains("\"threads\":2"));
+
+        let dir = std::env::temp_dir().join("lgfi_bench_json_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_engine.json");
+        let _ = std::fs::remove_file(&path);
+        append_records(&path, std::slice::from_ref(&rec)).unwrap();
+        append_records(&path, &[rec]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.trim_start().starts_with('['));
+        assert!(content.trim_end().ends_with(']'));
+        assert_eq!(content.matches("\"bench\":\"b\"").count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -10,17 +10,48 @@
 //!   distributed protocol; the test suite checks that both produce identical fixpoints
 //!   round by round.
 
-use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
-use lgfi_topology::{Coord, Mesh, NodeId};
+use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
+use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
 use crate::status::{next_status, NeighborStatus, NodeStatus};
 
 /// Array-based synchronous implementation of Algorithm 1.
+///
+/// The engine owns a zero-allocation round data plane (mirroring
+/// [`RoundEngine`]'s, see `lgfi_sim::engine`): statuses are double-buffered, the
+/// neighbor table is a flat CSR cache, and neighbor views are built in a
+/// fixed-capacity stack array, so steady-state rounds touch no heap.  Because rules
+/// 1–4 are a pure stencil of the neighbor statuses, the engine also schedules rounds
+/// over the **active frontier** — only nodes whose status or neighborhood changed
+/// (or that a fault/recovery touched) are re-evaluated, making post-convergence
+/// rounds O(frontier) instead of O(n).  [`LabelingEngine::set_frontier`] can force
+/// full evaluation; statuses, change counts and round counts are bit-identical
+/// either way.
 #[derive(Debug, Clone)]
 pub struct LabelingEngine {
     mesh: Mesh,
     statuses: Vec<NodeStatus>,
+    /// Staging double buffer: evaluated nodes whose status changes write here and the
+    /// round barrier copies the changed entries back.
+    next_statuses: Vec<NodeStatus>,
+    /// Flat neighbor cache: `(direction, neighbor id)` pairs of node `i` live at
+    /// `nbr_data[nbr_off[i]..nbr_off[i + 1]]`.
+    nbr_data: Vec<(Direction, NodeId)>,
+    nbr_off: Vec<usize>,
+    /// Dirty nodes pending (re-)evaluation, deduplicated via `dirty`.  Maintained in
+    /// both scheduling modes so [`LabelingEngine::is_stable`] and a mid-run
+    /// [`LabelingEngine::set_frontier`] toggle stay sound.
+    frontier: Vec<NodeId>,
+    dirty: Vec<bool>,
+    /// Serial-path scratch (and sharded merge target) for changed node ids.
+    changed: Vec<NodeId>,
+    /// Per-worker changed-id scratch for sharded rounds.
+    worker_changed: Vec<Vec<NodeId>>,
+    /// The frontier knob: when false every non-faulty node is evaluated each round.
+    frontier_enabled: bool,
     rounds: u64,
+    /// Total nodes evaluated over all rounds (for frontier-size reporting).
+    evaluated_total: u64,
     /// Worker threads for round execution (1 = serial); results are bit-identical
     /// for every setting, exactly as for [`RoundEngine`].
     threads: usize,
@@ -28,13 +59,30 @@ pub struct LabelingEngine {
 
 impl LabelingEngine {
     /// Creates an engine with every node enabled (the initial condition of
-    /// Algorithm 1: "all non-faulty nodes are enabled").
+    /// Algorithm 1: "all non-faulty nodes are enabled").  The all-enabled mesh is a
+    /// fixpoint of rules 1–4, so the engine starts with an empty frontier.
     pub fn new(mesh: Mesh) -> Self {
         let n = mesh.node_count();
+        let mut nbr_data = Vec::new();
+        let mut nbr_off = Vec::with_capacity(n + 1);
+        nbr_off.push(0);
+        for id in 0..n {
+            nbr_data.extend(mesh.neighbor_ids(id));
+            nbr_off.push(nbr_data.len());
+        }
         LabelingEngine {
             mesh,
             statuses: vec![NodeStatus::Enabled; n],
+            next_statuses: vec![NodeStatus::Enabled; n],
+            nbr_data,
+            nbr_off,
+            frontier: Vec::new(),
+            dirty: vec![false; n],
+            changed: Vec::new(),
+            worker_changed: Vec::new(),
+            frontier_enabled: true,
             rounds: 0,
+            evaluated_total: 0,
             threads: 1,
         }
     }
@@ -56,6 +104,41 @@ impl LabelingEngine {
     /// The resolved number of worker threads (>= 1).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables or disables active-frontier scheduling (enabled by default).  Rules
+    /// 1–4 are a pure stencil of the neighbor statuses, so statuses, change counts
+    /// and round counts are bit-identical either way — this is purely a performance
+    /// knob, safe to toggle mid-run.
+    pub fn set_frontier(&mut self, enabled: bool) {
+        self.frontier_enabled = enabled;
+    }
+
+    /// Builder-style variant of [`LabelingEngine::set_frontier`].
+    pub fn with_frontier(mut self, enabled: bool) -> Self {
+        self.set_frontier(enabled);
+        self
+    }
+
+    /// True if rounds are scheduled over the active frontier.
+    pub fn frontier_active(&self) -> bool {
+        self.frontier_enabled
+    }
+
+    /// Number of nodes currently on the dirty frontier (0 iff the labeling is
+    /// stable).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Mean nodes evaluated per executed round (0.0 before any round ran): the
+    /// frontier size under active-frontier scheduling, the full non-faulty node count
+    /// under full evaluation.
+    pub fn mean_evaluated_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.evaluated_total as f64 / self.rounds as f64
     }
 
     /// Creates an engine with the given faulty nodes already marked.
@@ -95,6 +178,7 @@ impl LabelingEngine {
     /// Marks a node faulty (a new fault occurrence).
     pub fn inject_fault(&mut self, id: NodeId) {
         self.statuses[id] = NodeStatus::Faulty;
+        self.mark_neighborhood(id);
     }
 
     /// Marks the node at `c` faulty.
@@ -114,6 +198,16 @@ impl LabelingEngine {
             "only a faulty node can recover"
         );
         self.statuses[id] = NodeStatus::Clean;
+        self.mark_neighborhood(id);
+    }
+
+    /// Marks `id` and its neighbors as pending re-evaluation (their next status may
+    /// depend on `id`'s new status).
+    fn mark_neighborhood(&mut self, id: NodeId) {
+        mark_dirty(&mut self.frontier, &mut self.dirty, id);
+        for &(_, nid) in &self.nbr_data[self.nbr_off[id]..self.nbr_off[id + 1]] {
+            mark_dirty(&mut self.frontier, &mut self.dirty, nid);
+        }
     }
 
     /// Recovers the faulty node at `c`.
@@ -127,62 +221,122 @@ impl LabelingEngine {
     /// executed by sharded workers (contiguous dimension-0 slabs, as in
     /// [`RoundEngine`]) with bit-identical results.
     pub fn run_round(&mut self) -> usize {
-        let mut next = self.statuses.clone();
+        // External marks (faults, recoveries) arrive unordered; evaluation must scan
+        // ascending node ids so frontier and full rounds behave identically.
+        self.frontier.sort_unstable();
         let changes = if self.threads > 1 {
-            self.compute_round_sharded(&mut next)
+            self.round_sharded()
         } else {
-            self.compute_round(0, &mut next)
+            self.round_serial()
         };
-        self.statuses = next;
         self.rounds += 1;
         changes
     }
 
-    /// Applies rules 1–4 to the slice `next` (which holds the nodes starting at id
-    /// `base`), reading the shared previous-round statuses; returns the change count.
-    fn compute_round(&self, base: usize, next: &mut [NodeStatus]) -> usize {
-        let mut changes = 0usize;
-        for (offset, slot) in next.iter_mut().enumerate() {
-            let id = base + offset;
-            if self.statuses[id] == NodeStatus::Faulty {
-                continue;
-            }
-            let neighbors: Vec<NeighborStatus> = self
-                .mesh
-                .neighbor_ids(id)
-                .into_iter()
-                .map(|(dir, nid)| (dir, self.statuses[nid]))
-                .collect();
-            let ns = next_status(self.statuses[id], &neighbors);
-            if ns != self.statuses[id] {
-                changes += 1;
-            }
-            *slot = ns;
-        }
-        changes
+    /// The single-threaded round body.
+    fn round_serial(&mut self) -> usize {
+        let n = self.statuses.len();
+        self.changed.clear();
+        let view = StatusView {
+            statuses: &self.statuses,
+            nbr_data: &self.nbr_data,
+            nbr_off: &self.nbr_off,
+        };
+        self.evaluated_total += if self.frontier_enabled {
+            eval_ids(
+                &view,
+                self.frontier.iter().copied(),
+                0,
+                &mut self.next_statuses,
+                &mut self.changed,
+            )
+        } else {
+            eval_ids(&view, 0..n, 0, &mut self.next_statuses, &mut self.changed)
+        };
+        self.commit_and_mark()
     }
 
-    /// The sharded round body: workers write disjoint slabs of the next-status buffer
-    /// while sharing read access to the previous statuses (the double buffer is the
-    /// halo exchange), then the change counts are summed at the round barrier.
-    fn compute_round_sharded(&self, next: &mut [NodeStatus]) -> usize {
+    /// The sharded round body: workers evaluate contiguous dimension-0 slabs (or the
+    /// frontier slice inside them) against the shared previous statuses and stage
+    /// changes into disjoint regions of the shared back buffer (the double buffer is
+    /// the halo exchange); the changed-id lists are merged at the round barrier in
+    /// shard order.
+    fn round_sharded(&mut self) -> usize {
         let n = self.statuses.len();
         let shards =
             lgfi_sim::shard_ranges(n, lgfi_sim::shard::slab_width(&self.mesh), self.threads);
         if shards.len() <= 1 {
             // A single slab cannot be split: skip the worker machinery entirely.
-            return self.compute_round(0, next);
+            return self.round_serial();
         }
+        if self.worker_changed.len() < shards.len() {
+            self.worker_changed.resize_with(shards.len(), Vec::new);
+        }
+        let view = StatusView {
+            statuses: &self.statuses,
+            nbr_data: &self.nbr_data,
+            nbr_off: &self.nbr_off,
+        };
+        let use_frontier = self.frontier_enabled;
+        let frontier = &self.frontier;
+        let mut evaluated = 0u64;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = lgfi_sim::shard::split_shards_mut(next, &shards)
-                .into_iter()
-                .map(|(base, mine)| scope.spawn(move || self.compute_round(base, mine)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("labeling shard worker panicked"))
-                .sum()
-        })
+            let mut handles = Vec::with_capacity(shards.len());
+            for ((base, slab), changed) in
+                lgfi_sim::shard::split_shards_mut(&mut self.next_statuses, &shards)
+                    .into_iter()
+                    .zip(self.worker_changed.iter_mut())
+            {
+                let range = base..base + slab.len();
+                let front: &[NodeId] = if use_frontier {
+                    let lo = frontier.partition_point(|&x| x < range.start);
+                    let hi = frontier.partition_point(|&x| x < range.end);
+                    &frontier[lo..hi]
+                } else {
+                    &[]
+                };
+                handles.push(scope.spawn(move || {
+                    changed.clear();
+                    if use_frontier {
+                        eval_ids(&view, front.iter().copied(), base, slab, changed)
+                    } else {
+                        eval_ids(&view, range, base, slab, changed)
+                    }
+                }));
+            }
+            for h in handles {
+                evaluated += h.join().expect("labeling shard worker panicked");
+            }
+        });
+        self.evaluated_total += evaluated;
+        self.changed.clear();
+        let (shard_count, changed, worker_changed) =
+            (shards.len(), &mut self.changed, &self.worker_changed);
+        for ws in &worker_changed[..shard_count] {
+            changed.extend_from_slice(ws);
+        }
+        self.commit_and_mark()
+    }
+
+    /// The round barrier: commits the staged statuses of changed nodes, consumes the
+    /// evaluated frontier and marks the next one (changed nodes and their
+    /// neighborhoods).  Returns the change count.
+    fn commit_and_mark(&mut self) -> usize {
+        for &id in &self.changed {
+            self.statuses[id] = self.next_statuses[id];
+        }
+        for &id in &self.frontier {
+            self.dirty[id] = false;
+        }
+        self.frontier.clear();
+        let (frontier, dirty) = (&mut self.frontier, &mut self.dirty);
+        for &id in &self.changed {
+            mark_dirty(frontier, dirty, id);
+            for &(_, nid) in &self.nbr_data[self.nbr_off[id]..self.nbr_off[id + 1]] {
+                mark_dirty(frontier, dirty, nid);
+            }
+        }
+        self.changed.len()
     }
 
     /// Runs rounds until no status changes; returns the number of rounds executed
@@ -234,9 +388,15 @@ impl LabelingEngine {
     }
 
     /// True if one more round would not change any status.
+    ///
+    /// Derived from the frontier bookkeeping in O(1) — no cloning, no throwaway
+    /// probe round: the frontier is empty exactly when every node's inputs were
+    /// unchanged by the last round (or by fault/recovery events), and rules 1–4 are a
+    /// pure stencil of those inputs.  This is (conservatively) false right after an
+    /// injected disturbance whose re-evaluation would turn out to change nothing; one
+    /// [`LabelingEngine::run_round`] resolves it.
     pub fn is_stable(&self) -> bool {
-        let mut probe = self.clone();
-        probe.run_round() == 0
+        self.frontier.is_empty()
     }
 
     /// Counts nodes by status: `(faulty, disabled, clean, enabled)`.
@@ -264,6 +424,64 @@ impl LabelingEngine {
     }
 }
 
+/// Marks a node dirty, keeping the frontier list deduplicated.
+fn mark_dirty(frontier: &mut Vec<NodeId>, dirty: &mut [bool], id: NodeId) {
+    if !dirty[id] {
+        dirty[id] = true;
+        frontier.push(id);
+    }
+}
+
+/// The shared, read-only inputs of one labeling round.
+#[derive(Clone, Copy)]
+struct StatusView<'a> {
+    statuses: &'a [NodeStatus],
+    nbr_data: &'a [(Direction, NodeId)],
+    nbr_off: &'a [usize],
+}
+
+/// Applies rules 1–4 to the non-faulty nodes of `ids` (ascending), staging changed
+/// statuses into `next_slab` (indexed by `id - base`) and collecting the changed ids.
+/// Neighbor views are built in a fixed-capacity stack array, so evaluation never
+/// touches the heap for meshes of up to `MAX_STACK_NEIGHBORS / 2` dimensions.
+/// Returns the number of nodes evaluated.
+fn eval_ids(
+    view: &StatusView<'_>,
+    ids: impl Iterator<Item = NodeId>,
+    base: usize,
+    next_slab: &mut [NodeStatus],
+    changed: &mut Vec<NodeId>,
+) -> u64 {
+    let mut evaluated = 0u64;
+    for id in ids {
+        let prev = view.statuses[id];
+        if prev == NodeStatus::Faulty {
+            continue;
+        }
+        evaluated += 1;
+        let nbrs = &view.nbr_data[view.nbr_off[id]..view.nbr_off[id + 1]];
+        let ns = if nbrs.len() <= MAX_STACK_NEIGHBORS {
+            let mut buf = [(Direction::pos(0), NodeStatus::Enabled); MAX_STACK_NEIGHBORS];
+            for (slot, &(dir, nid)) in buf.iter_mut().zip(nbrs) {
+                *slot = (dir, view.statuses[nid]);
+            }
+            next_status(prev, &buf[..nbrs.len()])
+        } else {
+            // More than MAX_STACK_NEIGHBORS/2 dimensions: fall back to the heap.
+            let views: Vec<NeighborStatus> = nbrs
+                .iter()
+                .map(|&(dir, nid)| (dir, view.statuses[nid]))
+                .collect();
+            next_status(prev, &views)
+        };
+        if ns != prev {
+            next_slab[id - base] = ns;
+            changed.push(id);
+        }
+    }
+    evaluated
+}
+
 /// The same rules as a distributed [`Protocol`] for the generic round engine.
 ///
 /// The protocol state is simply the node's [`NodeStatus`]; faults are injected with
@@ -277,6 +495,11 @@ impl Protocol for LabelingProtocol {
     type State = NodeStatus;
     type Msg = ();
 
+    /// Rules 1–4 read only the previous statuses of the node and its neighbors and
+    /// never send messages, so the labeling is a pure stencil: the engine may skip
+    /// nodes outside the dirty frontier with bit-identical results.
+    const ROUND_INVARIANT: bool = true;
+
     fn init(&self, _ctx: &NodeCtx<'_>) -> NodeStatus {
         NodeStatus::Enabled
     }
@@ -289,20 +512,26 @@ impl Protocol for LabelingProtocol {
         _inbox: &[()],
         _outbox: &mut Outbox<()>,
     ) -> NodeStatus {
-        let views: Vec<NeighborStatus> = neighbors
-            .iter()
-            .map(|nb| {
-                (
-                    nb.dir,
-                    if nb.faulty {
-                        NodeStatus::Faulty
-                    } else {
-                        *nb.state.expect("non-faulty neighbor must expose state")
-                    },
-                )
-            })
-            .collect();
-        next_status(*prev, &views)
+        let status_of = |nb: &NeighborView<'_, NodeStatus>| {
+            (
+                nb.dir,
+                if nb.faulty {
+                    NodeStatus::Faulty
+                } else {
+                    *nb.state.expect("non-faulty neighbor must expose state")
+                },
+            )
+        };
+        if neighbors.len() <= MAX_STACK_NEIGHBORS {
+            let mut buf = [(Direction::pos(0), NodeStatus::Enabled); MAX_STACK_NEIGHBORS];
+            for (slot, nb) in buf.iter_mut().zip(neighbors) {
+                *slot = status_of(nb);
+            }
+            next_status(*prev, &buf[..neighbors.len()])
+        } else {
+            let views: Vec<NeighborStatus> = neighbors.iter().map(status_of).collect();
+            next_status(*prev, &views)
+        }
     }
 }
 

@@ -46,6 +46,10 @@ pub struct NetworkConfig {
     /// available core).  Parallelism is an execution detail: every run is
     /// bit-identical to the serial one.
     pub threads: usize,
+    /// Active-frontier scheduling for the labeling rounds (on by default): after a
+    /// disturbance only the nodes around the shrinking fault region are re-evaluated.
+    /// Like `threads`, an execution detail — results are bit-identical either way.
+    pub frontier: bool,
 }
 
 impl Default for NetworkConfig {
@@ -54,6 +58,7 @@ impl Default for NetworkConfig {
             lambda: 1,
             max_probe_steps: 100_000,
             threads: 1,
+            frontier: true,
         }
     }
 }
@@ -151,7 +156,9 @@ impl LgfiNetwork {
     /// Creates a network over `mesh` with a fault plan and configuration.  No events
     /// are applied until [`LgfiNetwork::run_step`] is called.
     pub fn new(mesh: Mesh, plan: FaultPlan, config: NetworkConfig) -> Self {
-        let labeling = LabelingEngine::new(mesh.clone()).with_threads(config.threads);
+        let labeling = LabelingEngine::new(mesh.clone())
+            .with_threads(config.threads)
+            .with_frontier(config.frontier);
         let blocks = BlockSet::extract(&mesh, labeling.statuses());
         LgfiNetwork {
             info: vec![Vec::new(); mesh.node_count()],
@@ -195,6 +202,11 @@ impl LgfiNetwork {
     /// The resolved worker-thread count the information rounds execute with (>= 1).
     pub fn threads(&self) -> usize {
         self.labeling.threads()
+    }
+
+    /// True if the labeling rounds run with active-frontier scheduling.
+    pub fn frontier_active(&self) -> bool {
+        self.labeling.frontier_active()
     }
 
     /// Current node statuses.

@@ -155,10 +155,30 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// True when the bench binary was invoked with `--test` (or `--quick`), mirroring
+/// `cargo bench -- --test`: every benchmark runs a single iteration as a smoke test
+/// instead of being measured (used by CI to keep the bench pass fast).
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--test" || a == "--quick"))
+}
+
 fn run_benchmark<F>(label: &str, sample_size: usize, measurement_time: Duration, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if quick_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{label:<60} smoke: ok ({})",
+            format_seconds(b.elapsed.as_secs_f64())
+        );
+        return;
+    }
     // Warm-up and calibration: find an iteration count that takes a measurable slice.
     let mut calibration = Bencher {
         iters: 1,

@@ -12,6 +12,35 @@
 //! exactly the "rounds of status exchanges among neighbors" of Algorithm 1 and the
 //! hop-by-hop message propagation of Algorithm 2.
 //!
+//! # Round data plane
+//!
+//! The engine owns every buffer the hot round loop touches, so steady-state rounds
+//! perform **zero heap allocations** (asserted by `tests/alloc_regression.rs`):
+//!
+//! * node states live in two persistent buffers; evaluated nodes stage their next
+//!   state in the back buffer and the round barrier swaps only the changed entries;
+//! * mailboxes are a CSR-style flat arena — one `Vec<Msg>` plus a per-node offset
+//!   table — rebuilt at the barrier from the round's send list with a stable
+//!   group-by-recipient pass, so every mailbox keeps the exact serial arrival order
+//!   (ascending sender id);
+//! * neighbor views are built in a fixed-capacity stack array (meshes of up to
+//!   [`MAX_STACK_NEIGHBORS`]`/2` dimensions; larger meshes fall back to a heap
+//!   vector), and the per-node [`Outbox`] is recycled across nodes and rounds.
+//!
+//! # Active-frontier scheduling
+//!
+//! A protocol may opt into [`Protocol::ROUND_INVARIANT`]: the promise that its rule
+//! is a pure stencil of the previous state, the neighbor views and the inbox — it
+//! never reads `ctx.round` — and that a node whose inputs are unchanged from the
+//! previous round recomputes its current state and sends nothing.  Under that
+//! contract the engine tracks a **dirty set** (nodes whose state or neighborhood
+//! changed, or whose inbox is non-empty this round or was non-empty last round —
+//! the drain transition is itself an input change) and evaluates only those
+//! frontier nodes, making post-convergence
+//! rounds O(frontier) instead of O(n) while producing bit-identical states, change
+//! counts and messages.  [`RoundEngine::set_frontier`] can force full evaluation for
+//! comparison; the knob never changes results.
+//!
 //! # Parallel execution
 //!
 //! Because every round reads only previous-round data, the engine can execute rounds
@@ -19,15 +48,22 @@
 //! partitions the mesh into contiguous slabs along the highest-stride dimension (see
 //! [`crate::shard`]) and gives each slab to a worker under [`std::thread::scope`].
 //! Workers read the shared previous-round state (the halo exchange is implicit in the
-//! double buffer) and their new states and outgoing messages are merged at the round
-//! barrier in shard order, which preserves the exact serial per-mailbox message order.
-//! Parallel runs are therefore **bit-identical** to serial runs for any protocol —
-//! parallelism is an execution detail, not a semantics change.
+//! double buffer) and write their staged states into disjoint regions of the shared
+//! back buffer; their send lists are merged at the round barrier in shard order,
+//! which preserves the exact serial per-mailbox message order.  Parallel runs are
+//! therefore **bit-identical** to serial runs for any protocol — parallelism is an
+//! execution detail, not a semantics change, and it composes with active-frontier
+//! scheduling (each worker evaluates the frontier slice of its own slab).
 
 use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
 use crate::shard::{resolve_threads, shard_ranges, slab_width, split_shards_mut};
 use crate::stats::{EngineStats, RoundStats};
+
+/// Capacity of the stack-allocated neighbor-view scratch: meshes with up to
+/// `MAX_STACK_NEIGHBORS / 2` dimensions build their views without touching the heap;
+/// higher-dimensional meshes fall back to a per-node vector.
+pub const MAX_STACK_NEIGHBORS: usize = 16;
 
 /// What a node can see of one of its neighbors during a round.
 #[derive(Debug)]
@@ -62,7 +98,9 @@ impl<'a> NodeCtx<'a> {
 }
 
 /// Collects the messages a node sends during a round; they are delivered to the
-/// addressed neighbors at the beginning of the next round.
+/// addressed neighbors at the beginning of the next round.  The engine recycles one
+/// outbox per worker across nodes and rounds, so sending never allocates once the
+/// high-water capacity is reached.
 #[derive(Debug)]
 pub struct Outbox<M> {
     msgs: Vec<(NodeId, M)>,
@@ -97,8 +135,17 @@ impl<M> Outbox<M> {
 pub trait Protocol: Sync {
     /// Per-node protocol state.
     type State: Clone + PartialEq + Send + Sync;
-    /// Messages exchanged between neighbors.
-    type Msg: Clone + Send;
+    /// Messages exchanged between neighbors (`Sync` because shard workers read
+    /// disjoint slices of the shared mailbox arena).
+    type Msg: Clone + Send + Sync;
+
+    /// Opt-in contract for active-frontier scheduling (see the module docs): the rule
+    /// is a pure stencil of `(prev, neighbors, inbox)` — it never reads `ctx.round` —
+    /// and a node whose inputs are unchanged from the previous round recomputes its
+    /// current state and sends no messages.  When `true` the engine may skip nodes
+    /// outside the dirty frontier with bit-identical results; protocols that read the
+    /// round number or re-send messages while quiescent must leave this `false`.
+    const ROUND_INVARIANT: bool = false;
 
     /// The initial state of node `ctx.id`.
     fn init(&self, ctx: &NodeCtx<'_>) -> Self::State;
@@ -118,18 +165,84 @@ pub trait Protocol: Sync {
     ) -> Self::State;
 }
 
+/// Reusable per-worker evaluation scratch: the recycled outbox, the round's send
+/// list (recipient, message) in sender order, and the ids whose state changed.
+struct WorkerScratch<P: Protocol> {
+    outbox: Outbox<P::Msg>,
+    /// `(recipient, Some(message))` per send; the message is `take`n when the arena
+    /// is built, which lets the barrier move messages out by sorted position without
+    /// cloning.
+    sends: Vec<(NodeId, Option<P::Msg>)>,
+    changed: Vec<NodeId>,
+    evaluated: u64,
+    messages: u64,
+}
+
+impl<P: Protocol> WorkerScratch<P> {
+    fn new() -> Self {
+        WorkerScratch {
+            outbox: Outbox::new(),
+            sends: Vec::new(),
+            changed: Vec::new(),
+            evaluated: 0,
+            messages: 0,
+        }
+    }
+}
+
+/// All reusable round buffers owned by the engine (never reallocated in steady
+/// state; capacities grow to the run's high-water mark and stay there).
+struct RoundScratch<P: Protocol> {
+    /// Serial-path evaluation scratch (also the merge target in sharded rounds).
+    main: WorkerScratch<P>,
+    /// Packed `(recipient << 32) | position` keys of the send list while grouping
+    /// messages by recipient (sorting plain integers is substantially faster than
+    /// sorting positions with an indirect key load).
+    order: Vec<u64>,
+    /// The back buffer of the mailbox arena being built for the next round.
+    next_inbox_data: Vec<P::Msg>,
+    /// The offset table of the arena being built (length `n + 1`).
+    next_inbox_off: Vec<usize>,
+    /// Deduplicated recipients of the *current* inbox arena.  A node whose inbox is
+    /// drained this round has different inputs next round (non-empty → empty), so the
+    /// frontier must re-evaluate it once more even if nothing else changed.
+    arena_recipients: Vec<NodeId>,
+    /// One evaluation scratch per shard worker (sharded rounds only).
+    workers: Vec<WorkerScratch<P>>,
+}
+
 /// Executes a [`Protocol`] over a mesh in synchronous rounds.
 pub struct RoundEngine<P: Protocol> {
     mesh: Mesh,
     protocol: P,
     /// Previous-round (committed) state per node.
     states: Vec<P::State>,
+    /// The staging double buffer: evaluated nodes whose state changes write here and
+    /// the round barrier swaps the changed entries into `states`.
+    next_states: Vec<P::State>,
     /// Faulty flag per node.
     faulty: Vec<bool>,
-    /// Mailboxes holding messages to be delivered in the *next* executed round.
-    mailboxes: Vec<Vec<P::Msg>>,
-    /// Neighbor cache: for each node, its (direction, neighbor id) pairs.
-    neighbors: Vec<Vec<(Direction, NodeId)>>,
+    /// Flat neighbor cache: `(direction, neighbor id)` pairs for node `i` live at
+    /// `nbr_data[nbr_off[i]..nbr_off[i + 1]]`.
+    nbr_data: Vec<(Direction, NodeId)>,
+    nbr_off: Vec<usize>,
+    /// CSR mailbox arena holding the messages deliverable in the next executed round:
+    /// node `i`'s inbox is `inbox_data[inbox_off[i]..inbox_off[i + 1]]` (the offset
+    /// table is only meaningful while `inbox_data` is non-empty).
+    inbox_data: Vec<P::Msg>,
+    inbox_off: Vec<usize>,
+    /// Messages injected from outside the protocol ([`RoundEngine::post`]) since the
+    /// last round; merged into the arena when the next round starts.
+    external: Vec<(NodeId, P::Msg)>,
+    /// Reusable round buffers.
+    scratch: RoundScratch<P>,
+    /// Dirty nodes pending evaluation (kept consistent with `dirty_flag`); only
+    /// maintained for `ROUND_INVARIANT` protocols.
+    frontier: Vec<NodeId>,
+    dirty_flag: Vec<bool>,
+    /// The frontier knob: when false the engine evaluates every node even for
+    /// `ROUND_INVARIANT` protocols (results are bit-identical either way).
+    frontier_requested: bool,
     round: u64,
     stats: EngineStats,
     /// Number of worker threads for round execution (1 = serial).
@@ -140,9 +253,14 @@ impl<P: Protocol> RoundEngine<P> {
     /// Creates an engine with every node non-faulty and in its initial protocol state.
     pub fn new(mesh: Mesh, protocol: P) -> Self {
         let n = mesh.node_count();
-        let neighbors: Vec<Vec<(Direction, NodeId)>> =
-            (0..n).map(|id| mesh.neighbor_ids(id)).collect();
-        let states = (0..n)
+        let mut nbr_data = Vec::new();
+        let mut nbr_off = Vec::with_capacity(n + 1);
+        nbr_off.push(0);
+        for id in 0..n {
+            nbr_data.extend(mesh.neighbor_ids(id));
+            nbr_off.push(nbr_data.len());
+        }
+        let states: Vec<P::State> = (0..n)
             .map(|id| {
                 protocol.init(&NodeCtx {
                     mesh: &mesh,
@@ -153,10 +271,30 @@ impl<P: Protocol> RoundEngine<P> {
             .collect();
         RoundEngine {
             protocol,
+            next_states: states.clone(),
             states,
             faulty: vec![false; n],
-            mailboxes: vec![Vec::new(); n],
-            neighbors,
+            nbr_data,
+            nbr_off,
+            inbox_data: Vec::new(),
+            inbox_off: vec![0; n + 1],
+            external: Vec::new(),
+            scratch: RoundScratch {
+                main: WorkerScratch::new(),
+                order: Vec::new(),
+                next_inbox_data: Vec::new(),
+                next_inbox_off: vec![0; n + 1],
+                arena_recipients: Vec::new(),
+                workers: Vec::new(),
+            },
+            // Nothing has been evaluated yet, so every node starts on the frontier.
+            frontier: if P::ROUND_INVARIANT {
+                (0..n).collect()
+            } else {
+                Vec::new()
+            },
+            dirty_flag: vec![P::ROUND_INVARIANT; n],
+            frontier_requested: true,
             round: 0,
             stats: EngineStats::default(),
             threads: 1,
@@ -183,6 +321,39 @@ impl<P: Protocol> RoundEngine<P> {
         self.threads
     }
 
+    /// Requests (or disables) active-frontier scheduling.  The request only takes
+    /// effect for protocols that declare [`Protocol::ROUND_INVARIANT`]; results are
+    /// bit-identical either way, so this is purely a performance knob.
+    pub fn set_frontier(&mut self, enabled: bool) {
+        self.frontier_requested = enabled;
+    }
+
+    /// Builder-style variant of [`RoundEngine::set_frontier`].
+    pub fn with_frontier(mut self, enabled: bool) -> Self {
+        self.set_frontier(enabled);
+        self
+    }
+
+    /// True if rounds are scheduled over the active frontier (the protocol declares
+    /// [`Protocol::ROUND_INVARIANT`] and the knob has not disabled it).
+    pub fn frontier_active(&self) -> bool {
+        P::ROUND_INVARIANT && self.frontier_requested
+    }
+
+    /// Number of nodes currently on the dirty frontier (0 for protocols without
+    /// [`Protocol::ROUND_INVARIANT`]; the mesh is quiescent when this reaches 0 and
+    /// no messages are pending).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Pre-reserves statistics storage for `extra` further rounds, so a steady-state
+    /// run of that length performs no bookkeeping allocations (used by the
+    /// allocation-regression tests).
+    pub fn reserve_rounds(&mut self, extra: usize) {
+        self.stats.reserve_rounds(extra);
+    }
+
     /// The mesh the engine runs on.
     pub fn mesh(&self) -> &Mesh {
         &self.mesh
@@ -194,7 +365,14 @@ impl<P: Protocol> RoundEngine<P> {
     }
 
     /// Mutable access to the protocol (e.g. to change scenario knobs between rounds).
+    /// Changing the rule invalidates frontier bookkeeping, so every node is marked
+    /// dirty again.
     pub fn protocol_mut(&mut self) -> &mut P {
+        if P::ROUND_INVARIANT {
+            for id in 0..self.states.len() {
+                mark_dirty(&mut self.frontier, &mut self.dirty_flag, id);
+            }
+        }
         &mut self.protocol
     }
 
@@ -222,6 +400,7 @@ impl<P: Protocol> RoundEngine<P> {
     /// marking the source of an identification wave).
     pub fn set_state(&mut self, id: NodeId, state: P::State) {
         self.states[id] = state;
+        self.mark_neighborhood(id);
     }
 
     /// True if the node is currently faulty.
@@ -234,7 +413,8 @@ impl<P: Protocol> RoundEngine<P> {
     /// to it are dropped.
     pub fn inject_fault(&mut self, id: NodeId) {
         self.faulty[id] = true;
-        self.mailboxes[id].clear();
+        self.purge_inbox(id);
+        self.mark_neighborhood(id);
     }
 
     /// Recovers a faulty node: it becomes non-faulty again with the given state
@@ -243,7 +423,8 @@ impl<P: Protocol> RoundEngine<P> {
     pub fn recover(&mut self, id: NodeId, state: P::State) {
         self.faulty[id] = false;
         self.states[id] = state;
-        self.mailboxes[id].clear();
+        self.purge_inbox(id);
+        self.mark_neighborhood(id);
     }
 
     /// Ids of all currently faulty nodes.
@@ -253,14 +434,166 @@ impl<P: Protocol> RoundEngine<P> {
 
     /// Number of messages currently waiting to be delivered next round.
     pub fn pending_messages(&self) -> usize {
-        self.mailboxes.iter().map(|m| m.len()).sum()
+        self.inbox_data.len() + self.external.len()
     }
 
     /// Delivers a message into a node's mailbox from "outside" the protocol (used by
-    /// higher layers, e.g. to start an identification wave at a corner node).
+    /// higher layers, e.g. to start an identification wave at a corner node).  The
+    /// message is appended after anything already pending for the node.
     pub fn post(&mut self, to: NodeId, msg: P::Msg) {
         if !self.faulty[to] {
-            self.mailboxes[to].push(msg);
+            self.external.push((to, msg));
+            if P::ROUND_INVARIANT {
+                mark_dirty(&mut self.frontier, &mut self.dirty_flag, to);
+            }
+        }
+    }
+
+    /// Marks `id` and all its neighbors dirty (their views change when `id`'s state
+    /// or fault flag changes from outside the round loop).
+    fn mark_neighborhood(&mut self, id: NodeId) {
+        if !P::ROUND_INVARIANT {
+            return;
+        }
+        mark_dirty(&mut self.frontier, &mut self.dirty_flag, id);
+        for &(_, nid) in &self.nbr_data[self.nbr_off[id]..self.nbr_off[id + 1]] {
+            mark_dirty(&mut self.frontier, &mut self.dirty_flag, nid);
+        }
+    }
+
+    /// Removes all pending messages addressed to `id` (mailboxes of nodes that fail
+    /// or recover are cleared, as in the fault model).
+    fn purge_inbox(&mut self, id: NodeId) {
+        self.external.retain(|(to, _)| *to != id);
+        if self.inbox_data.is_empty() {
+            return;
+        }
+        let (s, e) = (self.inbox_off[id], self.inbox_off[id + 1]);
+        if s == e {
+            return;
+        }
+        self.inbox_data.drain(s..e);
+        for off in self.inbox_off[id + 1..].iter_mut() {
+            *off -= e - s;
+        }
+    }
+
+    /// Merges externally posted messages into the mailbox arena (rare path; the
+    /// steady-state round loop never sees it).
+    fn absorb_external(&mut self) {
+        if self.external.is_empty() {
+            return;
+        }
+        let sends = &mut self.scratch.main.sends;
+        debug_assert!(sends.is_empty());
+        // Existing arena entries first (they are grouped by ascending recipient, so
+        // flattening in arena order keeps each mailbox's relative order), then the
+        // posts in posting order — exactly "append to the pending mailbox".
+        if !self.inbox_data.is_empty() {
+            let mut node = 0usize;
+            for (k, msg) in self.inbox_data.drain(..).enumerate() {
+                while self.inbox_off[node + 1] <= k {
+                    node += 1;
+                }
+                sends.push((node, Some(msg)));
+            }
+        }
+        for (to, msg) in self.external.drain(..) {
+            sends.push((to, Some(msg)));
+        }
+        self.build_arena();
+    }
+
+    /// Builds the next round's mailbox arena from the send list (recipient, message)
+    /// pairs in sender order: a stable group-by-recipient produces, for every
+    /// mailbox, the exact serial arrival order, and the finished arena is swapped in.
+    fn build_arena(&mut self) {
+        let n = self.states.len();
+        let sends = &mut self.scratch.main.sends;
+        let m = sends.len();
+        if m == 0 {
+            // No messages in flight: the arena is empty and the (stale) offset table
+            // is never consulted.
+            self.inbox_data.clear();
+            self.scratch.arena_recipients.clear();
+            return;
+        }
+        let order = &mut self.scratch.order;
+        order.clear();
+        debug_assert!(n < (1 << 32) && m < (1 << 32), "packed sort keys overflow");
+        order.extend(
+            sends
+                .iter()
+                .enumerate()
+                .map(|(i, &(to, _))| ((to as u64) << 32) | i as u64),
+        );
+        // Sorting the packed (recipient, position) keys is a stable
+        // group-by-recipient; `sort_unstable` is in-place, so the steady-state round
+        // stays allocation-free.
+        order.sort_unstable();
+        let data = &mut self.scratch.next_inbox_data;
+        let off = &mut self.scratch.next_inbox_off;
+        data.clear();
+        debug_assert_eq!(off.len(), n + 1);
+        let mut node = 0usize;
+        off[0] = 0;
+        for (k, &key) in order.iter().enumerate() {
+            let to = (key >> 32) as usize;
+            while node < to {
+                node += 1;
+                off[node] = k;
+            }
+            let msg = sends[(key & 0xFFFF_FFFF) as usize].1.take();
+            data.push(msg.expect("each send is placed exactly once"));
+        }
+        while node < n {
+            node += 1;
+            off[node] = m;
+        }
+        if P::ROUND_INVARIANT {
+            // Remember who this arena delivers to: the frontier re-evaluates them in
+            // the round *after* the delivery (the inbox-drain round).
+            let recipients = &mut self.scratch.arena_recipients;
+            recipients.clear();
+            for &key in order.iter() {
+                let to = (key >> 32) as usize;
+                if recipients.last() != Some(&to) {
+                    recipients.push(to);
+                }
+            }
+        }
+        sends.clear();
+        std::mem::swap(&mut self.inbox_data, data);
+        std::mem::swap(&mut self.inbox_off, off);
+    }
+
+    /// Consumes the evaluated frontier and marks the next one: every node whose state
+    /// changed, the neighbors of every changed node, and every message recipient.
+    fn update_frontier(&mut self) {
+        for &id in &self.frontier {
+            self.dirty_flag[id] = false;
+        }
+        self.frontier.clear();
+        let RoundScratch {
+            main,
+            arena_recipients,
+            ..
+        } = &self.scratch;
+        let (frontier, dirty) = (&mut self.frontier, &mut self.dirty_flag);
+        for &id in &main.changed {
+            mark_dirty(frontier, dirty, id);
+            for &(_, nid) in &self.nbr_data[self.nbr_off[id]..self.nbr_off[id + 1]] {
+                mark_dirty(frontier, dirty, nid);
+            }
+        }
+        for &(to, _) in &main.sends {
+            mark_dirty(frontier, dirty, to);
+        }
+        // Nodes whose inbox was drained this round see different inputs next round
+        // (non-empty → empty), so the pure-stencil contract alone does not let the
+        // engine skip them: re-evaluate them once more.
+        for &to in arena_recipients {
+            mark_dirty(frontier, dirty, to);
         }
     }
 
@@ -268,7 +601,13 @@ impl<P: Protocol> RoundEngine<P> {
     /// changed.  With [`RoundEngine::set_threads`] > 1 the round is executed by
     /// sharded workers with bit-identical results.
     pub fn run_round(&mut self) -> usize {
-        let (changes, messages_sent) = if self.threads > 1 {
+        self.absorb_external();
+        if P::ROUND_INVARIANT {
+            // External marks arrive unordered; evaluation (and therefore message
+            // emission) must scan ascending node ids to match full-evaluation order.
+            self.frontier.sort_unstable();
+        }
+        let (changes, messages_sent, evaluated) = if self.threads > 1 {
             self.round_sharded()
         } else {
             self.round_serial()
@@ -278,144 +617,134 @@ impl<P: Protocol> RoundEngine<P> {
             state_changes: changes as u64,
             messages_sent,
         });
+        self.stats.record_evaluated(evaluated);
         changes
     }
 
     /// The single-threaded round body.
-    fn round_serial(&mut self) -> (usize, u64) {
+    fn round_serial(&mut self) -> (usize, u64, u64) {
         let n = self.states.len();
+        let use_frontier = self.frontier_active();
         let view = RoundView {
             mesh: &self.mesh,
             protocol: &self.protocol,
             states: &self.states,
             faulty: &self.faulty,
-            neighbors: &self.neighbors,
+            nbr_data: &self.nbr_data,
+            nbr_off: &self.nbr_off,
+            inbox_data: &self.inbox_data,
+            inbox_off: &self.inbox_off,
             round: self.round,
         };
-        let mut new_states: Vec<Option<P::State>> = vec![None; n];
-        let mut new_mail: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
-        let mut messages_sent = 0u64;
-        let mut changes = 0usize;
-
-        for (id, new_state) in new_states.iter_mut().enumerate() {
-            if view.faulty[id] {
-                continue;
-            }
-            let inbox = std::mem::take(&mut self.mailboxes[id]);
-            let (next, sent) = view.eval(id, inbox);
-            if next != view.states[id] {
-                changes += 1;
-            }
-            for (to, msg) in sent {
-                if !view.faulty[to] {
-                    new_mail[to].push(msg);
-                    messages_sent += 1;
-                }
-            }
-            *new_state = Some(next);
+        let main = &mut self.scratch.main;
+        main.changed.clear();
+        debug_assert!(main.sends.is_empty());
+        let (evaluated, messages_sent) = if use_frontier {
+            eval_span(
+                &view,
+                self.frontier.iter().copied(),
+                0,
+                &mut self.next_states,
+                main,
+            )
+        } else {
+            eval_span(&view, 0..n, 0, &mut self.next_states, main)
+        };
+        let changes = self.scratch.main.changed.len();
+        for &id in &self.scratch.main.changed {
+            std::mem::swap(&mut self.states[id], &mut self.next_states[id]);
         }
-
-        for (id, st) in new_states.into_iter().enumerate() {
-            if let Some(st) = st {
-                self.states[id] = st;
-            }
+        if P::ROUND_INVARIANT {
+            self.update_frontier();
         }
-        // Mailboxes of faulty nodes were cleared on injection; anything that was not
-        // consumed this round (faulty nodes skipped) is dropped, and the newly sent
-        // messages become next round's inboxes.
-        self.mailboxes = new_mail;
-        (changes, messages_sent)
+        self.build_arena();
+        (changes, messages_sent, evaluated)
     }
 
     /// The sharded round body: each worker evaluates one contiguous slab of node ids
-    /// against the shared previous-round state; the per-shard results are merged at
-    /// the round barrier in shard order, reproducing the serial message order exactly.
-    fn round_sharded(&mut self) -> (usize, u64) {
-        /// What one worker hands back at the round barrier.
-        struct ShardOutput<S, M> {
-            /// Next states for the shard's id range (`None` for faulty nodes).
-            new_states: Vec<Option<S>>,
-            /// Messages sent by the shard, in sender-id order, faulty recipients
-            /// already dropped (fault flags cannot change mid-round).
-            sent: Vec<(NodeId, M)>,
-            changes: usize,
-            messages_sent: u64,
-        }
-
+    /// (or the frontier slice inside it) against the shared previous-round state,
+    /// staging next states into its disjoint region of the shared back buffer; the
+    /// per-shard results are merged at the round barrier in shard order, reproducing
+    /// the serial state commits and message order exactly.
+    fn round_sharded(&mut self) -> (usize, u64, u64) {
         let n = self.states.len();
         let shards = shard_ranges(n, slab_width(&self.mesh), self.threads);
         if shards.len() <= 1 {
             // A single slab cannot be split: skip the worker machinery entirely.
             return self.round_serial();
         }
+        let use_frontier = self.frontier_active();
+        if self.scratch.workers.len() < shards.len() {
+            self.scratch
+                .workers
+                .resize_with(shards.len(), WorkerScratch::new);
+        }
         let view = RoundView {
             mesh: &self.mesh,
             protocol: &self.protocol,
             states: &self.states,
             faulty: &self.faulty,
-            neighbors: &self.neighbors,
+            nbr_data: &self.nbr_data,
+            nbr_off: &self.nbr_off,
+            inbox_data: &self.inbox_data,
+            inbox_off: &self.inbox_off,
             round: self.round,
         };
-
-        // Hand each worker the mutable mailbox slice of its own shard (for inbox
-        // draining) while every worker shares read access to the previous states.
-        let mut outputs: Vec<ShardOutput<P::State, P::Msg>> = Vec::with_capacity(shards.len());
+        let frontier = &self.frontier;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shards.len());
-            for (base, mine) in split_shards_mut(&mut self.mailboxes, &shards) {
-                let range = base..base + mine.len();
+            for ((base, slab), ws) in split_shards_mut(&mut self.next_states, &shards)
+                .into_iter()
+                .zip(self.scratch.workers.iter_mut())
+            {
+                let range = base..base + slab.len();
+                let front: &[NodeId] = if use_frontier {
+                    let lo = frontier.partition_point(|&x| x < range.start);
+                    let hi = frontier.partition_point(|&x| x < range.end);
+                    &frontier[lo..hi]
+                } else {
+                    &[]
+                };
                 handles.push(scope.spawn(move || {
-                    let mut out = ShardOutput {
-                        new_states: Vec::with_capacity(range.len()),
-                        sent: Vec::new(),
-                        changes: 0,
-                        messages_sent: 0,
+                    ws.changed.clear();
+                    debug_assert!(ws.sends.is_empty());
+                    let (evaluated, messages) = if use_frontier {
+                        eval_span(&view, front.iter().copied(), base, slab, ws)
+                    } else {
+                        eval_span(&view, range, base, slab, ws)
                     };
-                    for (local, id) in range.enumerate() {
-                        if view.faulty[id] {
-                            out.new_states.push(None);
-                            continue;
-                        }
-                        let inbox = std::mem::take(&mut mine[local]);
-                        let (next, sent) = view.eval(id, inbox);
-                        if next != view.states[id] {
-                            out.changes += 1;
-                        }
-                        for (to, msg) in sent {
-                            if !view.faulty[to] {
-                                out.sent.push((to, msg));
-                                out.messages_sent += 1;
-                            }
-                        }
-                        out.new_states.push(Some(next));
-                    }
-                    out
+                    ws.evaluated = evaluated;
+                    ws.messages = messages;
                 }));
             }
             for h in handles {
-                outputs.push(h.join().expect("shard worker panicked"));
+                h.join().expect("shard worker panicked");
             }
         });
 
         // Round barrier: merge shard results in shard (= ascending node id) order so
-        // every mailbox receives its messages in the exact serial order.
-        let mut new_mail: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
-        let mut changes = 0usize;
+        // state commits and the send list reproduce the serial order exactly.
+        let shard_count = shards.len();
+        let RoundScratch { main, workers, .. } = &mut self.scratch;
+        main.changed.clear();
+        debug_assert!(main.sends.is_empty());
+        let mut evaluated = 0u64;
         let mut messages_sent = 0u64;
-        for (range, out) in shards.into_iter().zip(outputs) {
-            changes += out.changes;
-            messages_sent += out.messages_sent;
-            for (offset, st) in out.new_states.into_iter().enumerate() {
-                if let Some(st) = st {
-                    self.states[range.start + offset] = st;
-                }
+        for ws in workers[..shard_count].iter_mut() {
+            for &id in &ws.changed {
+                std::mem::swap(&mut self.states[id], &mut self.next_states[id]);
             }
-            for (to, msg) in out.sent {
-                new_mail[to].push(msg);
-            }
+            main.changed.extend_from_slice(&ws.changed);
+            main.sends.append(&mut ws.sends);
+            evaluated += ws.evaluated;
+            messages_sent += ws.messages;
         }
-        self.mailboxes = new_mail;
-        (changes, messages_sent)
+        let changes = self.scratch.main.changed.len();
+        if P::ROUND_INVARIANT {
+            self.update_frontier();
+        }
+        self.build_arena();
+        (changes, messages_sent, evaluated)
     }
 
     /// Runs rounds until the protocol is quiescent: no state changed in the last round
@@ -438,6 +767,7 @@ impl<P: Protocol> RoundEngine<P> {
     /// Runs exactly `rounds` rounds (the per-step λ budget of the Figure-7 model);
     /// returns the total number of state changes observed.
     pub fn run_rounds(&mut self, rounds: u64) -> usize {
+        self.reserve_rounds(rounds as usize);
         let mut total = 0usize;
         for _ in 0..rounds {
             total += self.run_round();
@@ -446,13 +776,65 @@ impl<P: Protocol> RoundEngine<P> {
     }
 }
 
+/// Marks a node dirty, keeping the frontier list deduplicated.
+fn mark_dirty(frontier: &mut Vec<NodeId>, dirty: &mut [bool], id: NodeId) {
+    if !dirty[id] {
+        dirty[id] = true;
+        frontier.push(id);
+    }
+}
+
+/// Evaluates the non-faulty nodes of `ids` (ascending) against the shared
+/// previous-round view, staging changed states into `next_slab` (indexed by
+/// `id - base`) and collecting sends/changed ids into the worker scratch.  The
+/// stack neighbor-view scratch lives here, initialised once per span and overwritten
+/// per node.  Returns `(nodes evaluated, messages sent)`.
+fn eval_span<'a, P: Protocol>(
+    view: &RoundView<'a, P>,
+    ids: impl Iterator<Item = NodeId>,
+    base: usize,
+    next_slab: &mut [P::State],
+    ws: &mut WorkerScratch<P>,
+) -> (u64, u64) {
+    let mut views: [NeighborView<'a, P::State>; MAX_STACK_NEIGHBORS] =
+        std::array::from_fn(|_| NeighborView {
+            dir: Direction::pos(0),
+            id: 0,
+            faulty: true,
+            state: None,
+        });
+    let mut evaluated = 0u64;
+    let mut messages = 0u64;
+    for id in ids {
+        if view.faulty[id] {
+            continue;
+        }
+        evaluated += 1;
+        let next = view.eval(id, &mut views, &mut ws.outbox);
+        if next != view.states[id] {
+            next_slab[id - base] = next;
+            ws.changed.push(id);
+        }
+        for (to, msg) in ws.outbox.msgs.drain(..) {
+            if !view.faulty[to] {
+                ws.sends.push((to, Some(msg)));
+                messages += 1;
+            }
+        }
+    }
+    (evaluated, messages)
+}
+
 /// The shared, read-only inputs of one round, as seen by every worker.
 struct RoundView<'a, P: Protocol> {
     mesh: &'a Mesh,
     protocol: &'a P,
     states: &'a [P::State],
     faulty: &'a [bool],
-    neighbors: &'a [Vec<(Direction, NodeId)>],
+    nbr_data: &'a [(Direction, NodeId)],
+    nbr_off: &'a [usize],
+    inbox_data: &'a [P::Msg],
+    inbox_off: &'a [usize],
     round: u64,
 }
 
@@ -464,34 +846,63 @@ impl<P: Protocol> Clone for RoundView<'_, P> {
 
 impl<P: Protocol> Copy for RoundView<'_, P> {}
 
-impl<P: Protocol> RoundView<'_, P> {
+impl<'a, P: Protocol> RoundView<'a, P> {
+    /// The messages deliverable to `id` this round.
+    fn inbox(&self, id: NodeId) -> &'a [P::Msg] {
+        if self.inbox_data.is_empty() {
+            &[]
+        } else {
+            &self.inbox_data[self.inbox_off[id]..self.inbox_off[id + 1]]
+        }
+    }
+
+    /// The view of one neighbor.
+    fn neighbor_view(&self, dir: Direction, nid: NodeId) -> NeighborView<'a, P::State> {
+        let faulty = self.faulty[nid];
+        NeighborView {
+            dir,
+            id: nid,
+            faulty,
+            state: if faulty {
+                None
+            } else {
+                Some(&self.states[nid])
+            },
+        }
+    }
+
     /// Evaluates one non-faulty node against the previous-round state: builds the
-    /// neighbor views, runs the protocol rule on `inbox`, and returns the next state
-    /// together with the messages sent (unfiltered).
-    fn eval(&self, id: NodeId, inbox: Vec<P::Msg>) -> (P::State, Vec<(NodeId, P::Msg)>) {
+    /// neighbor views in the caller's fixed-capacity stack scratch, runs the protocol
+    /// rule on the node's inbox slice, and returns the next state (messages land in
+    /// `outbox`, unfiltered).
+    fn eval(
+        &self,
+        id: NodeId,
+        views: &mut [NeighborView<'a, P::State>; MAX_STACK_NEIGHBORS],
+        outbox: &mut Outbox<P::Msg>,
+    ) -> P::State {
         let ctx = NodeCtx {
             mesh: self.mesh,
             id,
             round: self.round,
         };
-        let views: Vec<NeighborView<'_, P::State>> = self.neighbors[id]
-            .iter()
-            .map(|&(dir, nid)| NeighborView {
-                dir,
-                id: nid,
-                faulty: self.faulty[nid],
-                state: if self.faulty[nid] {
-                    None
-                } else {
-                    Some(&self.states[nid])
-                },
-            })
-            .collect();
-        let mut outbox = Outbox::new();
-        let next = self
-            .protocol
-            .on_round(&ctx, &self.states[id], &views, &inbox, &mut outbox);
-        (next, outbox.msgs)
+        let inbox = self.inbox(id);
+        let nbrs = &self.nbr_data[self.nbr_off[id]..self.nbr_off[id + 1]];
+        if nbrs.len() <= MAX_STACK_NEIGHBORS {
+            for (slot, &(dir, nid)) in views.iter_mut().zip(nbrs) {
+                *slot = self.neighbor_view(dir, nid);
+            }
+            self.protocol
+                .on_round(&ctx, &self.states[id], &views[..nbrs.len()], inbox, outbox)
+        } else {
+            // More than MAX_STACK_NEIGHBORS/2 dimensions: fall back to the heap.
+            let views: Vec<NeighborView<'a, P::State>> = nbrs
+                .iter()
+                .map(|&(dir, nid)| self.neighbor_view(dir, nid))
+                .collect();
+            self.protocol
+                .on_round(&ctx, &self.states[id], &views, inbox, outbox)
+        }
     }
 }
 
@@ -651,6 +1062,8 @@ mod tests {
         assert_eq!(stats.rounds(), eng.round());
         assert!(stats.total_messages() > 0);
         assert!(stats.total_state_changes() > 0);
+        // Without `ROUND_INVARIANT` the engine evaluates every non-faulty node.
+        assert_eq!(stats.mean_evaluated_per_round(), 16.0);
     }
 
     #[test]
@@ -696,6 +1109,89 @@ mod tests {
         let f = mesh.id_of(&coord![2]);
         eng.inject_fault(f);
         eng.post(f, 0);
+        assert_eq!(eng.pending_messages(), 0);
+    }
+
+    #[test]
+    fn posts_are_delivered_after_pending_messages() {
+        /// Folds the inbox in delivery order, so mailbox order is observable.
+        struct OrderProbe;
+        impl Protocol for OrderProbe {
+            type State = u64;
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx<'_>) -> u64 {
+                1
+            }
+            fn on_round(
+                &self,
+                _ctx: &NodeCtx<'_>,
+                prev: &u64,
+                _neighbors: &[NeighborView<'_, u64>],
+                inbox: &[u64],
+                _outbox: &mut Outbox<u64>,
+            ) -> u64 {
+                let mut h = *prev;
+                for &m in inbox {
+                    h = h.wrapping_mul(31).wrapping_add(m);
+                }
+                h
+            }
+        }
+        let mesh = Mesh::new(&[3]);
+        let mut eng = RoundEngine::new(mesh, OrderProbe);
+        eng.post(1, 10);
+        eng.post(1, 20);
+        eng.post(0, 7);
+        assert_eq!(eng.pending_messages(), 3);
+        eng.run_round();
+        // Node 1 folded 10 then 20 in posting order: ((1*31 + 10)*31 + 20).
+        assert_eq!(*eng.state(1), (31 + 10) * 31 + 20);
+        assert_eq!(*eng.state(0), 31 + 7);
+        assert_eq!(eng.pending_messages(), 0);
+    }
+
+    #[test]
+    fn posts_are_appended_after_in_flight_messages() {
+        /// Node 0 sends its value to node 1 in round 0; node 1 folds its inbox in
+        /// delivery order (non-commutative), so the merge order of in-flight arena
+        /// messages and external posts is observable.
+        struct SendOnceThenFold;
+        impl Protocol for SendOnceThenFold {
+            type State = u64;
+            type Msg = u64;
+            fn init(&self, _ctx: &NodeCtx<'_>) -> u64 {
+                1
+            }
+            fn on_round(
+                &self,
+                ctx: &NodeCtx<'_>,
+                prev: &u64,
+                _neighbors: &[NeighborView<'_, u64>],
+                inbox: &[u64],
+                outbox: &mut Outbox<u64>,
+            ) -> u64 {
+                if ctx.id == 0 && ctx.round == 0 {
+                    outbox.send(1, 100);
+                }
+                let mut h = *prev;
+                for &m in inbox {
+                    h = h.wrapping_mul(31).wrapping_add(m);
+                }
+                h
+            }
+        }
+        let mesh = Mesh::new(&[3]);
+        let mut eng = RoundEngine::new(mesh, SendOnceThenFold);
+        eng.run_round();
+        assert_eq!(eng.pending_messages(), 1, "100 is in flight to node 1");
+        // Posts must land *after* the pending in-flight message of the same node.
+        eng.post(1, 200);
+        eng.post(0, 7);
+        assert_eq!(eng.pending_messages(), 3);
+        eng.run_round();
+        // Node 1 folded 100 (arena) then 200 (post): ((1*31 + 100)*31 + 200).
+        assert_eq!(*eng.state(1), (31 + 100) * 31 + 200);
+        assert_eq!(*eng.state(0), 31 + 7);
         assert_eq!(eng.pending_messages(), 0);
     }
 
@@ -809,6 +1305,134 @@ mod tests {
         let serial = run(1);
         for threads in [2, 4] {
             assert_eq!(serial, run(threads), "threads {threads}");
+        }
+    }
+
+    /// A `ROUND_INVARIANT` stencil: every node takes the max of its own value, its
+    /// neighbors' values and its inbox, and announces increases by message — a node
+    /// with unchanged inputs recomputes its value and stays silent, as the contract
+    /// requires.
+    struct MaxStencil;
+
+    impl Protocol for MaxStencil {
+        type State = u64;
+        type Msg = u64;
+        const ROUND_INVARIANT: bool = true;
+
+        fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.id as u64
+        }
+
+        fn on_round(
+            &self,
+            _ctx: &NodeCtx<'_>,
+            prev: &u64,
+            neighbors: &[NeighborView<'_, u64>],
+            inbox: &[u64],
+            outbox: &mut Outbox<u64>,
+        ) -> u64 {
+            let mut best = *prev;
+            for &m in inbox {
+                best = best.max(m);
+            }
+            for nb in neighbors {
+                if let Some(&s) = nb.state {
+                    best = best.max(s);
+                }
+            }
+            if best > *prev {
+                for nb in neighbors {
+                    outbox.send(nb.id, best);
+                }
+            }
+            best
+        }
+    }
+
+    #[test]
+    fn frontier_shrinks_after_convergence_and_skips_work() {
+        let mesh = Mesh::cubic(8, 2);
+        let mut eng = RoundEngine::new(mesh, MaxStencil);
+        assert!(eng.frontier_active());
+        eng.run_until_quiescent(100).unwrap();
+        // One flush round consumes the final delivery's deferred drain-round wake.
+        eng.run_round();
+        assert_eq!(eng.frontier_len(), 0);
+        let before = eng.stats().evaluated_per_round().to_vec();
+        // Post-convergence rounds evaluate nobody.
+        eng.run_rounds(3);
+        let after = eng.stats().evaluated_per_round();
+        assert_eq!(&after[before.len()..], &[0, 0, 0]);
+        // Disturb one node: only its neighborhood wakes up.
+        eng.set_state(0, 1_000);
+        eng.run_round();
+        let evaluated = *eng.stats().evaluated_per_round().last().unwrap();
+        assert!(evaluated <= 3, "evaluated {evaluated} nodes, expected ≤ 3");
+    }
+
+    #[test]
+    fn inbox_drain_wakes_the_node_for_one_more_round() {
+        /// A contract-conforming stencil whose output depends on inbox *emptiness*:
+        /// with a message in flight the node parrots its previous state (no change,
+        /// nothing sent), and on the drained round it snaps to 1.  Skipping the
+        /// drained round would freeze the stale state.
+        struct DrainSnap;
+        impl Protocol for DrainSnap {
+            type State = u64;
+            type Msg = ();
+            const ROUND_INVARIANT: bool = true;
+            fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+                ctx.id as u64 + 5
+            }
+            fn on_round(
+                &self,
+                _ctx: &NodeCtx<'_>,
+                prev: &u64,
+                _neighbors: &[NeighborView<'_, u64>],
+                inbox: &[()],
+                _outbox: &mut Outbox<()>,
+            ) -> u64 {
+                if inbox.is_empty() {
+                    1
+                } else {
+                    *prev
+                }
+            }
+        }
+        // A single isolated node: no neighbor changes can rescue a missed dirty
+        // mark, so the drain round alone must wake it.
+        let mesh = Mesh::new(&[1]);
+        let run = |frontier: bool| {
+            let mut eng = RoundEngine::new(mesh.clone(), DrainSnap).with_frontier(frontier);
+            eng.post(0, ());
+            // Delivery round: inbox non-empty, state stays 5 (no change, no sends).
+            // Drain round: inbox now empty — the state must snap to 1.
+            eng.run_rounds(3);
+            (eng.states().to_vec(), eng.stats().per_round().to_vec())
+        };
+        let (frontier_states, frontier_stats) = run(true);
+        assert_eq!(frontier_states, vec![1], "drained node must re-evaluate");
+        assert_eq!((frontier_states, frontier_stats), run(false));
+    }
+
+    #[test]
+    fn frontier_and_full_evaluation_are_bit_identical() {
+        let mesh = Mesh::cubic(9, 2);
+        let run = |frontier: bool, threads: usize| {
+            let mut eng = RoundEngine::new(mesh.clone(), MaxStencil)
+                .with_frontier(frontier)
+                .with_threads(threads);
+            eng.run_rounds(5);
+            eng.inject_fault(mesh.id_of(&coord![4, 4]));
+            eng.run_rounds(4);
+            eng.recover(mesh.id_of(&coord![4, 4]), 7_777);
+            eng.post(mesh.id_of(&coord![0, 8]), 9_999);
+            eng.run_until_quiescent(200).unwrap();
+            (eng.states().to_vec(), eng.stats().per_round().to_vec())
+        };
+        let reference = run(false, 1);
+        for threads in [1, 3] {
+            assert_eq!(reference, run(true, threads), "threads {threads}");
         }
     }
 }

@@ -37,7 +37,7 @@ pub mod stats;
 pub mod step;
 pub mod trace;
 
-pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
 pub use rng::DetRng;
 pub use shard::{resolve_threads, shard_ranges};

@@ -13,6 +13,11 @@ pub struct RoundStats {
 #[derive(Debug, Clone)]
 pub struct EngineStats {
     per_round: Vec<RoundStats>,
+    /// Nodes evaluated per round.  With active-frontier scheduling this is the
+    /// frontier size; with full evaluation it is the non-faulty node count.  It is an
+    /// execution detail (like `threads`) and deliberately kept out of [`RoundStats`],
+    /// whose records are bit-identical across scheduling modes.
+    evaluated_per_round: Vec<u64>,
     /// Worker threads the engine executes rounds with (1 = serial).
     threads: usize,
 }
@@ -21,6 +26,7 @@ impl Default for EngineStats {
     fn default() -> Self {
         EngineStats {
             per_round: Vec::new(),
+            evaluated_per_round: Vec::new(),
             threads: 1,
         }
     }
@@ -30,6 +36,32 @@ impl EngineStats {
     /// Records the counters of one executed round.
     pub fn record_round(&mut self, stats: RoundStats) {
         self.per_round.push(stats);
+    }
+
+    /// Records how many nodes the engine evaluated in the round just recorded.
+    pub fn record_evaluated(&mut self, evaluated: u64) {
+        self.evaluated_per_round.push(evaluated);
+    }
+
+    /// Pre-reserves storage for `extra` further rounds so steady-state recording
+    /// performs no allocations.
+    pub fn reserve_rounds(&mut self, extra: usize) {
+        self.per_round.reserve(extra);
+        self.evaluated_per_round.reserve(extra);
+    }
+
+    /// Nodes evaluated per round (the active-frontier size, or the non-faulty node
+    /// count under full evaluation).
+    pub fn evaluated_per_round(&self) -> &[u64] {
+        &self.evaluated_per_round
+    }
+
+    /// Mean nodes evaluated per round (0.0 before any round ran).
+    pub fn mean_evaluated_per_round(&self) -> f64 {
+        if self.evaluated_per_round.is_empty() {
+            return 0.0;
+        }
+        self.evaluated_per_round.iter().sum::<u64>() as f64 / self.evaluated_per_round.len() as f64
     }
 
     /// Records the active worker-thread count, so downstream summaries and benchmark
@@ -192,6 +224,18 @@ mod tests {
         assert_eq!(s.total_messages(), 7);
         assert_eq!(s.total_state_changes(), 4);
         assert_eq!(s.last_active_round(), Some(2));
+    }
+
+    #[test]
+    fn evaluated_counts_are_tracked_separately() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.mean_evaluated_per_round(), 0.0);
+        s.reserve_rounds(4);
+        s.record_evaluated(10);
+        s.record_evaluated(2);
+        s.record_evaluated(0);
+        assert_eq!(s.evaluated_per_round(), &[10, 2, 0]);
+        assert_eq!(s.mean_evaluated_per_round(), 4.0);
     }
 
     #[test]

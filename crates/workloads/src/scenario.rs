@@ -35,6 +35,9 @@ pub struct Scenario {
     /// Worker threads for the network's information rounds (`1` = serial, `0` = one
     /// per available core); results are bit-identical for every setting.
     pub threads: usize,
+    /// Active-frontier scheduling for the labeling rounds (on by default); like
+    /// `threads`, an execution detail that never changes results.
+    pub frontier: bool,
 }
 
 impl Scenario {
@@ -52,6 +55,7 @@ impl Scenario {
             launch_step: 60,
             max_steps: 5_000,
             threads: 1,
+            frontier: true,
         }
     }
 
@@ -84,6 +88,7 @@ impl Scenario {
                 lambda: self.lambda,
                 max_probe_steps: self.max_steps,
                 threads: self.threads,
+                frontier: self.frontier,
             },
         );
         // Warm-up: run to the launch step so static faults and their information can
@@ -227,6 +232,7 @@ mod tests {
             launch_step: 0,
             max_steps: 5_000,
             threads: 1,
+            frontier: true,
         };
         let result = scenario.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.launched, 4);
@@ -247,6 +253,20 @@ mod tests {
         assert_eq!(a.delivered(), b.delivered());
         assert_eq!(a.mean_detours(), b.mean_detours());
         assert_eq!(a.convergence, b.convergence);
+    }
+
+    #[test]
+    fn scenario_frontier_knob_does_not_change_results() {
+        let mut scenario = Scenario::small();
+        scenario.dims = vec![12, 12];
+        scenario.fault_count = 5;
+        assert!(scenario.frontier, "frontier scheduling is the default");
+        let on = scenario.run(&|| Box::new(LgfiRouter::new()));
+        scenario.frontier = false;
+        let off = scenario.run(&|| Box::new(LgfiRouter::new()));
+        assert_eq!(on.delivered(), off.delivered());
+        assert_eq!(on.convergence, off.convergence);
+        assert_eq!(format!("{:?}", on.reports), format!("{:?}", off.reports));
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn main() {
                     launch_step: 10,
                     max_steps: 100_000,
                     threads: 1,
+                    frontier: true,
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 delivery += result.delivery_ratio();

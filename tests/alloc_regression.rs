@@ -1,0 +1,193 @@
+//! Allocation-regression guard for the round data plane.
+//!
+//! The engines own every buffer the round loop touches (double-buffered states, the
+//! CSR mailbox arena, the flat neighbor cache, stack-allocated neighbor views and a
+//! recycled outbox), so **steady-state rounds perform zero heap allocations** in the
+//! serial engines.  This test installs a counting global allocator and proves it:
+//! after a warm-up to quiescence (where buffers reach their high-water capacity),
+//! further rounds must not allocate — with active-frontier scheduling on (frontier
+//! empty, O(1) rounds) *and* off (full per-node evaluation).
+//!
+//! Everything runs inside a single `#[test]` because the allocation counter is
+//! process-global and the libtest harness runs separate tests on separate threads.
+
+// The counting allocator is the one sanctioned use of `unsafe` in this workspace
+// (see the lint note in the root Cargo.toml): `GlobalAlloc` cannot be implemented
+// without it, and there is no other way to observe allocator traffic.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lgfi_core::labeling::{LabelingEngine, LabelingProtocol};
+use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
+use lgfi_topology::{coord, Mesh};
+
+/// Counts allocator calls (alloc, realloc, alloc_zeroed) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with the counter armed and returns the number of allocator calls it made.
+fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), out)
+}
+
+/// The min-flood protocol of the engine's own tests: converges, then goes silent —
+/// steady-state rounds still evaluate every node (no `ROUND_INVARIANT`), exercising
+/// the full data plane without messages.
+struct MinFlood;
+
+impl Protocol for MinFlood {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, ctx: &NodeCtx<'_>) -> u64 {
+        if ctx.id == 0 {
+            0
+        } else {
+            ctx.id as u64 + 1
+        }
+    }
+
+    fn on_round(
+        &self,
+        _ctx: &NodeCtx<'_>,
+        prev: &u64,
+        neighbors: &[NeighborView<'_, u64>],
+        inbox: &[u64],
+        outbox: &mut Outbox<u64>,
+    ) -> u64 {
+        let mut best = *prev;
+        for v in inbox {
+            best = best.min(*v);
+        }
+        for nb in neighbors {
+            if let Some(&s) = nb.state {
+                best = best.min(s);
+            }
+        }
+        if best < *prev {
+            for nb in neighbors {
+                outbox.send(nb.id, best);
+            }
+        }
+        best
+    }
+}
+
+const STEADY_ROUNDS: u64 = 64;
+
+#[test]
+fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
+    // --- RoundEngine + LabelingProtocol, frontier scheduling (the default). -------
+    let mesh = Mesh::cubic(32, 2);
+    let mut eng = RoundEngine::new(mesh.clone(), LabelingProtocol);
+    for c in [
+        coord![10, 10],
+        coord![11, 11],
+        coord![10, 11],
+        coord![16, 5],
+    ] {
+        eng.inject_fault(mesh.id_of(&c));
+    }
+    eng.run_until_quiescent(1_000).expect("labeling stabilises");
+    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
+    assert_eq!(changes, 0, "quiescent mesh must stay quiescent");
+    assert_eq!(
+        allocs, 0,
+        "frontier rounds of the serial RoundEngine must not allocate"
+    );
+
+    // --- RoundEngine + LabelingProtocol, full evaluation (frontier off). ----------
+    let mut eng = RoundEngine::new(mesh.clone(), LabelingProtocol).with_frontier(false);
+    for c in [coord![10, 10], coord![11, 11], coord![10, 11]] {
+        eng.inject_fault(mesh.id_of(&c));
+    }
+    eng.run_until_quiescent(1_000).expect("labeling stabilises");
+    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
+    assert_eq!(changes, 0);
+    assert_eq!(
+        allocs, 0,
+        "full-evaluation rounds of the serial RoundEngine must not allocate"
+    );
+
+    // --- RoundEngine + a message-sending protocol, quiescent after convergence. ---
+    let mut eng = RoundEngine::new(mesh.clone(), MinFlood);
+    eng.run_until_quiescent(1_000).expect("min-flood converges");
+    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
+    assert_eq!(changes, 0);
+    assert_eq!(
+        allocs, 0,
+        "post-convergence rounds of a messaging protocol must not allocate"
+    );
+
+    // --- LabelingEngine, frontier scheduling and full evaluation. -----------------
+    for frontier in [true, false] {
+        let mut eng = LabelingEngine::new(mesh.clone()).with_frontier(frontier);
+        for c in [
+            coord![10, 10],
+            coord![11, 11],
+            coord![10, 11],
+            coord![16, 5],
+        ] {
+            eng.inject_fault_coord(&c);
+        }
+        eng.run_to_fixpoint(1_000).expect("labeling stabilises");
+        let (allocs, changes) = count_allocations(|| {
+            let mut total = 0usize;
+            for _ in 0..STEADY_ROUNDS {
+                total += eng.run_round();
+            }
+            total
+        });
+        assert_eq!(changes, 0);
+        assert_eq!(
+            allocs, 0,
+            "steady-state LabelingEngine rounds must not allocate (frontier={frontier})"
+        );
+    }
+
+    // Sanity: the counter actually observes allocator traffic.
+    let (allocs, v) = count_allocations(|| vec![1u8]);
+    assert!(allocs > 0, "the counting allocator must see allocations");
+    drop(v);
+}
