@@ -11,14 +11,22 @@
 //! that the limited-global model tracks it closely at a small fraction of the memory
 //! and update cost.
 
+use std::cell::RefCell;
+
 use lgfi_core::boundary::BoundaryEntry;
 use lgfi_core::routing::{LgfiRouter, RouteCtx, Router, RoutingDecision};
 use lgfi_topology::Direction;
 
 /// Adaptive routing with instantaneous global block knowledge.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct GlobalInfoRouter {
     inner: LgfiRouter,
+    /// Recycled scratch for the synthesised global boundary entries: cleared and
+    /// refilled per decision, so a warm router allocates nothing per hop.  Interior
+    /// mutability keeps [`Router::decide`]'s `&self` signature; routers are owned by
+    /// exactly one probe worker at a time (`Router: Send`, not `Sync`), so the
+    /// borrow can never be contended.
+    scratch: RefCell<Vec<BoundaryEntry>>,
 }
 
 impl GlobalInfoRouter {
@@ -26,6 +34,17 @@ impl GlobalInfoRouter {
     pub fn new() -> Self {
         GlobalInfoRouter {
             inner: LgfiRouter::new(),
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl Clone for GlobalInfoRouter {
+    fn clone(&self) -> Self {
+        // Scratch contents are per-decision transients; a clone starts cold.
+        GlobalInfoRouter {
+            inner: self.inner.clone(),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 }
@@ -39,9 +58,10 @@ impl Router for GlobalInfoRouter {
         // Synthesise boundary entries for every block in every guard direction, as if
         // this node stored the complete global picture.
         let n = ctx.mesh.ndim();
-        let mut synthetic: Vec<BoundaryEntry> = Vec::new();
-        for block in &ctx.global_blocks {
-            for guard in Direction::all(n) {
+        let mut synthetic = self.scratch.borrow_mut();
+        synthetic.clear();
+        for block in ctx.global_blocks {
+            for guard in Direction::iter_all(n) {
                 synthetic.push(BoundaryEntry {
                     block_id: block.id,
                     block: block.region.clone(),
@@ -51,15 +71,9 @@ impl Router for GlobalInfoRouter {
             }
         }
         let enriched = RouteCtx {
-            mesh: ctx.mesh,
-            current: ctx.current.clone(),
-            dest: ctx.dest.clone(),
-            current_status: ctx.current_status,
-            neighbors: ctx.neighbors.clone(),
-            boundary_info: synthetic,
-            global_blocks: Vec::new(),
-            used: ctx.used,
-            incoming: ctx.incoming,
+            boundary_info: &synthetic,
+            global_blocks: &[],
+            ..*ctx
         };
         self.inner.decide(&enriched)
     }

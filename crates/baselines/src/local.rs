@@ -31,17 +31,12 @@ impl Router for LocalInfoRouter {
 
     fn decide(&self, ctx: &RouteCtx<'_>) -> RoutingDecision {
         // Strip the limited-global information: the decision is made exactly like
-        // Algorithm 3 but with an empty boundary store.
+        // Algorithm 3 but with an empty boundary store.  The context is `Copy`
+        // borrows all the way down, so the stripped variant costs nothing.
         let stripped = RouteCtx {
-            mesh: ctx.mesh,
-            current: ctx.current.clone(),
-            dest: ctx.dest.clone(),
-            current_status: ctx.current_status,
-            neighbors: ctx.neighbors.clone(),
-            boundary_info: Vec::new(),
-            global_blocks: Vec::new(),
-            used: ctx.used,
-            incoming: ctx.incoming,
+            boundary_info: &[],
+            global_blocks: &[],
+            ..*ctx
         };
         self.inner.decide(&stripped)
     }

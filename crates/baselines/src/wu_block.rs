@@ -30,7 +30,7 @@ impl StaticBlockRouter {
     /// test applied with global knowledge).
     fn hop_is_dangerous(ctx: &RouteCtx<'_>, dir: Direction, block: &Region) -> bool {
         let next = ctx.current.step(dir);
-        for guard in Direction::all(ctx.mesh.ndim()) {
+        for guard in Direction::iter_all(ctx.mesh.ndim()) {
             let dim = guard.dim;
             let dest_beyond = if guard.positive {
                 ctx.dest[dim] > block.hi()[dim]
@@ -66,7 +66,7 @@ impl Router for StaticBlockRouter {
             return RoutingDecision::Fail;
         }
         let mut best: Option<(Direction, i64)> = None;
-        for dir in Direction::all(ctx.mesh.ndim()) {
+        for dir in Direction::iter_all(ctx.mesh.ndim()) {
             if !ctx.is_preferred(dir) || ctx.used.contains(dir) {
                 continue;
             }

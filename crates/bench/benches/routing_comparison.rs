@@ -85,5 +85,56 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_routing);
+/// Serial-vs-parallel batched probe sweeps on the standard 32×32 faulty-mesh
+/// workload: the whole 256-pair batch is routed through `sweep_static` at 1/2/4
+/// probe workers.  Thread counts are part of the benchmark id; outcomes themselves
+/// are bit-identical across counts (`tests/probe_batch_equivalence.rs`).
+fn bench_probe_sweep_threads(c: &mut Criterion) {
+    use lgfi_bench::perf::RoutingWorkload;
+    use lgfi_core::routing::sweep_static;
+    let w = RoutingWorkload::standard();
+    let mut group = c.benchmark_group("probe_sweep_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("lgfi_sweep_32x32_256_probes", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let outcomes = sweep_static(
+                        &w.mesh,
+                        &w.statuses,
+                        w.blocks.blocks(),
+                        &w.boundary,
+                        &|| Box::new(LgfiRouter::new()),
+                        &w.pairs,
+                        100_000,
+                        threads,
+                    );
+                    std::hint::black_box(outcomes.iter().map(|o| o.steps).sum::<u64>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Appends the machine-readable routing records to `BENCH_engine.json` (runs after
+/// the criterion groups; see `lgfi_bench::perf`).  Skipped in `-- --test` smoke mode:
+/// a single-iteration pass should neither spend time on the timed measurements nor
+/// append noise records to the tracked trajectory file.
+fn bench_emit_json(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test" || a == "--quick") {
+        println!("BENCH_engine.json emission skipped (smoke mode)");
+        return;
+    }
+    lgfi_bench::perf::emit_routing_records();
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_probe_sweep_threads,
+    bench_emit_json
+);
 criterion_main!(benches);

@@ -44,6 +44,21 @@ pub fn configured_threads() -> usize {
     }
 }
 
+/// The probe-sweep worker count configured through the environment:
+/// `LGFI_PROBE_THREADS` unset or empty means `1` (serial, the deterministic
+/// default), `0` means one worker per available core, any other value is used
+/// as-is.  Probe sharding never changes results — batched and parallel sweeps are
+/// bit-identical to the serial path.
+pub fn configured_probe_threads() -> usize {
+    match std::env::var("LGFI_PROBE_THREADS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("LGFI_PROBE_THREADS must be an integer, got {s:?}")),
+        _ => 1,
+    }
+}
+
 /// The active-frontier knob configured through the environment: `LGFI_FRONTIER`
 /// unset or empty means on (the default), `0`/`false`/`off` disables it (full
 /// per-round evaluation).  Like `LGFI_THREADS`, scheduling never changes results —
@@ -439,6 +454,7 @@ pub fn exp_fig7_steps_with(threads: usize) -> String {
                 max_probe_steps: 10_000,
                 threads,
                 frontier: configured_frontier(),
+                probe_threads: configured_probe_threads(),
             },
         );
         let mut steps = 0u64;
@@ -891,7 +907,12 @@ pub fn exp_convergence_with(threads: usize) -> String {
 // C2 — graceful degradation / router comparison
 // ---------------------------------------------------------------------------------
 
-fn router_by_name(name: &str) -> Box<dyn Router> {
+/// Instantiates a comparison router by its reported name (the names used in
+/// experiment tables and `BENCH_engine.json` records).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn router_by_name(name: &str) -> Box<dyn Router> {
     match name {
         "lgfi" => Box::new(LgfiRouter::new()),
         "global-info" => Box::new(GlobalInfoRouter::new()),
@@ -950,6 +971,7 @@ pub fn exp_graceful_degradation_with(threads: usize) -> String {
                     max_steps: 100_000,
                     threads,
                     frontier: configured_frontier(),
+                    probe_threads: configured_probe_threads(),
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 (

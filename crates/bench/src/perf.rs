@@ -12,10 +12,13 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use lgfi_core::block::BlockSet;
+use lgfi_core::boundary::BoundaryMap;
 use lgfi_core::labeling::LabelingEngine;
+use lgfi_core::status::NodeStatus;
 use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
-use lgfi_topology::Mesh;
-use lgfi_workloads::{FaultGenerator, FaultPlacement};
+use lgfi_topology::{Mesh, NodeId};
+use lgfi_workloads::{FaultGenerator, FaultPlacement, TrafficGenerator, TrafficPattern};
 
 /// One measured round-engine configuration, as recorded in `BENCH_engine.json`.
 #[derive(Debug, Clone)]
@@ -89,6 +92,66 @@ pub fn variant_tag() -> String {
 /// Appends records to the JSON file at `path`, keeping the file a valid JSON array
 /// with one record per line (existing records are preserved).
 pub fn append_records(path: &Path, records: &[EngineBenchRecord]) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_lines(path, &lines)
+}
+
+/// One measured probe-sweep configuration of the routing data plane, as recorded in
+/// `BENCH_engine.json` alongside the round-engine records.
+#[derive(Debug, Clone)]
+pub struct RoutingBenchRecord {
+    /// Benchmark id, e.g. `routing_sweep_32x32_40_faults`.
+    pub bench: String,
+    /// The code/config variant that produced the number (`LGFI_BENCH_VARIANT`).
+    pub variant: String,
+    /// Mesh shape, e.g. `32x32`.
+    pub mesh: String,
+    /// The router that drove the probes.
+    pub router: String,
+    /// Worker threads the probe sweep ran with (1 = serial).
+    pub threads: usize,
+    /// Probes routed per measured run.
+    pub probes: usize,
+    /// Median nanoseconds per routed probe over the timed runs.
+    pub ns_per_probe: f64,
+    /// Mean hops (forward + backtrack steps) per probe — a determinism fingerprint:
+    /// it must be identical across variants and thread counts.
+    pub hops_per_probe: f64,
+    /// Number of delivered probes (also a determinism fingerprint).
+    pub delivered: usize,
+}
+
+impl RoutingBenchRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"router\":\"{}\",\
+             \"threads\":{},\"probes\":{},\"ns_per_probe\":{:.1},\"hops_per_probe\":{:.2},\
+             \"delivered\":{}}}",
+            escape(&self.bench),
+            escape(&self.variant),
+            escape(&self.mesh),
+            escape(&self.router),
+            self.threads,
+            self.probes,
+            self.ns_per_probe,
+            self.hops_per_probe,
+            self.delivered,
+        );
+        s
+    }
+}
+
+/// Appends routing records to the JSON file at `path` (same one-record-per-line array
+/// format as [`append_records`]).
+pub fn append_routing_records(path: &Path, records: &[RoutingBenchRecord]) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_lines(path, &lines)
+}
+
+fn append_json_lines(path: &Path, new_lines: &[String]) -> std::io::Result<()> {
     let mut lines: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         for line in existing.lines() {
@@ -98,7 +161,7 @@ pub fn append_records(path: &Path, records: &[EngineBenchRecord]) -> std::io::Re
             }
         }
     }
-    lines.extend(records.iter().map(|r| r.to_json()));
+    lines.extend(new_lines.iter().cloned());
     let mut out = String::from("[\n");
     for (i, l) in lines.iter().enumerate() {
         out.push_str("  ");
@@ -108,6 +171,136 @@ pub fn append_records(path: &Path, records: &[EngineBenchRecord]) -> std::io::Re
     out.push(']');
     out.push('\n');
     std::fs::write(path, out)
+}
+
+/// The standard routing-sweep workload: a 32×32 mesh with 40 clustered faults
+/// (stabilised) and 256 uniform-random source/destination pairs over enabled nodes.
+/// Deterministic (fixed seeds), so every variant and thread count routes the exact
+/// same probes.
+pub struct RoutingWorkload {
+    /// The mesh.
+    pub mesh: Mesh,
+    /// Stabilised statuses.
+    pub statuses: Vec<NodeStatus>,
+    /// Extracted blocks.
+    pub blocks: BlockSet,
+    /// Constructed boundary map.
+    pub boundary: BoundaryMap,
+    /// The source/destination pairs.
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl RoutingWorkload {
+    /// Builds the standard 32×32 workload.
+    pub fn standard() -> Self {
+        let mesh = Mesh::cubic(32, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 13);
+        let faults = generator.place(40, FaultPlacement::Clustered { clusters: 5 });
+        let mut eng = LabelingEngine::new(mesh.clone());
+        eng.apply_faults(&faults);
+        let blocks = BlockSet::extract(&mesh, eng.statuses());
+        let boundary = BoundaryMap::construct(&mesh, &blocks);
+        let statuses = eng.statuses().to_vec();
+        let usable = statuses.clone();
+        let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 17);
+        let pairs = traffic
+            .requests(256, |id| usable[id] == NodeStatus::Enabled)
+            .into_iter()
+            .map(|r| (r.source, r.dest))
+            .collect();
+        RoutingWorkload {
+            mesh,
+            statuses,
+            blocks,
+            boundary,
+            pairs,
+        }
+    }
+}
+
+/// Routes the whole workload once with `threads` sweep workers and returns
+/// `(total_steps, delivered)`.  Every thread count — including the serial `1` —
+/// goes through [`lgfi_core::routing::sweep_static`] with recycled per-worker
+/// engines, so the recorded thread-scaling numbers compare the same data plane.
+fn route_workload(w: &RoutingWorkload, router_name: &str, threads: usize) -> (u64, usize) {
+    let mut steps = 0u64;
+    let mut delivered = 0usize;
+    let outcomes = lgfi_core::routing::sweep_static(
+        &w.mesh,
+        &w.statuses,
+        w.blocks.blocks(),
+        &w.boundary,
+        &|| crate::harness::router_by_name(router_name),
+        &w.pairs,
+        100_000,
+        threads,
+    );
+    for out in outcomes {
+        steps += out.steps;
+        delivered += usize::from(out.delivered());
+    }
+    (steps, delivered)
+}
+
+/// Measures the standard routing sweep for one router at the given probe-sweep
+/// worker count, reported as nanoseconds per probe.
+pub fn measure_routing_sweep(
+    router_name: &str,
+    threads: usize,
+    variant: &str,
+) -> RoutingBenchRecord {
+    let w = RoutingWorkload::standard();
+    let mut samples = Vec::with_capacity(RUNS);
+    let mut steps = 0u64;
+    let mut delivered = 0usize;
+    for run in 0..=RUNS {
+        let start = Instant::now();
+        let (s, d) = route_workload(&w, router_name, threads);
+        let elapsed = start.elapsed();
+        steps = s;
+        delivered = d;
+        if run > 0 {
+            samples.push(elapsed.as_nanos() as f64 / w.pairs.len() as f64);
+        }
+    }
+    RoutingBenchRecord {
+        bench: "routing_sweep_32x32_40_faults".into(),
+        variant: variant.into(),
+        mesh: "32x32".into(),
+        router: router_name.into(),
+        threads,
+        probes: w.pairs.len(),
+        ns_per_probe: median(&mut samples),
+        hops_per_probe: steps as f64 / w.pairs.len() as f64,
+        delivered,
+    }
+}
+
+/// Runs the standard routing measurements (every router serially, plus the LGFI
+/// router at 2 and 4 sweep workers) and appends the records to
+/// [`default_json_path`].
+pub fn emit_routing_records() {
+    let variant = variant_tag();
+    let mut records = vec![
+        measure_routing_sweep("lgfi", 1, &variant),
+        measure_routing_sweep("global-info", 1, &variant),
+        measure_routing_sweep("local-only", 1, &variant),
+        measure_routing_sweep("wu-minimal-block", 1, &variant),
+        measure_routing_sweep("dimension-order", 1, &variant),
+    ];
+    for threads in [2usize, 4] {
+        records.push(measure_routing_sweep("lgfi", threads, &variant));
+    }
+    let path = default_json_path();
+    match append_routing_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// A never-quiescing gossip rule with MinFlood-like per-node cost, shared by the

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use lgfi_topology::{Coord, Mesh, NodeId, Region};
+use lgfi_topology::{Coord, Direction, Mesh, NodeId, Region};
 
 use crate::status::NodeStatus;
 
@@ -93,7 +93,10 @@ impl BlockSet {
                 if statuses[u] == NodeStatus::Faulty {
                     faulty_count += 1;
                 }
-                for (_, v) in mesh.neighbor_ids(u) {
+                for dir in Direction::iter_all(mesh.ndim()) {
+                    let Some(v) = mesh.neighbor_id(u, dir) else {
+                        continue;
+                    };
                     if statuses[v].in_block() && membership[v].is_none() {
                         membership[v] = Some(id);
                         queue.push_back(v);

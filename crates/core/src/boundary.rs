@@ -189,7 +189,10 @@ impl BoundaryMap {
                 Some(other) => {
                     // Merge into the other block's frame: spread over its adjacent
                     // nodes...
-                    for (_, nid) in mesh.neighbor_ids(u) {
+                    for dir in Direction::iter_all(mesh.ndim()) {
+                        let Some(nid) = mesh.neighbor_id(u, dir) else {
+                            continue;
+                        };
                         if adjacency[nid] == Some(other) && !in_block[nid] {
                             targets.push(nid);
                         }

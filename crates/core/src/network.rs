@@ -26,12 +26,15 @@ use std::collections::BTreeMap;
 use lgfi_sim::{FaultEventKind, FaultPlan, StepConfig};
 use lgfi_topology::{Mesh, NodeId, Region};
 
-use crate::block::BlockSet;
+use crate::block::{BlockSet, FaultyBlock};
 use crate::boundary::{BoundaryEntry, BoundaryMap};
 use crate::bounds::{DetourBound, IntervalParams};
 use crate::identification::IdentificationProcess;
 use crate::labeling::LabelingEngine;
-use crate::routing::{Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router, RoutingDecision};
+use crate::routing::{
+    fill_neighbor_slots, NeighborSlot, Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router,
+    RoutingDecision,
+};
 use crate::status::NodeStatus;
 
 /// Configuration of the dynamic network.
@@ -50,6 +53,11 @@ pub struct NetworkConfig {
     /// disturbance only the nodes around the shrinking fault region are re-evaluated.
     /// Like `threads`, an execution detail — results are bit-identical either way.
     pub frontier: bool,
+    /// Worker threads for the per-step probe routing decisions (`1` = serial, `0` =
+    /// one per available core).  In-flight probes are independent within a step, so
+    /// their decisions shard across threads with the launch-order report merge and
+    /// every run stays bit-identical to the serial one.
+    pub probe_threads: usize,
 }
 
 impl Default for NetworkConfig {
@@ -59,6 +67,7 @@ impl Default for NetworkConfig {
             max_probe_steps: 100_000,
             threads: 1,
             frontier: true,
+            probe_threads: 1,
         }
     }
 }
@@ -95,6 +104,16 @@ struct TimedEntry {
     visible_until: Option<u64>,
 }
 
+impl TimedEntry {
+    /// True if the entry is visible at the given absolute round — the single
+    /// definition of the visibility window, shared by the observable
+    /// [`LgfiNetwork::visible_info`] view and the routing arena so the two can
+    /// never diverge.
+    fn visible_at(&self, round: u64) -> bool {
+        self.visible_from <= round && self.visible_until.map(|u| round < u).unwrap_or(true)
+    }
+}
+
 /// One launched probe and its bookkeeping.
 struct ProbeState {
     probe: Probe,
@@ -103,6 +122,10 @@ struct ProbeState {
     /// Distance to the destination recorded at every fault-occurrence step (the
     /// paper's `D(i)` series), keyed by the occurrence step.
     distance_at_fault: BTreeMap<u64, u32>,
+    /// Per-probe direction-indexed neighbor scratch, refilled at every decision so a
+    /// warm probe never allocates per hop (and parallel probe workers never share
+    /// scratch).
+    slots: Vec<NeighborSlot>,
 }
 
 /// Final report for one probe routed through the dynamic network.
@@ -150,6 +173,27 @@ pub struct LgfiNetwork {
     convergence: Vec<ConvergenceRecord>,
     probes: Vec<ProbeState>,
     reports: Vec<ProbeReport>,
+    /// CSR arena of the boundary entries *currently visible* at each node: node
+    /// `i`'s visible entries are `vis_data[vis_off[i]..vis_off[i + 1]]`.  Routing
+    /// decisions borrow these slices directly instead of filtering and cloning the
+    /// timed entry lists per hop; the arena is rebuilt only when the information
+    /// store changes or a visibility window opens/closes (`vis_next_transition`),
+    /// not per hop or per round.
+    vis_data: Vec<BoundaryEntry>,
+    vis_off: Vec<usize>,
+    /// False when the timed entries changed since the arena was last built.
+    vis_valid: bool,
+    /// The earliest future round at which some entry becomes visible or expires;
+    /// the arena is refreshed lazily when the round clock passes it.
+    vis_next_transition: Option<u64>,
+    /// Resolved probe-decision worker count (>= 1).
+    probe_threads: usize,
+    /// Recycled buffers of finished probes (path + used-direction arena + neighbor
+    /// slots), reused by subsequent launches: steady-state probe turnover stops
+    /// paying the `O(node_count)` arena allocation per probe, and the network's
+    /// high-water memory is bounded by the maximum number of *concurrent* probes
+    /// rather than the total launched.
+    spare_probes: Vec<(Probe, Vec<NeighborSlot>)>,
 }
 
 impl LgfiNetwork {
@@ -176,6 +220,12 @@ impl LgfiNetwork {
             convergence: Vec::new(),
             probes: Vec::new(),
             reports: Vec::new(),
+            vis_data: Vec::new(),
+            vis_off: Vec::new(),
+            vis_valid: false,
+            vis_next_transition: None,
+            probe_threads: lgfi_sim::resolve_threads(config.probe_threads),
+            spare_probes: Vec::new(),
         }
     }
 
@@ -207,6 +257,12 @@ impl LgfiNetwork {
     /// True if the labeling rounds run with active-frontier scheduling.
     pub fn frontier_active(&self) -> bool {
         self.labeling.frontier_active()
+    }
+
+    /// The resolved worker-thread count the probe routing decisions execute with
+    /// (>= 1).
+    pub fn probe_threads(&self) -> usize {
+        self.probe_threads
     }
 
     /// Current node statuses.
@@ -243,10 +299,7 @@ impl LgfiNetwork {
     pub fn visible_info(&self, id: NodeId) -> Vec<BoundaryEntry> {
         self.info[id]
             .iter()
-            .filter(|t| {
-                t.visible_from <= self.round
-                    && t.visible_until.map(|u| self.round < u).unwrap_or(true)
-            })
+            .filter(|t| t.visible_at(self.round))
             .map(|t| t.entry.clone())
             .collect()
     }
@@ -261,12 +314,19 @@ impl LgfiNetwork {
     /// Launches a probe from `source` to `dest` driven by `router`.  The probe makes
     /// its first move at the end of the *next* executed step.
     pub fn launch_probe(&mut self, source: NodeId, dest: NodeId, router: Box<dyn Router>) {
-        let probe = Probe::new(&self.mesh, source, dest);
+        let (probe, slots) = match self.spare_probes.pop() {
+            Some((mut probe, slots)) => {
+                probe.reset(&self.mesh, source, dest);
+                (probe, slots)
+            }
+            None => (Probe::new(&self.mesh, source, dest), Vec::new()),
+        };
         self.probes.push(ProbeState {
             probe,
             router,
             launched_at: self.step,
             distance_at_fault: BTreeMap::new(),
+            slots,
         });
     }
 
@@ -312,64 +372,69 @@ impl LgfiNetwork {
         }
 
         // --- Phases 3-5: reception, routing decision, sending. -----------------------
-        let mut finished = Vec::new();
-        for (idx, state) in self.probes.iter_mut().enumerate() {
-            if state.probe.status != ProbeStatus::InFlight {
-                finished.push(idx);
-                continue;
-            }
-            if state.probe.steps >= self.config.max_probe_steps {
-                state.probe.status = ProbeStatus::Exhausted;
-                finished.push(idx);
-                continue;
-            }
-            let current = state.probe.current;
-            // A probe sitting on a node that just became faulty is forced back onto
-            // the previous node of its reserved path.
-            if self.labeling.status(current) == NodeStatus::Faulty {
-                state.probe.apply(&self.mesh, RoutingDecision::Backtrack);
-                if state.probe.status != ProbeStatus::InFlight {
-                    finished.push(idx);
+        // Every in-flight probe makes one independent decision against the shared
+        // (frozen) step state, so the decisions shard across probe workers; the
+        // finished scan below runs serially in launch order either way, keeping
+        // parallel execution bit-identical to serial.
+        if !self.probes.is_empty() {
+            self.refresh_visible_arena();
+            let mesh = &self.mesh;
+            let statuses = self.labeling.statuses();
+            let blocks = self.blocks.blocks();
+            let vis_data = &self.vis_data;
+            let vis_off = &self.vis_off;
+            let max_probe_steps = self.config.max_probe_steps;
+            let probes = &mut self.probes;
+            let workers = self.probe_threads.min(probes.len());
+            if workers > 1 {
+                let ranges = lgfi_sim::batch_ranges(probes.len(), workers);
+                std::thread::scope(|scope| {
+                    let mut rest: &mut [ProbeState] = probes;
+                    let mut handles = Vec::with_capacity(ranges.len());
+                    for r in &ranges {
+                        let (chunk, tail) = rest.split_at_mut(r.len());
+                        rest = tail;
+                        handles.push(scope.spawn(move || {
+                            for state in chunk {
+                                advance_probe(
+                                    mesh,
+                                    statuses,
+                                    blocks,
+                                    vis_data,
+                                    vis_off,
+                                    max_probe_steps,
+                                    state,
+                                );
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("probe decision worker panicked");
+                    }
+                });
+            } else {
+                for state in probes.iter_mut() {
+                    advance_probe(
+                        mesh,
+                        statuses,
+                        blocks,
+                        vis_data,
+                        vis_off,
+                        max_probe_steps,
+                        state,
+                    );
                 }
-                continue;
-            }
-            if self.labeling.status(state.probe.dest) == NodeStatus::Faulty {
-                state.probe.status = ProbeStatus::Unreachable;
-                finished.push(idx);
-                continue;
-            }
-            let visible: Vec<BoundaryEntry> = self.info[current]
-                .iter()
-                .filter(|t| {
-                    t.visible_from <= self.round
-                        && t.visible_until.map(|u| self.round < u).unwrap_or(true)
-                })
-                .map(|t| t.entry.clone())
-                .collect();
-            let ctx = RouteCtx {
-                mesh: &self.mesh,
-                current: self.mesh.coord_of(current),
-                dest: self.mesh.coord_of(state.probe.dest),
-                current_status: self.labeling.status(current),
-                neighbors: self
-                    .mesh
-                    .neighbor_ids(current)
-                    .into_iter()
-                    .map(|(d, nid)| (d, nid, self.labeling.status(nid)))
-                    .collect(),
-                boundary_info: visible,
-                global_blocks: self.blocks.blocks().to_vec(),
-                used: state.probe.used_here(),
-                incoming: state.probe.incoming,
-            };
-            let decision = state.router.decide(&ctx);
-            state.probe.apply(&self.mesh, decision);
-            if state.probe.status != ProbeStatus::InFlight {
-                finished.push(idx);
             }
         }
-        // Collect finished probes into reports (in reverse index order for safe
-        // removal).
+        // Collect finished probes into reports in launch order (removals walk the
+        // indices in reverse so earlier reports keep their positions).
+        let finished: Vec<usize> = self
+            .probes
+            .iter()
+            .enumerate()
+            .filter(|(_, state)| state.probe.status != ProbeStatus::InFlight)
+            .map(|(idx, _)| idx)
+            .collect();
         for idx in finished.into_iter().rev() {
             let state = self.probes.remove(idx);
             self.reports.push(ProbeReport {
@@ -381,9 +446,49 @@ impl LgfiNetwork {
                 distance_at_fault: state.distance_at_fault,
                 router: state.router.name(),
             });
+            self.spare_probes.push((state.probe, state.slots));
         }
 
         self.step += 1;
+    }
+
+    /// Rebuilds the CSR arena of currently-visible boundary entries if the
+    /// information store changed or a visibility window opened/closed since the last
+    /// build.  Steady state (no disturbance, no pending arrival) costs one branch.
+    fn refresh_visible_arena(&mut self) {
+        let due = !self.vis_valid
+            || self
+                .vis_next_transition
+                .map(|t| self.round >= t)
+                .unwrap_or(false);
+        if !due {
+            return;
+        }
+        self.vis_data.clear();
+        self.vis_off.clear();
+        self.vis_off.push(0);
+        let mut next: Option<u64> = None;
+        let bump = |round: u64, next: &mut Option<u64>| {
+            *next = Some(next.map_or(round, |n: u64| n.min(round)));
+        };
+        for entries in &self.info {
+            for t in entries {
+                if t.visible_at(self.round) {
+                    self.vis_data.push(t.entry.clone());
+                }
+                if t.visible_from > self.round {
+                    bump(t.visible_from, &mut next);
+                }
+                if let Some(u) = t.visible_until {
+                    if u > self.round {
+                        bump(u, &mut next);
+                    }
+                }
+            }
+            self.vis_off.push(self.vis_data.len());
+        }
+        self.vis_valid = true;
+        self.vis_next_transition = next;
     }
 
     /// Runs steps until all probes have finished and all scheduled fault events have
@@ -473,6 +578,7 @@ impl LgfiNetwork {
             blocks_changed: changed.len(),
         });
         self.blocks = new_blocks;
+        self.vis_valid = false;
     }
 
     /// Builds the [`DetourBound`] of Theorems 3–5 for a probe launched at `start_step`
@@ -526,6 +632,57 @@ impl LgfiNetwork {
             e_max,
         }
     }
+}
+
+/// Advances one in-flight probe by a single step-model decision against the frozen
+/// step state: the forced backtrack off a freshly faulty node, the unreachable check
+/// for a faulty destination, and otherwise one Algorithm-3 decision over the visible
+/// boundary information.  Pure function of the shared step state and the probe's own
+/// mutable state, so probe workers can run it concurrently with bit-identical
+/// results.
+fn advance_probe(
+    mesh: &Mesh,
+    statuses: &[NodeStatus],
+    blocks: &[FaultyBlock],
+    vis_data: &[BoundaryEntry],
+    vis_off: &[usize],
+    max_probe_steps: u64,
+    state: &mut ProbeState,
+) {
+    if state.probe.status != ProbeStatus::InFlight {
+        return;
+    }
+    if state.probe.steps >= max_probe_steps {
+        state.probe.status = ProbeStatus::Exhausted;
+        return;
+    }
+    let current = state.probe.current;
+    // A probe sitting on a node that just became faulty is forced back onto the
+    // previous node of its reserved path.
+    if statuses[current] == NodeStatus::Faulty {
+        state.probe.apply(mesh, RoutingDecision::Backtrack);
+        return;
+    }
+    if statuses[state.probe.dest] == NodeStatus::Faulty {
+        state.probe.status = ProbeStatus::Unreachable;
+        return;
+    }
+    let current_coord = mesh.coord_of(current);
+    let dest_coord = mesh.coord_of(state.probe.dest);
+    fill_neighbor_slots(mesh, statuses, current, &mut state.slots);
+    let ctx = RouteCtx {
+        mesh,
+        current: &current_coord,
+        dest: &dest_coord,
+        current_status: statuses[current],
+        neighbors: &state.slots,
+        boundary_info: &vis_data[vis_off[current]..vis_off[current + 1]],
+        global_blocks: blocks,
+        used: state.probe.used_here(),
+        incoming: state.probe.incoming,
+    };
+    let decision = state.router.decide(&ctx);
+    state.probe.apply(mesh, decision);
 }
 
 #[cfg(test)]

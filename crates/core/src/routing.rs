@@ -29,14 +29,36 @@
 //! `lgfi-baselines` can be driven by the same probe engine; [`LgfiRouter`] is the
 //! paper's rule.
 
-use std::collections::BTreeMap;
-
 use lgfi_topology::direction::DirectionSet;
 use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
 use crate::block::FaultyBlock;
-use crate::boundary::BoundaryEntry;
+use crate::boundary::{BoundaryEntry, BoundaryMap};
 use crate::status::NodeStatus;
+
+/// One entry of the direction-indexed neighbor table of a [`RouteCtx`]: slot
+/// [`Direction::index`] holds `Some((neighbor id, detected status))` when the mesh
+/// has a neighbor in that direction, `None` on the mesh surface.
+///
+/// Indexing by direction makes [`RouteCtx::neighbor_status`] a constant-time slot
+/// load instead of a linear scan over the neighbor list.
+pub type NeighborSlot = Option<(NodeId, NodeStatus)>;
+
+/// Fills `slots` with the direction-indexed neighbor table of `node` (`2n` entries,
+/// indexed by [`Direction::index`]).  The vector is cleared and refilled in place, so
+/// a warm buffer is never reallocated — this is the per-hop neighbor scan of the
+/// routing data plane.
+pub fn fill_neighbor_slots(
+    mesh: &Mesh,
+    statuses: &[NodeStatus],
+    node: NodeId,
+    slots: &mut Vec<NeighborSlot>,
+) {
+    slots.clear();
+    for dir in Direction::iter_all(mesh.ndim()) {
+        slots.push(mesh.neighbor_id(node, dir).map(|nid| (nid, statuses[nid])));
+    }
+}
 
 /// Everything a node is allowed to look at when making a routing decision.
 ///
@@ -45,25 +67,30 @@ use crate::status::NodeStatus;
 /// `global_blocks` field exists solely for the idealised global-information baselines
 /// and is empty when the context is built by [`LgfiNetwork`](crate::network::LgfiNetwork)
 /// for the LGFI router.
-#[derive(Debug)]
+///
+/// Every field is borrowed or `Copy`, so the context itself is `Copy`: building one
+/// per hop costs nothing, and wrapper routers (the baselines) derive stripped or
+/// enriched variants with struct-update syntax instead of cloning vectors.
+#[derive(Debug, Clone, Copy)]
 pub struct RouteCtx<'a> {
     /// The mesh.
     pub mesh: &'a Mesh,
     /// Coordinate of the node currently holding the probe.
-    pub current: Coord,
+    pub current: &'a Coord,
     /// Coordinate of the destination.
-    pub dest: Coord,
+    pub dest: &'a Coord,
     /// The current node's own status (it may have become disabled under dynamic
     /// faults while holding the probe).
     pub current_status: NodeStatus,
-    /// The detected status of every in-mesh neighbor (fault detection happens at the
-    /// beginning of every step, so this is current information).
-    pub neighbors: Vec<(Direction, NodeId, NodeStatus)>,
+    /// The detected status of every in-mesh neighbor, indexed by
+    /// [`Direction::index`] (fault detection happens at the beginning of every step,
+    /// so this is current information).  See [`fill_neighbor_slots`].
+    pub neighbors: &'a [NeighborSlot],
     /// The boundary/block information stored at the current node and visible at this
     /// round (limited global information).
-    pub boundary_info: Vec<BoundaryEntry>,
+    pub boundary_info: &'a [BoundaryEntry],
     /// Global block view — only for the global-information baselines.
-    pub global_blocks: Vec<FaultyBlock>,
+    pub global_blocks: &'a [FaultyBlock],
     /// Directions already used by this probe at this node.
     pub used: DirectionSet,
     /// The direction by which the probe entered this node, if any.
@@ -73,21 +100,21 @@ pub struct RouteCtx<'a> {
 impl RouteCtx<'_> {
     /// The Manhattan distance from the current node to the destination.
     pub fn distance(&self) -> u32 {
-        self.current.manhattan(&self.dest)
+        self.current.manhattan(self.dest)
     }
 
     /// True if the hop in `dir` reduces the distance to the destination.
+    #[inline]
     pub fn is_preferred(&self, dir: Direction) -> bool {
         let delta = self.dest[dir.dim] - self.current[dir.dim];
         (dir.positive && delta > 0) || (!dir.positive && delta < 0)
     }
 
-    /// The detected status of the neighbor in `dir`, if it exists.
+    /// The detected status of the neighbor in `dir`, if it exists — a constant-time
+    /// slot load on the direction-indexed neighbor table.
+    #[inline]
     pub fn neighbor_status(&self, dir: Direction) -> Option<NodeStatus> {
-        self.neighbors
-            .iter()
-            .find(|(d, _, _)| *d == dir)
-            .map(|(_, _, s)| *s)
+        self.neighbors[dir.index()].map(|(_, s)| s)
     }
 }
 
@@ -120,7 +147,11 @@ pub enum RoutingDecision {
 }
 
 /// A routing decision rule.
-pub trait Router {
+///
+/// `Send` so that batched sweeps and the dynamic network can hand each worker
+/// exclusive access to its probes' routers; a router is only ever used from one
+/// thread at a time.
+pub trait Router: Send {
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -169,7 +200,7 @@ impl LgfiRouter {
             let critical = ctx
                 .boundary_info
                 .iter()
-                .any(|e| e.is_critical_hop(&next, &ctx.dest));
+                .any(|e| e.is_critical_hop(&next, ctx.dest));
             if critical {
                 return Some(DirectionClass::PreferredButDetour);
             }
@@ -178,7 +209,7 @@ impl LgfiRouter {
         // Spare direction.  "Along the block" means: some preferred direction is
         // blocked by a faulty/disabled neighbor, so moving sideways slides around that
         // block's surface.
-        let blocked_preferred = Direction::all(ctx.mesh.ndim()).into_iter().any(|p| {
+        let blocked_preferred = Direction::iter_all(ctx.mesh.ndim()).any(|p| {
             ctx.is_preferred(p)
                 && ctx
                     .neighbor_status(p)
@@ -195,7 +226,7 @@ impl LgfiRouter {
     /// Orders the candidate directions by (class, tie-break) and returns the best one.
     fn best_direction(&self, ctx: &RouteCtx<'_>) -> Option<(Direction, DirectionClass)> {
         let mut best: Option<(Direction, DirectionClass, i64)> = None;
-        for dir in Direction::all(ctx.mesh.ndim()) {
+        for dir in Direction::iter_all(ctx.mesh.ndim()) {
             let Some(class) = self.classify(ctx, dir) else {
                 continue;
             };
@@ -257,7 +288,78 @@ pub enum ProbeStatus {
     Failed,
 }
 
+/// The flat per-node used-direction store of a probe header.
+///
+/// The seed implementation kept a `BTreeMap<NodeId, DirectionSet>`, paying a tree
+/// allocation per first visit and a logarithmic lookup per hop.  This store is a
+/// dense node-indexed arena of [`DirectionSet`]s plus the stack of touched nodes:
+/// lookups and inserts are one array access, and [`UsedDirections::clear`] resets in
+/// `O(touched)` by popping the touched stack — so a recycled probe never re-zeroes
+/// (or re-allocates) the whole arena.
+///
+/// Semantics are identical to the map: a node's set persists for every node the
+/// probe has ever visited (not only the nodes currently on the path), which is what
+/// makes the backtracking search terminate even under dynamic faults — a probe that
+/// re-enters a node it backtracked out of earlier still remembers the directions it
+/// already burned there.
+#[derive(Debug, Clone, Default)]
+pub struct UsedDirections {
+    /// Node-indexed used-direction sets (dense, sized to the mesh).
+    sets: Vec<DirectionSet>,
+    /// The nodes whose set is non-empty, in first-touch order; popping these on
+    /// [`UsedDirections::clear`] makes the reset proportional to the probe's
+    /// footprint instead of the mesh size.
+    touched: Vec<NodeId>,
+}
+
+impl UsedDirections {
+    /// An empty store sized for `node_count` nodes.
+    pub fn with_node_count(node_count: usize) -> Self {
+        UsedDirections {
+            sets: vec![DirectionSet::empty(); node_count],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The number of nodes the store is sized for.
+    pub fn node_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The used-direction set recorded at `node`.
+    #[inline]
+    pub fn at(&self, node: NodeId) -> DirectionSet {
+        self.sets[node]
+    }
+
+    /// Marks `dir` used at `node`.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId, dir: Direction) {
+        if self.sets[node].is_empty() {
+            self.touched.push(node);
+        }
+        self.sets[node].insert(dir);
+    }
+
+    /// Number of nodes holding a non-empty set.
+    pub fn touched_count(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Resets every recorded set in `O(touched)` without shrinking the arena.
+    pub fn clear(&mut self) {
+        while let Some(node) = self.touched.pop() {
+            self.sets[node] = DirectionSet::empty();
+        }
+    }
+}
+
 /// A PCS path-setup probe with its header state.
+///
+/// The probe owns recyclable buffers (the reserved path and the flat
+/// [`UsedDirections`] store); [`Probe::reset`] rewinds it for a new
+/// source/destination pair while keeping the buffers warm, which is how the batched
+/// sweep and the [`ProbeEngine`] achieve zero steady-state allocations per probe.
 #[derive(Debug, Clone)]
 pub struct Probe {
     /// The source node.
@@ -268,10 +370,10 @@ pub struct Probe {
     pub current: NodeId,
     /// The reserved path, source first, current node last.
     pub path: Vec<NodeId>,
-    /// Per-node used-direction lists (the header of Algorithm 3).  Kept for every node
+    /// Per-node used-direction sets (the header of Algorithm 3).  Kept for every node
     /// the probe has ever visited so that the search terminates even under dynamic
     /// faults.
-    pub used: BTreeMap<NodeId, DirectionSet>,
+    pub used: UsedDirections,
     /// Direction by which the probe entered the current node.
     pub incoming: Option<Direction>,
     /// Steps taken so far (each forward or backtrack hop is one step).
@@ -292,7 +394,7 @@ impl Probe {
             dest,
             current: source,
             path: vec![source],
-            used: BTreeMap::new(),
+            used: UsedDirections::with_node_count(mesh.node_count()),
             incoming: None,
             steps: 0,
             backtracks: 0,
@@ -301,9 +403,39 @@ impl Probe {
         }
     }
 
+    /// Rewinds the probe to a fresh launch from `source` to `dest`, recycling the
+    /// path and used-direction buffers (no allocation once they are warm).
+    ///
+    /// # Panics
+    /// Panics if the probe was sized for a different mesh.
+    pub fn reset(&mut self, mesh: &Mesh, source: NodeId, dest: NodeId) {
+        assert_eq!(
+            self.used.node_count(),
+            mesh.node_count(),
+            "probe recycled across meshes of different size"
+        );
+        self.source = source;
+        self.dest = dest;
+        self.current = source;
+        self.path.clear();
+        self.path.push(source);
+        self.used.clear();
+        self.incoming = None;
+        self.steps = 0;
+        self.backtracks = 0;
+        self.status = ProbeStatus::InFlight;
+        self.initial_distance = mesh.distance(source, dest);
+    }
+
     /// The used-direction set of the current node.
+    #[inline]
     pub fn used_here(&self) -> DirectionSet {
-        self.used.get(&self.current).copied().unwrap_or_default()
+        self.used.at(self.current)
+    }
+
+    /// The used-direction set recorded at `node`.
+    pub fn used_at(&self, node: NodeId) -> DirectionSet {
+        self.used.at(node)
     }
 
     /// Applies a routing decision, moving the probe by one hop (one step of the
@@ -315,7 +447,7 @@ impl Probe {
         self.steps += 1;
         match decision {
             RoutingDecision::Forward(dir) => {
-                self.used.entry(self.current).or_default().insert(dir);
+                self.used.insert(self.current, dir);
                 let next = mesh
                     .neighbor_id(self.current, dir)
                     .expect("router returned an off-mesh direction");
@@ -398,57 +530,187 @@ impl ProbeOutcome {
     }
 }
 
-/// Routes a probe in a *static* environment (no dynamic faults during the routing):
-/// statuses, blocks and boundary information are fixed, every node's boundary
-/// information has fully arrived.  Returns the probe outcome.
+/// A recyclable static-routing worker: owns the probe buffers and the per-hop
+/// neighbor-slot scratch, so routing a probe through a warm engine performs **zero
+/// heap allocations per hop** (proved by `tests/alloc_regression.rs` with a counting
+/// global allocator).
 ///
-/// This is the workhorse for the static experiments and the baselines; the dynamic
-/// Figure-7 loop lives in [`crate::network::LgfiNetwork`].
+/// One engine routes one probe at a time; batched sweeps give each worker thread its
+/// own engine (see [`sweep_static`]).
+#[derive(Debug, Default)]
+pub struct ProbeEngine {
+    /// The recycled probe (path + used-direction arena), if one has been routed.
+    probe: Option<Probe>,
+    /// Direction-indexed neighbor scratch, refilled per hop.
+    slots: Vec<NeighborSlot>,
+}
+
+impl ProbeEngine {
+    /// A fresh engine with cold buffers.
+    pub fn new() -> Self {
+        ProbeEngine::default()
+    }
+
+    /// Routes a probe in a *static* environment (no dynamic faults during the
+    /// routing): statuses, blocks and boundary information are fixed, every node's
+    /// boundary information has fully arrived.  Returns the probe outcome.
+    ///
+    /// This is the workhorse for the static experiments and the baselines; the
+    /// dynamic Figure-7 loop lives in [`crate::network::LgfiNetwork`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_static(
+        &mut self,
+        mesh: &Mesh,
+        statuses: &[NodeStatus],
+        blocks: &[FaultyBlock],
+        boundary: &BoundaryMap,
+        router: &dyn Router,
+        source: NodeId,
+        dest: NodeId,
+        max_steps: u64,
+    ) -> ProbeOutcome {
+        let mut probe = match self.probe.take() {
+            Some(mut p) if p.used.node_count() == mesh.node_count() => {
+                p.reset(mesh, source, dest);
+                p
+            }
+            _ => Probe::new(mesh, source, dest),
+        };
+        let outcome = self.drive(
+            mesh, statuses, blocks, boundary, router, &mut probe, max_steps,
+        );
+        self.probe = Some(probe);
+        outcome
+    }
+
+    /// The routing loop body, operating on a prepared in-flight probe.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &mut self,
+        mesh: &Mesh,
+        statuses: &[NodeStatus],
+        blocks: &[FaultyBlock],
+        boundary: &BoundaryMap,
+        router: &dyn Router,
+        probe: &mut Probe,
+        max_steps: u64,
+    ) -> ProbeOutcome {
+        if probe.source == probe.dest {
+            probe.status = ProbeStatus::Delivered;
+            return probe.outcome();
+        }
+        if statuses[probe.source] == NodeStatus::Faulty
+            || statuses[probe.dest] == NodeStatus::Faulty
+        {
+            probe.status = ProbeStatus::Unreachable;
+            return probe.outcome();
+        }
+        let dest_coord = mesh.coord_of(probe.dest);
+        while probe.status == ProbeStatus::InFlight {
+            if probe.steps >= max_steps {
+                probe.status = ProbeStatus::Exhausted;
+                break;
+            }
+            let current_coord = mesh.coord_of(probe.current);
+            fill_neighbor_slots(mesh, statuses, probe.current, &mut self.slots);
+            let ctx = RouteCtx {
+                mesh,
+                current: &current_coord,
+                dest: &dest_coord,
+                current_status: statuses[probe.current],
+                neighbors: &self.slots,
+                boundary_info: boundary.entries(probe.current),
+                global_blocks: blocks,
+                used: probe.used_here(),
+                incoming: probe.incoming,
+            };
+            let decision = router.decide(&ctx);
+            probe.apply(mesh, decision);
+        }
+        probe.outcome()
+    }
+}
+
+/// Routes a single probe through a one-shot [`ProbeEngine`]; see
+/// [`ProbeEngine::route_static`].  Callers routing many probes should hold an engine
+/// (or use [`sweep_static`]) so the buffers are recycled.
 #[allow(clippy::too_many_arguments)]
 pub fn route_static(
     mesh: &Mesh,
     statuses: &[NodeStatus],
     blocks: &[FaultyBlock],
-    boundary: &crate::boundary::BoundaryMap,
+    boundary: &BoundaryMap,
     router: &dyn Router,
     source: NodeId,
     dest: NodeId,
     max_steps: u64,
 ) -> ProbeOutcome {
-    let mut probe = Probe::new(mesh, source, dest);
-    if source == dest {
-        probe.status = ProbeStatus::Delivered;
-        return probe.outcome();
+    ProbeEngine::new().route_static(
+        mesh, statuses, blocks, boundary, router, source, dest, max_steps,
+    )
+}
+
+/// Routes a whole batch of source/destination pairs through the static environment,
+/// sharding independent probes across `threads` worker threads (`1` = serial, `0` =
+/// one worker per available core).
+///
+/// Each worker owns a recycled [`ProbeEngine`] and its own router instance from
+/// `make_router`, and routes a contiguous chunk of the batch; the per-chunk results
+/// are concatenated in chunk (= launch) order.  Because every probe is an
+/// independent deterministic function of the shared static environment, the returned
+/// outcomes are **bit-identical** to the serial sweep for every thread count
+/// (`tests/probe_batch_equivalence.rs` asserts this across routers and fault
+/// patterns).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_static(
+    mesh: &Mesh,
+    statuses: &[NodeStatus],
+    blocks: &[FaultyBlock],
+    boundary: &BoundaryMap,
+    make_router: &(dyn Fn() -> Box<dyn Router> + Sync),
+    pairs: &[(NodeId, NodeId)],
+    max_steps: u64,
+    threads: usize,
+) -> Vec<ProbeOutcome> {
+    let threads = lgfi_sim::resolve_threads(threads).min(pairs.len().max(1));
+    let route_chunk = |chunk: &[(NodeId, NodeId)]| -> Vec<ProbeOutcome> {
+        let router = make_router();
+        let mut engine = ProbeEngine::new();
+        chunk
+            .iter()
+            .map(|&(s, d)| {
+                engine.route_static(
+                    mesh,
+                    statuses,
+                    blocks,
+                    boundary,
+                    router.as_ref(),
+                    s,
+                    d,
+                    max_steps,
+                )
+            })
+            .collect()
+    };
+    if threads <= 1 || pairs.len() <= 1 {
+        return route_chunk(pairs);
     }
-    if statuses[source] == NodeStatus::Faulty || statuses[dest] == NodeStatus::Faulty {
-        probe.status = ProbeStatus::Unreachable;
-        return probe.outcome();
-    }
-    while probe.status == ProbeStatus::InFlight {
-        if probe.steps >= max_steps {
-            probe.status = ProbeStatus::Exhausted;
-            break;
+    let ranges = lgfi_sim::batch_ranges(pairs.len(), threads);
+    let mut out = Vec::with_capacity(pairs.len());
+    let route_chunk = &route_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let chunk = &pairs[r.clone()];
+                scope.spawn(move || route_chunk(chunk))
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("probe sweep worker panicked"));
         }
-        let current_coord = mesh.coord_of(probe.current);
-        let ctx = RouteCtx {
-            mesh,
-            current: current_coord.clone(),
-            dest: mesh.coord_of(dest),
-            current_status: statuses[probe.current],
-            neighbors: mesh
-                .neighbor_ids(probe.current)
-                .into_iter()
-                .map(|(d, nid)| (d, nid, statuses[nid]))
-                .collect(),
-            boundary_info: boundary.entries(probe.current).to_vec(),
-            global_blocks: blocks.to_vec(),
-            used: probe.used_here(),
-            incoming: probe.incoming,
-        };
-        let decision = router.decide(&ctx);
-        probe.apply(mesh, decision);
-    }
-    probe.outcome()
+    });
+    out
 }
 
 #[cfg(test)]
@@ -632,19 +894,17 @@ mod tests {
         // block within its cross-section: +X (into the shadow) is preferred-but-detour,
         // +Y is preferred.
         let node = coord![4, 5];
+        let dest = coord![8, 13];
+        let mut slots = Vec::new();
+        fill_neighbor_slots(&env.mesh, &env.statuses, env.mesh.id_of(&node), &mut slots);
         let ctx = RouteCtx {
             mesh: &env.mesh,
-            current: node.clone(),
-            dest: coord![8, 13],
+            current: &node,
+            dest: &dest,
             current_status: NodeStatus::Enabled,
-            neighbors: env
-                .mesh
-                .neighbor_ids(env.mesh.id_of(&node))
-                .into_iter()
-                .map(|(d, nid)| (d, nid, env.statuses[nid]))
-                .collect(),
-            boundary_info: env.boundary.entries(env.mesh.id_of(&node)).to_vec(),
-            global_blocks: vec![],
+            neighbors: &slots,
+            boundary_info: env.boundary.entries(env.mesh.id_of(&node)),
+            global_blocks: &[],
             used: DirectionSet::empty(),
             incoming: Some(Direction::pos(1)),
         };
@@ -680,12 +940,16 @@ mod tests {
         let mesh = &env.mesh;
         let mut probe = Probe::new(mesh, mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![5, 5]));
         probe.apply(mesh, RoutingDecision::Forward(Direction::pos(0)));
-        assert!(probe.used[&mesh.id_of(&coord![0, 0])].contains(Direction::pos(0)));
+        assert!(probe
+            .used_at(mesh.id_of(&coord![0, 0]))
+            .contains(Direction::pos(0)));
         probe.apply(mesh, RoutingDecision::Backtrack);
         assert_eq!(probe.current, mesh.id_of(&coord![0, 0]));
         assert_eq!(probe.backtracks, 1);
         // The used set survived the backtrack.
-        assert!(probe.used[&mesh.id_of(&coord![0, 0])].contains(Direction::pos(0)));
+        assert!(probe
+            .used_at(mesh.id_of(&coord![0, 0]))
+            .contains(Direction::pos(0)));
     }
 
     #[test]

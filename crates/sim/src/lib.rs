@@ -40,7 +40,7 @@ pub mod trace;
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
 pub use rng::DetRng;
-pub use shard::{resolve_threads, shard_ranges};
+pub use shard::{batch_ranges, resolve_threads, shard_ranges};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};

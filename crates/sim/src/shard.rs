@@ -59,6 +59,18 @@ pub fn shard_ranges(node_count: usize, slab_width: usize, threads: usize) -> Vec
     ranges
 }
 
+/// Partitions `0..len` independent work items (e.g. the probes of a batched routing
+/// sweep) into at most `threads` contiguous, non-empty, ascending ranges.
+///
+/// Unlike [`shard_ranges`] there is no slab alignment: the items carry no spatial
+/// adjacency, so an even split is always legal.  Because the ranges are contiguous
+/// and ascending, concatenating per-range results in range order reproduces the
+/// serial (input-order) result exactly — the merge rule batched sweeps rely on for
+/// bit-identical parallel execution.
+pub fn batch_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    shard_ranges(len, 1, threads)
+}
+
 /// The slab width of a mesh: the number of nodes in one dimension-0 hyperplane,
 /// i.e. the highest stride of the row-major node-id layout.  Shard boundaries
 /// aligned to this width are whole hyperplanes, so every cross-shard neighbor link

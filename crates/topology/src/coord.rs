@@ -3,44 +3,105 @@
 //! A [`Coord`] is the address `(u_1, ..., u_n)` of a node in a k-ary n-D mesh.  The
 //! paper measures all distances in the Manhattan (L1) metric: the distance between
 //! nodes `u` and `v` is `|u_1 - v_1| + ... + |u_n - v_n|` (Section 2.1).
+//!
+//! Coordinates are the most frequently built value in the routing hot path (one per
+//! hop for the current node, plus one per candidate direction), so the positions are
+//! stored **inline** in a fixed-capacity array for meshes of up to
+//! [`MAX_INLINE_DIMS`] dimensions: constructing, cloning and stepping a coordinate
+//! never touches the heap.  Beyond that limit a heap vector keeps correctness for
+//! arbitrary dimensionality.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::direction::Direction;
 
+/// The number of dimensions a [`Coord`] stores inline without heap allocation.
+///
+/// Matches `lgfi_sim::MAX_STACK_NEIGHBORS / 2`: the same 8-dimension threshold the
+/// round data plane uses for its stack-allocated neighbor views.
+pub const MAX_INLINE_DIMS: usize = 8;
+
+/// The storage of a [`Coord`]: inline for up to [`MAX_INLINE_DIMS`] dimensions,
+/// heap-backed beyond.  Construction always picks the inline variant when the
+/// dimensionality permits, so the representation is canonical and comparisons can
+/// delegate to the position slice.
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        vals: [i32; MAX_INLINE_DIMS],
+    },
+    Heap(Vec<i32>),
+}
+
 /// An n-dimensional mesh coordinate.
 ///
 /// Coordinates are stored as `i32` so that the "expanded frame" of a faulty block
 /// (one unit outside the block, possibly at `-1` next to the mesh boundary in
 /// intermediate computations) can be represented without wrap-around.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Coord(pub Vec<i32>);
+#[derive(Clone)]
+pub struct Coord(Repr);
 
 impl Coord {
     /// Creates a coordinate from a vector of per-dimension positions.
     pub fn new(values: Vec<i32>) -> Self {
-        Coord(values)
+        Coord::from_slice(&values)
     }
 
     /// Creates the all-zero coordinate (the origin) in `n` dimensions.
+    #[inline]
     pub fn origin(n: usize) -> Self {
-        Coord(vec![0; n])
+        if n <= MAX_INLINE_DIMS {
+            Coord(Repr::Inline {
+                len: n as u8,
+                vals: [0; MAX_INLINE_DIMS],
+            })
+        } else {
+            Coord(Repr::Heap(vec![0; n]))
+        }
     }
 
     /// Creates a coordinate from a slice.
+    #[inline]
     pub fn from_slice(values: &[i32]) -> Self {
-        Coord(values.to_vec())
+        if values.len() <= MAX_INLINE_DIMS {
+            let mut vals = [0; MAX_INLINE_DIMS];
+            vals[..values.len()].copy_from_slice(values);
+            Coord(Repr::Inline {
+                len: values.len() as u8,
+                vals,
+            })
+        } else {
+            Coord(Repr::Heap(values.to_vec()))
+        }
     }
 
     /// The number of dimensions of this coordinate.
+    #[inline]
     pub fn ndim(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Returns the underlying positions as a slice.
+    #[inline]
     pub fn as_slice(&self) -> &[i32] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The underlying positions as a mutable slice.
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [i32] {
+        match &mut self.0 {
+            Repr::Inline { len, vals } => &mut vals[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Manhattan (L1) distance to another coordinate.
@@ -49,21 +110,23 @@ impl Coord {
     ///
     /// # Panics
     /// Panics if the two coordinates have different dimensionality.
+    #[inline]
     pub fn manhattan(&self, other: &Coord) -> u32 {
         assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
-        self.0
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice())
             .map(|(a, b)| a.abs_diff(*b))
             .sum()
     }
 
     /// Chebyshev (L∞) distance to another coordinate.
+    #[inline]
     pub fn chebyshev(&self, other: &Coord) -> u32 {
         assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
-        self.0
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice())
             .map(|(a, b)| a.abs_diff(*b))
             .max()
             .unwrap_or(0)
@@ -73,21 +136,24 @@ impl Coord {
     ///
     /// The result is *not* checked against any mesh bounds; use
     /// [`Mesh::neighbor`](crate::mesh::Mesh::neighbor) for a bounds-checked hop.
+    /// Allocation-free for meshes of up to [`MAX_INLINE_DIMS`] dimensions.
+    #[inline]
     pub fn step(&self, dir: Direction) -> Coord {
         let mut c = self.clone();
-        c.0[dir.dim] += dir.delta();
+        c[dir.dim] += dir.delta();
         c
     }
 
     /// True if the two coordinates differ in exactly one dimension by exactly one,
     /// i.e. they are connected by a mesh link.
+    #[inline]
     pub fn is_neighbor_of(&self, other: &Coord) -> bool {
         if self.ndim() != other.ndim() {
             return false;
         }
         let mut diff_dims = 0usize;
         let mut unit = true;
-        for (a, b) in self.0.iter().zip(other.0.iter()) {
+        for (a, b) in self.as_slice().iter().zip(other.as_slice()) {
             if a != b {
                 diff_dims += 1;
                 if a.abs_diff(*b) != 1 {
@@ -100,11 +166,12 @@ impl Coord {
 
     /// If `other` is a neighbor of `self`, returns the direction of the hop
     /// `self -> other`.
+    #[inline]
     pub fn direction_to(&self, other: &Coord) -> Option<Direction> {
         if !self.is_neighbor_of(other) {
             return None;
         }
-        for (dim, (a, b)) in self.0.iter().zip(other.0.iter()).enumerate() {
+        for (dim, (a, b)) in self.as_slice().iter().zip(other.as_slice()).enumerate() {
             if a != b {
                 return Some(Direction::new(dim, b > a));
             }
@@ -112,43 +179,73 @@ impl Coord {
         None
     }
 
-    /// The set of dimensions in which `self` and `other` differ.
-    pub fn differing_dims(&self, other: &Coord) -> Vec<usize> {
-        self.0
+    /// The dimensions in which `self` and `other` differ, as an allocation-free
+    /// iterator.
+    pub fn differing_dims<'a>(&'a self, other: &'a Coord) -> impl Iterator<Item = usize> + 'a {
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice())
             .enumerate()
             .filter_map(|(i, (a, b))| if a != b { Some(i) } else { None })
-            .collect()
     }
 
-    /// Per-dimension offset `other - self`.
-    pub fn offset_to(&self, other: &Coord) -> Vec<i32> {
-        self.0
+    /// Per-dimension offset `other - self`, as an allocation-free iterator.
+    pub fn offset_to<'a>(&'a self, other: &'a Coord) -> impl Iterator<Item = i32> + 'a {
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice())
             .map(|(a, b)| b - a)
-            .collect()
+    }
+}
+
+impl PartialEq for Coord {
+    #[inline]
+    fn eq(&self, other: &Coord) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Coord {}
+
+impl std::hash::Hash for Coord {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Coord {
+    #[inline]
+    fn partial_cmp(&self, other: &Coord) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Coord {
+    #[inline]
+    fn cmp(&self, other: &Coord) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Index<usize> for Coord {
     type Output = i32;
+    #[inline]
     fn index(&self, index: usize) -> &i32 {
-        &self.0[index]
+        &self.as_slice()[index]
     }
 }
 
 impl IndexMut<usize> for Coord {
+    #[inline]
     fn index_mut(&mut self, index: usize) -> &mut i32 {
-        &mut self.0[index]
+        &mut self.as_mut_slice()[index]
     }
 }
 
 impl fmt::Debug for Coord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -166,13 +263,13 @@ impl fmt::Display for Coord {
 
 impl From<Vec<i32>> for Coord {
     fn from(v: Vec<i32>) -> Self {
-        Coord(v)
+        Coord::new(v)
     }
 }
 
 impl From<&[i32]> for Coord {
     fn from(v: &[i32]) -> Self {
-        Coord(v.to_vec())
+        Coord::from_slice(v)
     }
 }
 
@@ -180,7 +277,7 @@ impl From<&[i32]> for Coord {
 #[macro_export]
 macro_rules! coord {
     ($($x:expr),* $(,)?) => {
-        $crate::coord::Coord::new(vec![$($x as i32),*])
+        $crate::coord::Coord::from_slice(&[$($x as i32),*])
     };
 }
 
@@ -236,12 +333,45 @@ mod tests {
     fn differing_dims_and_offset() {
         let u = coord![0, 5, 2];
         let v = coord![3, 5, 0];
-        assert_eq!(u.differing_dims(&v), vec![0, 2]);
-        assert_eq!(u.offset_to(&v), vec![3, 0, -2]);
+        assert_eq!(u.differing_dims(&v).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(u.offset_to(&v).collect::<Vec<_>>(), vec![3, 0, -2]);
     }
 
     #[test]
     fn display_formats_like_paper() {
         assert_eq!(format!("{}", coord![6, 4, 5]), "(6,4,5)");
+    }
+
+    #[test]
+    fn heap_fallback_above_the_inline_limit_behaves_identically() {
+        // 9 and 12 dimensions exceed MAX_INLINE_DIMS and fall back to the heap; every
+        // operation must behave exactly as for inline coordinates.
+        let n = MAX_INLINE_DIMS + 1;
+        let u = Coord::origin(n);
+        let mut v = Coord::origin(n);
+        v[n - 1] = 3;
+        v[0] = -1;
+        assert_eq!(u.ndim(), n);
+        assert_eq!(u.manhattan(&v), 4);
+        assert_eq!(u.chebyshev(&v), 3);
+        assert_eq!(u.step(Direction::pos(n - 1))[n - 1], 1);
+        assert!(u.step(Direction::pos(n - 1)).is_neighbor_of(&u));
+        assert_eq!(u.differing_dims(&v).collect::<Vec<_>>(), vec![0, n - 1]);
+        // Ordering and equality are slice-based across representations.
+        let w = Coord::from_slice(v.as_slice());
+        assert_eq!(v, w);
+        assert!(u < v || v < u);
+    }
+
+    #[test]
+    fn inline_and_heap_hash_and_compare_by_positions() {
+        use std::collections::HashSet;
+        let a = coord![1, 2, 3];
+        let b = Coord::from_slice(&[1, 2, 3]);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(coord![1, 2] < coord![1, 3]);
+        assert!(coord![1, 2] < coord![1, 2, 0]);
     }
 }

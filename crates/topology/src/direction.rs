@@ -34,6 +34,7 @@ impl Direction {
     }
 
     /// The coordinate delta of one hop in this direction (`+1` or `-1`).
+    #[inline]
     pub fn delta(&self) -> i32 {
         if self.positive {
             1
@@ -43,29 +44,38 @@ impl Direction {
     }
 
     /// The opposite direction.
+    #[inline]
     pub fn opposite(&self) -> Direction {
         Direction::new(self.dim, !self.positive)
     }
 
     /// All `2n` directions of an n-D mesh, ordered `(-d0, +d0, -d1, +d1, ...)`.
+    ///
+    /// Allocates; hot paths should use the allocation-free [`Direction::iter_all`],
+    /// which yields the same directions in the same order.
     pub fn all(n: usize) -> Vec<Direction> {
-        let mut v = Vec::with_capacity(2 * n);
-        for dim in 0..n {
-            v.push(Direction::neg(dim));
-            v.push(Direction::pos(dim));
-        }
-        v
+        Direction::iter_all(n).collect()
+    }
+
+    /// Iterates over all `2n` directions of an n-D mesh in [`Direction::index`]
+    /// order — `(-d0, +d0, -d1, +d1, ...)`, the same order as [`Direction::all`] —
+    /// without allocating.
+    #[inline]
+    pub fn iter_all(n: usize) -> impl Iterator<Item = Direction> {
+        (0..2 * n).map(Direction::from_index)
     }
 
     /// A dense index in `0..2n`, compatible with [`Direction::from_index`].
     ///
     /// The negative direction of dimension `d` maps to `2d`, the positive one to
     /// `2d + 1`.
+    #[inline]
     pub fn index(&self) -> usize {
         2 * self.dim + usize::from(self.positive)
     }
 
     /// Inverse of [`Direction::index`].
+    #[inline]
     pub fn from_index(idx: usize) -> Direction {
         Direction::new(idx / 2, idx % 2 == 1)
     }
@@ -127,6 +137,7 @@ impl DirectionSet {
     }
 
     /// Inserts a direction; returns `true` if it was not present before.
+    #[inline]
     pub fn insert(&mut self, dir: Direction) -> bool {
         let mask = 1u64 << dir.index();
         let newly = self.bits & mask == 0;
@@ -140,6 +151,7 @@ impl DirectionSet {
     }
 
     /// True if the set contains `dir`.
+    #[inline]
     pub fn contains(&self, dir: Direction) -> bool {
         self.bits & (1u64 << dir.index()) != 0
     }

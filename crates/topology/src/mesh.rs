@@ -118,19 +118,28 @@ impl Mesh {
             .sum()
     }
 
-    /// Converts a dense node id back to its coordinate.
+    /// Converts a dense node id back to its coordinate.  Allocation-free for meshes
+    /// of up to [`MAX_INLINE_DIMS`](crate::coord::MAX_INLINE_DIMS) dimensions.
     ///
     /// # Panics
     /// Panics if `id >= node_count()`.
+    #[inline]
     pub fn coord_of(&self, id: NodeId) -> Coord {
         assert!(id < self.node_count, "node id {id} out of range");
         let mut rest = id;
-        let mut c = vec![0i32; self.ndim()];
-        for (slot, &stride) in c.iter_mut().zip(&self.strides) {
-            *slot = (rest / stride) as i32;
+        let mut c = Coord::origin(self.ndim());
+        for (d, &stride) in self.strides.iter().enumerate() {
+            c[d] = (rest / stride) as i32;
             rest %= stride;
         }
-        Coord::new(c)
+        c
+    }
+
+    /// The position of node `id` along dimension `d`, computed arithmetically
+    /// without materialising the full coordinate.
+    #[inline]
+    pub fn position(&self, id: NodeId, d: usize) -> i32 {
+        ((id / self.strides[d]) % self.dims[d] as usize) as i32
     }
 
     /// The neighbor of `c` in direction `dir`, if it exists in the mesh.
@@ -144,9 +153,24 @@ impl Mesh {
     }
 
     /// The neighbor of node `id` in direction `dir`, if it exists.
+    ///
+    /// Pure stride arithmetic — no coordinate is materialised and nothing is
+    /// allocated; this is the neighbor lookup of the routing hot path.
+    #[inline]
     pub fn neighbor_id(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
-        let c = self.coord_of(id);
-        self.neighbor(&c, dir).map(|nc| self.id_of(&nc))
+        let stride = self.strides[dir.dim];
+        let x = self.position(id, dir.dim);
+        if dir.positive {
+            if x + 1 < self.dims[dir.dim] {
+                Some(id + stride)
+            } else {
+                None
+            }
+        } else if x > 0 {
+            Some(id - stride)
+        } else {
+            None
+        }
     }
 
     /// All (direction, neighbor) pairs of a coordinate.
@@ -161,11 +185,12 @@ impl Mesh {
     }
 
     /// All (direction, neighbor id) pairs of a node id.
+    ///
+    /// Allocates the result vector; hot paths should iterate
+    /// [`Direction::iter_all`] and call [`Mesh::neighbor_id`] per direction instead.
     pub fn neighbor_ids(&self, id: NodeId) -> Vec<(Direction, NodeId)> {
-        let c = self.coord_of(id);
-        self.neighbors(&c)
-            .into_iter()
-            .map(|(d, nc)| (d, self.id_of(&nc)))
+        Direction::iter_all(self.ndim())
+            .filter_map(|dir| self.neighbor_id(id, dir).map(|nid| (dir, nid)))
             .collect()
     }
 
@@ -212,14 +237,19 @@ impl Mesh {
         (0..self.node_count).map(|id| self.coord_of(id))
     }
 
-    /// Manhattan distance between two node ids.
+    /// Manhattan distance between two node ids, computed arithmetically without
+    /// materialising coordinates.
+    #[inline]
     pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
-        self.coord_of(a).manhattan(&self.coord_of(b))
+        (0..self.ndim())
+            .map(|d| self.position(a, d).abs_diff(self.position(b, d)))
+            .sum()
     }
 
-    /// True if the ids are mesh neighbors.
+    /// True if the ids are mesh neighbors (their Manhattan distance is exactly 1).
+    #[inline]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.coord_of(a).is_neighbor_of(&self.coord_of(b))
+        self.distance(a, b) == 1
     }
 }
 

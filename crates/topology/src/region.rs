@@ -32,10 +32,14 @@ pub enum FrameLevel {
 }
 
 /// An inclusive n-dimensional box `[lo_1:hi_1, ..., lo_n:hi_n]`.
+///
+/// The bounds are stored as [`Coord`]s, so for meshes of up to
+/// [`MAX_INLINE_DIMS`](crate::coord::MAX_INLINE_DIMS) dimensions cloning, expanding
+/// and clipping a region never heap-allocates.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Region {
-    lo: Vec<i32>,
-    hi: Vec<i32>,
+    lo: Coord,
+    hi: Coord,
 }
 
 impl std::fmt::Debug for Region {
@@ -63,10 +67,21 @@ impl Region {
     /// # Panics
     /// Panics if the bounds have different lengths, are empty, or `lo > hi` anywhere.
     pub fn new(lo: Vec<i32>, hi: Vec<i32>) -> Self {
-        assert_eq!(lo.len(), hi.len(), "bound dimensionality mismatch");
-        assert!(!lo.is_empty(), "a region needs at least one dimension");
+        Region::from_bounds(Coord::new(lo), Coord::new(hi))
+    }
+
+    /// Creates a region from inclusive per-dimension bounds given as coordinates —
+    /// the allocation-free constructor the routing hot path uses.
+    ///
+    /// # Panics
+    /// Panics if the bounds have different dimensionality, are empty, or `lo > hi`
+    /// anywhere.
+    #[inline]
+    pub fn from_bounds(lo: Coord, hi: Coord) -> Self {
+        assert_eq!(lo.ndim(), hi.ndim(), "bound dimensionality mismatch");
+        assert!(lo.ndim() > 0, "a region needs at least one dimension");
         assert!(
-            lo.iter().zip(hi.iter()).all(|(a, b)| a <= b),
+            lo.as_slice().iter().zip(hi.as_slice()).all(|(a, b)| a <= b),
             "lo must be <= hi in every dimension: {lo:?} vs {hi:?}"
         );
         Region { lo, hi }
@@ -74,26 +89,20 @@ impl Region {
 
     /// The degenerate region containing a single coordinate.
     pub fn point(c: &Coord) -> Self {
-        Region::new(c.as_slice().to_vec(), c.as_slice().to_vec())
+        Region::from_bounds(c.clone(), c.clone())
     }
 
     /// The smallest region containing both coordinates (the minimal-path bounding box
     /// between a source and a destination).
     pub fn bounding(a: &Coord, b: &Coord) -> Self {
         assert_eq!(a.ndim(), b.ndim(), "dimension mismatch");
-        let lo = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| x.min(y))
-            .collect();
-        let hi = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| x.max(y))
-            .collect();
-        Region::new(lo, hi)
+        let mut lo = a.clone();
+        let mut hi = a.clone();
+        for d in 0..a.ndim() {
+            lo[d] = a[d].min(b[d]);
+            hi[d] = a[d].max(b[d]);
+        }
+        Region::from_bounds(lo, hi)
     }
 
     /// The smallest region containing all the given coordinates.
@@ -110,18 +119,21 @@ impl Region {
     }
 
     /// Number of dimensions.
+    #[inline]
     pub fn ndim(&self) -> usize {
-        self.lo.len()
+        self.lo.ndim()
     }
 
     /// Inclusive lower bounds.
+    #[inline]
     pub fn lo(&self) -> &[i32] {
-        &self.lo
+        self.lo.as_slice()
     }
 
     /// Inclusive upper bounds.
+    #[inline]
     pub fn hi(&self) -> &[i32] {
-        &self.hi
+        self.hi.as_slice()
     }
 
     /// Extent (`hi - lo + 1`) along dimension `d`.
@@ -141,6 +153,7 @@ impl Region {
     }
 
     /// True if the coordinate lies inside the region.
+    #[inline]
     pub fn contains(&self, c: &Coord) -> bool {
         c.ndim() == self.ndim()
             && c.as_slice()
@@ -160,41 +173,49 @@ impl Region {
         if !self.intersects(other) {
             return None;
         }
-        let lo = (0..self.ndim())
-            .map(|d| self.lo[d].max(other.lo[d]))
-            .collect();
-        let hi = (0..self.ndim())
-            .map(|d| self.hi[d].min(other.hi[d]))
-            .collect();
-        Some(Region::new(lo, hi))
+        let mut lo = self.lo.clone();
+        let mut hi = self.hi.clone();
+        for d in 0..self.ndim() {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+        }
+        Some(Region::from_bounds(lo, hi))
     }
 
     /// The smallest region containing both regions.
     pub fn union(&self, other: &Region) -> Region {
         assert_eq!(self.ndim(), other.ndim(), "dimension mismatch");
-        let lo = (0..self.ndim())
-            .map(|d| self.lo[d].min(other.lo[d]))
-            .collect();
-        let hi = (0..self.ndim())
-            .map(|d| self.hi[d].max(other.hi[d]))
-            .collect();
-        Region::new(lo, hi)
+        let mut lo = self.lo.clone();
+        let mut hi = self.hi.clone();
+        for d in 0..self.ndim() {
+            lo[d] = self.lo[d].min(other.lo[d]);
+            hi[d] = self.hi[d].max(other.hi[d]);
+        }
+        Region::from_bounds(lo, hi)
     }
 
     /// The smallest region containing this region and the coordinate.
     pub fn union_point(&self, c: &Coord) -> Region {
         assert_eq!(self.ndim(), c.ndim(), "dimension mismatch");
-        let lo = (0..self.ndim()).map(|d| self.lo[d].min(c[d])).collect();
-        let hi = (0..self.ndim()).map(|d| self.hi[d].max(c[d])).collect();
-        Region::new(lo, hi)
+        let mut lo = self.lo.clone();
+        let mut hi = self.hi.clone();
+        for d in 0..self.ndim() {
+            lo[d] = self.lo[d].min(c[d]);
+            hi[d] = self.hi[d].max(c[d]);
+        }
+        Region::from_bounds(lo, hi)
     }
 
-    /// The region grown by `by` units in every direction.
+    /// The region grown by `by` units in every direction (allocation-free up to
+    /// the inline coordinate limit).
     pub fn expand(&self, by: i32) -> Region {
-        Region::new(
-            self.lo.iter().map(|&x| x - by).collect(),
-            self.hi.iter().map(|&x| x + by).collect(),
-        )
+        let mut lo = self.lo.clone();
+        let mut hi = self.hi.clone();
+        for d in 0..self.ndim() {
+            lo[d] -= by;
+            hi[d] += by;
+        }
+        Region::from_bounds(lo, hi)
     }
 
     /// The region clipped to another region (typically the mesh), if the clip is
@@ -253,7 +274,7 @@ impl Region {
             lo[dir.dim] = self.lo[dir.dim] - 1;
             hi[dir.dim] = self.lo[dir.dim] - 1;
         }
-        Region::new(lo, hi)
+        Region::from_bounds(lo, hi)
     }
 
     /// The `2^n` corner coordinates of the expanded frame (the paper's n-level
@@ -263,15 +284,15 @@ impl Region {
         let n = self.ndim();
         let mut out = Vec::with_capacity(1 << n);
         for mask in 0u32..(1u32 << n) {
-            let mut c = vec![0i32; n];
-            for (d, slot) in c.iter_mut().enumerate() {
-                *slot = if mask & (1 << d) != 0 {
+            let mut c = Coord::origin(n);
+            for d in 0..n {
+                c[d] = if mask & (1 << d) != 0 {
                     self.hi[d] + 1
                 } else {
                     self.lo[d] - 1
                 };
             }
-            out.push(Coord::new(c));
+            out.push(c);
         }
         out
     }
@@ -315,14 +336,14 @@ impl Region {
         if lo[away.dim] > hi[away.dim] {
             return None;
         }
-        Region::new(lo, hi).clip(&full)
+        Region::from_bounds(lo, hi).clip(&full)
     }
 
     /// Iterates over every coordinate in the region in row-major order.
     pub fn iter_coords(&self) -> RegionIter {
         RegionIter {
+            next: Some(self.lo.clone()),
             region: self.clone(),
-            next: Some(Coord::new(self.lo.clone())),
         }
     }
 }

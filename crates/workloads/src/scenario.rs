@@ -38,6 +38,10 @@ pub struct Scenario {
     /// Active-frontier scheduling for the labeling rounds (on by default); like
     /// `threads`, an execution detail that never changes results.
     pub frontier: bool,
+    /// Worker threads for the per-step probe routing decisions (`1` = serial, `0` =
+    /// one per available core); like `threads`, results are bit-identical for every
+    /// setting.
+    pub probe_threads: usize,
 }
 
 impl Scenario {
@@ -56,6 +60,7 @@ impl Scenario {
             max_steps: 5_000,
             threads: 1,
             frontier: true,
+            probe_threads: 1,
         }
     }
 
@@ -89,6 +94,7 @@ impl Scenario {
                 max_probe_steps: self.max_steps,
                 threads: self.threads,
                 frontier: self.frontier,
+                probe_threads: self.probe_threads,
             },
         );
         // Warm-up: run to the launch step so static faults and their information can
@@ -233,6 +239,7 @@ mod tests {
             max_steps: 5_000,
             threads: 1,
             frontier: true,
+            probe_threads: 1,
         };
         let result = scenario.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.launched, 4);

@@ -71,19 +71,24 @@ fn main() {
         let mut probe =
             lgfi::core::routing::Probe::new(&mesh, mesh.id_of(&source), mesh.id_of(&dest));
         let router = LgfiRouter::new();
+        let dest_coord = mesh.coord_of(probe.dest);
+        let mut slots = Vec::new();
         while probe.status == ProbeStatus::InFlight && probe.steps < 10_000 {
+            let current_coord = mesh.coord_of(probe.current);
+            lgfi::core::routing::fill_neighbor_slots(
+                &mesh,
+                labeling.statuses(),
+                probe.current,
+                &mut slots,
+            );
             let ctx = lgfi::core::routing::RouteCtx {
                 mesh: &mesh,
-                current: mesh.coord_of(probe.current),
-                dest: mesh.coord_of(probe.dest),
+                current: &current_coord,
+                dest: &dest_coord,
                 current_status: labeling.status(probe.current),
-                neighbors: mesh
-                    .neighbor_ids(probe.current)
-                    .into_iter()
-                    .map(|(d, nid)| (d, nid, labeling.status(nid)))
-                    .collect(),
-                boundary_info: boundary.entries(probe.current).to_vec(),
-                global_blocks: blocks.blocks().to_vec(),
+                neighbors: &slots,
+                boundary_info: boundary.entries(probe.current),
+                global_blocks: blocks.blocks(),
                 used: probe.used_here(),
                 incoming: probe.incoming,
             };

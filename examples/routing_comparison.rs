@@ -68,6 +68,7 @@ fn main() {
                     max_steps: 100_000,
                     threads: 1,
                     frontier: true,
+                    probe_threads: 1,
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 delivery += result.delivery_ratio();

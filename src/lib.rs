@@ -64,7 +64,8 @@ pub mod prelude {
     pub use lgfi_core::labeling::LabelingEngine;
     pub use lgfi_core::network::{LgfiNetwork, NetworkConfig, ProbeReport};
     pub use lgfi_core::routing::{
-        route_static, LgfiRouter, ProbeOutcome, ProbeStatus, Router, RoutingDecision,
+        route_static, sweep_static, LgfiRouter, ProbeEngine, ProbeOutcome, ProbeStatus, Router,
+        RoutingDecision,
     };
     pub use lgfi_core::safety::{is_safe_source, is_safe_source_in};
     pub use lgfi_core::status::NodeStatus;

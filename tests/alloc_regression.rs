@@ -1,12 +1,14 @@
-//! Allocation-regression guard for the round data plane.
+//! Allocation-regression guard for the round *and* routing data planes.
 //!
-//! The engines own every buffer the round loop touches (double-buffered states, the
+//! The engines own every buffer their hot loops touch (double-buffered states, the
 //! CSR mailbox arena, the flat neighbor cache, stack-allocated neighbor views and a
-//! recycled outbox), so **steady-state rounds perform zero heap allocations** in the
-//! serial engines.  This test installs a counting global allocator and proves it:
-//! after a warm-up to quiescence (where buffers reach their high-water capacity),
-//! further rounds must not allocate — with active-frontier scheduling on (frontier
-//! empty, O(1) rounds) *and* off (full per-node evaluation).
+//! recycled outbox for the round loop; inline coordinates, the direction-indexed
+//! neighbor-slot scratch, the recycled path and the flat used-direction arena for
+//! the probe loop), so **steady-state rounds and probe hops perform zero heap
+//! allocations** in the serial engines.  This test installs a counting global
+//! allocator and proves it: after a warm-up (where buffers reach their high-water
+//! capacity), further rounds — and further probes through a warm
+//! [`ProbeEngine`] — must not allocate.
 //!
 //! Everything runs inside a single `#[test]` because the allocation counter is
 //! process-global and the libtest harness runs separate tests on separate threads.
@@ -19,9 +21,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use lgfi_core::block::BlockSet;
+use lgfi_core::boundary::BoundaryMap;
 use lgfi_core::labeling::{LabelingEngine, LabelingProtocol};
+use lgfi_core::routing::{LgfiRouter, ProbeEngine, ProbeOutcome, Router};
 use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine};
-use lgfi_topology::{coord, Mesh};
+use lgfi_topology::{coord, Mesh, NodeId};
 
 /// Counts allocator calls (alloc, realloc, alloc_zeroed) while armed.
 struct CountingAllocator;
@@ -60,12 +65,26 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Runs `f` with the counter armed and returns the number of allocator calls it made.
-fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
-    let out = f();
-    ARMED.store(false, Ordering::SeqCst);
-    (ALLOCATIONS.load(Ordering::SeqCst), out)
+///
+/// The counter is process-global, so a stray allocation on *another* thread (libtest
+/// bookkeeping, lazily-initialised runtime machinery) while the section is armed
+/// would be charged to `f`.  A genuine data-plane regression allocates
+/// deterministically on every run, so a non-zero first measurement is retried once
+/// on cold caches before being believed; one-off cross-thread noise vanishes on the
+/// retry, a real per-round/per-hop allocation does not.
+fn count_allocations<R>(mut f: impl FnMut() -> R) -> (u64, R) {
+    let measure = |f: &mut dyn FnMut() -> R| {
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        let out = f();
+        ARMED.store(false, Ordering::SeqCst);
+        (ALLOCATIONS.load(Ordering::SeqCst), out)
+    };
+    let (allocs, out) = measure(&mut f);
+    if allocs == 0 {
+        return (allocs, out);
+    }
+    measure(&mut f)
 }
 
 /// The min-flood protocol of the engine's own tests: converges, then goes silent —
@@ -127,7 +146,9 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
         eng.inject_fault(mesh.id_of(&c));
     }
     eng.run_until_quiescent(1_000).expect("labeling stabilises");
-    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    // Reserve for two steady sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    eng.reserve_rounds(2 * STEADY_ROUNDS as usize + 1);
     let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
     assert_eq!(changes, 0, "quiescent mesh must stay quiescent");
     assert_eq!(
@@ -141,7 +162,9 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
         eng.inject_fault(mesh.id_of(&c));
     }
     eng.run_until_quiescent(1_000).expect("labeling stabilises");
-    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    // Reserve for two steady sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    eng.reserve_rounds(2 * STEADY_ROUNDS as usize + 1);
     let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
     assert_eq!(changes, 0);
     assert_eq!(
@@ -152,7 +175,9 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
     // --- RoundEngine + a message-sending protocol, quiescent after convergence. ---
     let mut eng = RoundEngine::new(mesh.clone(), MinFlood);
     eng.run_until_quiescent(1_000).expect("min-flood converges");
-    eng.reserve_rounds(STEADY_ROUNDS as usize + 1);
+    // Reserve for two steady sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    eng.reserve_rounds(2 * STEADY_ROUNDS as usize + 1);
     let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
     assert_eq!(changes, 0);
     assert_eq!(
@@ -185,6 +210,83 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
             "steady-state LabelingEngine rounds must not allocate (frontier={frontier})"
         );
     }
+
+    // --- Routing data plane: warm ProbeEngine, LGFI and DOR routers. --------------
+    // A faulty 32x32 mesh with stabilised blocks and boundaries; the first pass over
+    // the probe batch warms the engine's recycled buffers (path, used-direction
+    // arena, neighbor slots), after which routing the same batch again — thousands
+    // of hops including backtracks and boundary-informed detours — must not touch
+    // the heap at all: zero steady-state allocations per hop.
+    let mesh = Mesh::cubic(32, 2);
+    let mut labeling = LabelingEngine::new(mesh.clone());
+    let mut faults = Vec::new();
+    for (x, y) in [
+        (8, 8),
+        (9, 9),
+        (8, 9),
+        (9, 8),
+        (20, 14),
+        (21, 15),
+        (20, 15),
+        (21, 14),
+    ] {
+        faults.push(coord![x, y]);
+    }
+    faults.push(coord![14, 22]);
+    labeling.apply_faults(&faults);
+    let blocks = BlockSet::extract(&mesh, labeling.statuses());
+    let boundary = BoundaryMap::construct(&mesh, &blocks);
+    let statuses = labeling.statuses().to_vec();
+    // Pairs crossing the blocks' shadows (forcing detours and backtracking) plus
+    // plain corner-to-corner traffic.
+    let pairs: Vec<(NodeId, NodeId)> = vec![
+        (mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![31, 31])),
+        (mesh.id_of(&coord![8, 1]), mesh.id_of(&coord![9, 30])),
+        (mesh.id_of(&coord![1, 8]), mesh.id_of(&coord![30, 9])),
+        (mesh.id_of(&coord![20, 2]), mesh.id_of(&coord![21, 29])),
+        (mesh.id_of(&coord![31, 0]), mesh.id_of(&coord![0, 31])),
+        (mesh.id_of(&coord![2, 30]), mesh.id_of(&coord![29, 3])),
+    ];
+    let route_batch = |engine: &mut ProbeEngine, router: &dyn Router| -> (u64, usize) {
+        let mut steps = 0u64;
+        let mut delivered = 0usize;
+        for &(s, d) in &pairs {
+            let out: ProbeOutcome = engine.route_static(
+                &mesh,
+                &statuses,
+                blocks.blocks(),
+                &boundary,
+                router,
+                s,
+                d,
+                100_000,
+            );
+            steps += out.steps;
+            delivered += usize::from(out.delivered());
+        }
+        (steps, delivered)
+    };
+    // LGFI router (Algorithm 3, boundary-informed, backtracking).
+    let lgfi = LgfiRouter::new();
+    let mut engine = ProbeEngine::new();
+    let warm = route_batch(&mut engine, &lgfi);
+    assert_eq!(warm.1, pairs.len(), "all LGFI probes deliver");
+    let (allocs, steady) = count_allocations(|| route_batch(&mut engine, &lgfi));
+    assert_eq!(steady, warm, "warm re-run must route identically");
+    assert!(steady.0 > 200, "the batch exercises hundreds of hops");
+    assert_eq!(
+        allocs, 0,
+        "routing through a warm ProbeEngine must not allocate per hop (LGFI)"
+    );
+    // Dimension-order router (deterministic baseline) through the same engine.
+    let dor = lgfi_baselines::DimensionOrderRouter::new();
+    let warm = route_batch(&mut engine, &dor);
+    let (allocs, steady) = count_allocations(|| route_batch(&mut engine, &dor));
+    assert_eq!(steady, warm);
+    assert_eq!(
+        allocs, 0,
+        "routing through a warm ProbeEngine must not allocate per hop (DOR)"
+    );
 
     // Sanity: the counter actually observes allocator traffic.
     let (allocs, v) = count_allocations(|| vec![1u8]);
