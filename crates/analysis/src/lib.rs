@@ -13,6 +13,6 @@ pub mod summary;
 pub mod table;
 pub mod verify;
 
-pub use summary::Summary;
+pub use summary::{Summary, TrafficSummary};
 pub use table::Table;
 pub use verify::{check_theorem3, check_theorem4, BoundCheck};

@@ -1,0 +1,16 @@
+//! Experiment binary: prints the C5 concurrent-traffic experiment table —
+//! delivery, accepted throughput and mean/p99 queueing latency for every router as
+//! the offered load grows towards saturation.
+//!
+//! Accepts `--threads N` (or `LGFI_THREADS`) for the information rounds and
+//! `LGFI_TRAFFIC_THREADS` for the per-cycle traffic decisions; `0` = one worker per
+//! core.  Output is bit-identical for every setting.
+
+fn main() {
+    let threads = lgfi_bench::harness::cli_threads();
+    let traffic_threads = lgfi_bench::harness::configured_traffic_threads();
+    println!(
+        "{}",
+        lgfi_bench::harness::exp_traffic_with(threads, traffic_threads)
+    );
+}

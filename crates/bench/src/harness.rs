@@ -7,7 +7,7 @@
 //! recorded in `EXPERIMENTS.md`).
 
 use lgfi_analysis::table::{f2, pct};
-use lgfi_analysis::{check_theorem3, check_theorem4, Summary, Table};
+use lgfi_analysis::{check_theorem3, check_theorem4, Summary, Table, TrafficSummary};
 use lgfi_baselines::{DimensionOrderRouter, GlobalInfoRouter, LocalInfoRouter, StaticBlockRouter};
 use lgfi_core::block::BlockSet;
 use lgfi_core::boundary::BoundaryMap;
@@ -23,40 +23,50 @@ use lgfi_sim::FaultPlan;
 use lgfi_topology::{coord, Coord, Direction, Mesh};
 use lgfi_workloads::{
     run_trials, run_trials_on, DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario,
-    TrafficGenerator, TrafficPattern,
+    TrafficGenerator, TrafficLoad, TrafficPattern,
 };
 
 // ---------------------------------------------------------------------------------
 // The `threads` knob
 // ---------------------------------------------------------------------------------
 
-/// The worker-thread count configured through the environment: `LGFI_THREADS` unset
-/// or empty means `1` (serial, the deterministic default), `0` means one worker per
-/// available core, any other value is used as-is.  Parallelism never changes results
-/// — every experiment output is bit-identical across settings.
-pub fn configured_threads() -> usize {
-    match std::env::var("LGFI_THREADS") {
-        Ok(s) if !s.trim().is_empty() => s
+/// Parses one numeric worker-count knob from the environment: unset or empty means
+/// `default` (serial, the deterministic baseline), `0` means one worker per
+/// available core, any other value is used as-is.  Every knob parsed here is an
+/// execution detail — experiment outputs are bit-identical across settings.
+///
+/// # Panics
+/// Panics when the variable is set to something that is not an integer.
+pub fn env_knob(name: &str, default: usize) -> usize {
+    parse_knob(name, std::env::var(name).ok().as_deref(), default)
+}
+
+/// The parsing rule of [`env_knob`], separated from the environment lookup so it is
+/// testable without mutating process-global state.
+fn parse_knob(name: &str, value: Option<&str>, default: usize) -> usize {
+    match value {
+        Some(s) if !s.trim().is_empty() => s
             .trim()
             .parse()
-            .unwrap_or_else(|_| panic!("LGFI_THREADS must be an integer, got {s:?}")),
-        _ => 1,
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {s:?}")),
+        _ => default,
     }
 }
 
-/// The probe-sweep worker count configured through the environment:
-/// `LGFI_PROBE_THREADS` unset or empty means `1` (serial, the deterministic
-/// default), `0` means one worker per available core, any other value is used
-/// as-is.  Probe sharding never changes results — batched and parallel sweeps are
-/// bit-identical to the serial path.
+/// The worker-thread count for the information rounds (`LGFI_THREADS`); see
+/// [`env_knob`].
+pub fn configured_threads() -> usize {
+    env_knob("LGFI_THREADS", 1)
+}
+
+/// The probe-sweep worker count (`LGFI_PROBE_THREADS`); see [`env_knob`].
 pub fn configured_probe_threads() -> usize {
-    match std::env::var("LGFI_PROBE_THREADS") {
-        Ok(s) if !s.trim().is_empty() => s
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("LGFI_PROBE_THREADS must be an integer, got {s:?}")),
-        _ => 1,
-    }
+    env_knob("LGFI_PROBE_THREADS", 1)
+}
+
+/// The traffic decision-worker count (`LGFI_TRAFFIC_THREADS`); see [`env_knob`].
+pub fn configured_traffic_threads() -> usize {
+    env_knob("LGFI_TRAFFIC_THREADS", 1)
 }
 
 /// The active-frontier knob configured through the environment: `LGFI_FRONTIER`
@@ -972,6 +982,7 @@ pub fn exp_graceful_degradation_with(threads: usize) -> String {
                     threads,
                     frontier: configured_frontier(),
                     probe_threads: configured_probe_threads(),
+                    traffic_threads: configured_traffic_threads(),
                 };
                 let result = scenario.run(&|| router_by_name(router));
                 (
@@ -1129,6 +1140,83 @@ pub fn exp_dynamic_convergence_with(threads: usize) -> String {
     format!("{}\n{}", table.render(), stats.render())
 }
 
+// ---------------------------------------------------------------------------------
+// C5 — concurrent traffic under contention
+// ---------------------------------------------------------------------------------
+
+/// The scenario of the C5 traffic experiment and the `traffic_saturation` bench: a
+/// 16×16 mesh with 12 clustered static faults (stabilised before injection starts).
+pub fn traffic_scenario(threads: usize, traffic_threads: usize) -> Scenario {
+    Scenario {
+        dims: vec![16, 16],
+        seed: 21,
+        fault_count: 12,
+        placement: FaultPlacement::Clustered { clusters: 3 },
+        dynamic: None,
+        lambda: 1,
+        traffic: TrafficPattern::UniformRandom,
+        messages: 0,
+        launch_step: 60,
+        max_steps: 100_000,
+        threads,
+        frontier: configured_frontier(),
+        probe_threads: configured_probe_threads(),
+        traffic_threads,
+    }
+}
+
+/// Experiment C5: concurrent traffic under link contention — delivery, accepted
+/// throughput, and mean/p99 queueing latency for every router as the offered load
+/// grows towards saturation.
+pub fn exp_traffic() -> String {
+    exp_traffic_with(configured_threads(), configured_traffic_threads())
+}
+
+/// [`exp_traffic`] with explicit worker counts for the information rounds and the
+/// traffic decisions (bit-identical output for every setting).
+pub fn exp_traffic_with(threads: usize, traffic_threads: usize) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
+    let traffic_threads = lgfi_sim::resolve_threads(traffic_threads);
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
+    let loads = [0.1f64, 0.5, 1.0, 2.0];
+    let mut table = Table::new(
+        &format!("C5  concurrent traffic vs. offered load (16x16 mesh, 12 clustered static faults, uniform traffic, 200 injection cycles, traffic_threads={traffic_threads})"),
+        &[
+            "router",
+            "offered (pkt/cycle)",
+            "delivery",
+            "accepted (pkt/cycle)",
+            "mean latency",
+            "p99 latency",
+            "mean stalls",
+        ],
+    );
+    for router in routers {
+        for &rate in &loads {
+            let scenario = traffic_scenario(threads, traffic_threads);
+            let result =
+                scenario.run_traffic(&TrafficLoad::at_rate(rate), &|| router_by_name(router));
+            let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
+            table.row(&[
+                router.to_string(),
+                f2(rate),
+                pct(s.delivery_ratio),
+                f2(s.accepted_throughput),
+                f2(s.mean_latency),
+                s.p99_latency.to_string(),
+                f2(s.mean_stalls),
+            ]);
+        }
+    }
+    table.render()
+}
+
 /// Runs every experiment in order and returns the concatenated report (what the
 /// `experiments` binary prints and what EXPERIMENTS.md records).
 pub fn run_all_experiments() -> String {
@@ -1149,6 +1237,7 @@ pub fn run_all_experiments() -> String {
         ("C2", exp_graceful_degradation),
         ("C3", exp_memory_overhead),
         ("C4", exp_dynamic_convergence),
+        ("C5", exp_traffic),
     ];
     let mut out = String::new();
     for (name, f) in sections {
@@ -1222,6 +1311,44 @@ mod tests {
             assert_eq!(configured_threads(), 1);
             assert_eq!(cli_threads(), 1);
         }
+    }
+
+    #[test]
+    fn knob_parsing_rule_is_shared_by_every_knob() {
+        assert_eq!(parse_knob("K", None, 1), 1, "unset means the default");
+        assert_eq!(parse_knob("K", Some(""), 2), 2, "empty means the default");
+        assert_eq!(parse_knob("K", Some("   "), 3), 3);
+        assert_eq!(parse_knob("K", Some("4"), 1), 4);
+        assert_eq!(parse_knob("K", Some(" 8 "), 1), 8, "whitespace is trimmed");
+        assert_eq!(parse_knob("K", Some("0"), 1), 0, "0 = one worker per core");
+        if std::env::var("LGFI_TRAFFIC_THREADS").is_err() {
+            assert_eq!(configured_traffic_threads(), 1);
+        }
+        if std::env::var("LGFI_PROBE_THREADS").is_err() {
+            assert_eq!(configured_probe_threads(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an integer")]
+    fn knob_parsing_rejects_garbage() {
+        parse_knob("LGFI_THREADS", Some("fast"), 1);
+    }
+
+    #[test]
+    fn traffic_experiment_reports_every_router_and_load() {
+        let s = exp_traffic_with(1, 2);
+        assert!(s.contains("=="), "must render a table");
+        for router in [
+            "lgfi",
+            "global-info",
+            "local-only",
+            "wu-minimal-block",
+            "dimension-order",
+        ] {
+            assert!(s.contains(router), "missing {router} in:\n{s}");
+        }
+        assert!(s.contains("traffic_threads=2"));
     }
 
     #[test]

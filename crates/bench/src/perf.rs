@@ -173,6 +173,184 @@ fn append_json_lines(path: &Path, new_lines: &[String]) -> std::io::Result<()> {
     std::fs::write(path, out)
 }
 
+/// One measured concurrent-traffic configuration, as recorded in
+/// `BENCH_engine.json` alongside the round-engine and routing records.
+///
+/// `bench = "traffic_load_16x16_12_faults"` records hold one latency-vs-offered-load
+/// point each; `bench = "traffic_saturation_16x16_12_faults"` records hold the
+/// saturation throughput of one router (the largest accepted throughput over the
+/// load sweep).
+#[derive(Debug, Clone)]
+pub struct TrafficBenchRecord {
+    /// Benchmark id.
+    pub bench: String,
+    /// The code/config variant that produced the number (`LGFI_BENCH_VARIANT`).
+    pub variant: String,
+    /// Mesh shape, e.g. `16x16`.
+    pub mesh: String,
+    /// The router that drove the packets.
+    pub router: String,
+    /// Traffic decision workers the engine ran with (1 = serial).
+    pub threads: usize,
+    /// Offered load in packets per cycle.
+    pub offered_load: f64,
+    /// Injection-window cycles.
+    pub cycles: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Accepted throughput in packets per cycle — a determinism fingerprint
+    /// alongside `delivered`: identical across variants and thread counts.
+    pub accepted_throughput: f64,
+    /// Mean delivered latency in cycles (queueing included).
+    pub mean_latency: f64,
+    /// Nearest-rank 99th-percentile delivered latency in cycles.
+    pub p99_latency: u64,
+    /// Mean stall cycles per packet.
+    pub mean_stalls: f64,
+}
+
+impl TrafficBenchRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"router\":\"{}\",\
+             \"threads\":{},\"offered_load\":{:.3},\"cycles\":{},\"injected\":{},\
+             \"delivered\":{},\"accepted_throughput\":{:.4},\"mean_latency\":{:.2},\
+             \"p99_latency\":{},\"mean_stalls\":{:.2}}}",
+            escape(&self.bench),
+            escape(&self.variant),
+            escape(&self.mesh),
+            escape(&self.router),
+            self.threads,
+            self.offered_load,
+            self.cycles,
+            self.injected,
+            self.delivered,
+            self.accepted_throughput,
+            self.mean_latency,
+            self.p99_latency,
+            self.mean_stalls,
+        );
+        s
+    }
+}
+
+/// Appends traffic records to the JSON file at `path` (same one-record-per-line
+/// array format as [`append_records`]).
+pub fn append_traffic_records(path: &Path, records: &[TrafficBenchRecord]) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_lines(path, &lines)
+}
+
+/// Runs the standard C5 traffic scenario (16×16 mesh, 12 clustered static faults,
+/// 200 injection cycles) once for one router at one offered load and traffic
+/// pattern, and returns the latency-vs-load record.
+pub fn measure_traffic_load(
+    router_name: &str,
+    rate: f64,
+    pattern: lgfi_workloads::TrafficPattern,
+    traffic_threads: usize,
+    variant: &str,
+) -> TrafficBenchRecord {
+    use lgfi_analysis::TrafficSummary;
+    use lgfi_workloads::TrafficLoad;
+    let mut scenario = crate::harness::traffic_scenario(1, traffic_threads);
+    scenario.traffic = pattern;
+    let result = scenario.run_traffic(&TrafficLoad::at_rate(rate), &|| {
+        crate::harness::router_by_name(router_name)
+    });
+    let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
+    let pattern_tag = match pattern {
+        lgfi_workloads::TrafficPattern::Hotspot => "hotspot_",
+        _ => "",
+    };
+    TrafficBenchRecord {
+        bench: format!("traffic_load_{pattern_tag}16x16_12_faults"),
+        variant: variant.into(),
+        mesh: "16x16".into(),
+        router: router_name.into(),
+        threads: result.traffic_threads,
+        offered_load: rate,
+        cycles: result.measured_cycles,
+        injected: result.stats.injected(),
+        delivered: result.stats.delivered(),
+        accepted_throughput: s.accepted_throughput,
+        mean_latency: s.mean_latency,
+        p99_latency: s.p99_latency,
+        mean_stalls: s.mean_stalls,
+    }
+}
+
+/// Runs the standard traffic measurements — a uniform latency-vs-offered-load sweep
+/// for all five routers plus one saturation-throughput record per router (the
+/// largest accepted throughput over the sweep), a hot-spot sweep for every router
+/// (the pattern whose single destination genuinely saturates: at most `2n` inbound
+/// links' worth of packets can be accepted per cycle), and the LGFI router again at
+/// 2 and 4 traffic workers — and appends the records to [`default_json_path`].
+pub fn emit_traffic_records() {
+    use lgfi_workloads::TrafficPattern;
+    let variant = variant_tag();
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
+    let loads = [0.1f64, 0.5, 1.0, 2.0, 4.0];
+    let mut records = Vec::new();
+    for router in routers {
+        let mut saturation: Option<TrafficBenchRecord> = None;
+        for &rate in &loads {
+            let rec =
+                measure_traffic_load(router, rate, TrafficPattern::UniformRandom, 1, &variant);
+            let better = saturation
+                .as_ref()
+                .map(|s| rec.accepted_throughput > s.accepted_throughput)
+                .unwrap_or(true);
+            if better {
+                saturation = Some(rec.clone());
+            }
+            records.push(rec);
+        }
+        let mut sat = saturation.expect("at least one load measured");
+        sat.bench = "traffic_saturation_16x16_12_faults".into();
+        records.push(sat);
+        for &rate in &[1.0f64, 4.0] {
+            records.push(measure_traffic_load(
+                router,
+                rate,
+                TrafficPattern::Hotspot,
+                1,
+                &variant,
+            ));
+        }
+    }
+    for threads in [2usize, 4] {
+        records.push(measure_traffic_load(
+            "lgfi",
+            1.0,
+            TrafficPattern::UniformRandom,
+            threads,
+            &variant,
+        ));
+    }
+    let path = default_json_path();
+    match append_traffic_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 /// The standard routing-sweep workload: a 32×32 mesh with 40 clustered faults
 /// (stabilised) and 256 uniform-random source/destination pairs over enabled nodes.
 /// Deterministic (fixed seeds), so every variant and thread count routes the exact

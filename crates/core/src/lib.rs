@@ -32,6 +32,10 @@
 //! 8. **The dynamic network** ([`network`]): the Figure-7 step loop that runs
 //!    labeling, identification, boundary construction and routing *hand-in-hand*
 //!    under a schedule of dynamic faults and recoveries.
+//! 9. **Concurrent traffic** ([`linkstate`], [`traffic_engine`]): the cycle-driven
+//!    data plane where many packets are in flight at once, contending for
+//!    finite-capacity links around the fault blocks — queueing latency and
+//!    saturation throughput become observable instead of only hop counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,10 +47,12 @@ pub mod frame;
 pub mod identification;
 pub mod infostore;
 pub mod labeling;
+pub mod linkstate;
 pub mod network;
 pub mod routing;
 pub mod safety;
 pub mod status;
+pub mod traffic_engine;
 
 pub use block::{BlockId, BlockSet, FaultyBlock};
 pub use boundary::{BoundaryEntry, BoundaryMap};
@@ -55,9 +61,11 @@ pub use frame::{BlockFrame, Role};
 pub use identification::{IdentificationOutcome, IdentificationProcess};
 pub use infostore::{InfoStore, MemoryFootprint};
 pub use labeling::{LabelingEngine, LabelingProtocol};
+pub use linkstate::LinkState;
 pub use network::{LgfiNetwork, NetworkConfig, ProbeReport};
 pub use routing::{
     DirectionClass, LgfiRouter, Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router, RoutingDecision,
 };
 pub use safety::is_safe_source;
 pub use status::NodeStatus;
+pub use traffic_engine::{CycleEnv, PacketRecord, StaticTrafficEnv, TrafficConfig, TrafficEngine};

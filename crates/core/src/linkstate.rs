@@ -1,0 +1,90 @@
+//! The link-state layer: finite-capacity directed mesh links.
+//!
+//! The routing model of the paper sets up one path at a time, so PR-era probe
+//! sweeps never contend for wires.  Real traffic does: every node of an n-D mesh
+//! has `2n` directed output links, each able to accept a bounded number of packets
+//! per cycle.  [`LinkState`] binds the generic grant table of
+//! [`lgfi_sim::traffic_engine::LinkArbiter`] to the mesh's
+//! [`Direction`] indexing, giving the concurrent-traffic engine
+//! ([`crate::traffic_engine`]) a topology-aware capacity check: `try_reserve(node,
+//! dir)` answers whether one more packet may leave `node` along `dir` this cycle.
+//!
+//! Determinism contract: grants are handed out in request order and the traffic
+//! engine requests them in packet-launch order, so which packets stall in a
+//! contended cycle is a pure function of the simulation inputs — never of thread
+//! scheduling.
+
+use lgfi_sim::traffic_engine::LinkArbiter;
+use lgfi_topology::{Direction, Mesh, NodeId};
+
+/// Finite-capacity state of every directed link of a mesh, reset per cycle.
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    arbiter: LinkArbiter,
+}
+
+impl LinkState {
+    /// Link state for `mesh` where every directed link carries at most `capacity`
+    /// packets per cycle (at least 1).
+    pub fn new(mesh: &Mesh, capacity: u32) -> Self {
+        LinkState {
+            arbiter: LinkArbiter::new(mesh.node_count(), 2 * mesh.ndim(), capacity),
+        }
+    }
+
+    /// The per-cycle capacity of one directed link.
+    pub fn capacity(&self) -> u32 {
+        self.arbiter.capacity()
+    }
+
+    /// Starts a new cycle; every link returns to full capacity (`O(touched links)`,
+    /// allocation-free once warm).
+    pub fn begin_cycle(&mut self) {
+        self.arbiter.begin_cycle();
+    }
+
+    /// Reserves one unit of the outgoing link of `node` in direction `dir` for this
+    /// cycle.  Returns `false` when the link is already saturated — the requesting
+    /// packet must stall.
+    #[inline]
+    pub fn try_reserve(&mut self, node: NodeId, dir: Direction) -> bool {
+        self.arbiter.try_grant(node, dir.index())
+    }
+
+    /// Packets granted on the outgoing link of `node` in direction `dir` this cycle.
+    pub fn reserved(&self, node: NodeId, dir: Direction) -> u32 {
+        self.arbiter.granted(node, dir.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_saturate_and_reset_per_cycle() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut links = LinkState::new(&mesh, 1);
+        assert_eq!(links.capacity(), 1);
+        let dir = Direction::pos(0);
+        assert!(links.try_reserve(5, dir));
+        assert!(!links.try_reserve(5, dir), "capacity 1 per cycle");
+        assert_eq!(links.reserved(5, dir), 1);
+        // The opposite direction and the reverse link are independent.
+        assert!(links.try_reserve(5, Direction::neg(0)));
+        assert!(links.try_reserve(6, Direction::neg(0)));
+        links.begin_cycle();
+        assert_eq!(links.reserved(5, dir), 0);
+        assert!(links.try_reserve(5, dir));
+    }
+
+    #[test]
+    fn higher_capacity_admits_more_packets() {
+        let mesh = Mesh::cubic(3, 3);
+        let mut links = LinkState::new(&mesh, 2);
+        let dir = Direction::pos(2);
+        assert!(links.try_reserve(0, dir));
+        assert!(links.try_reserve(0, dir));
+        assert!(!links.try_reserve(0, dir));
+    }
+}

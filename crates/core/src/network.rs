@@ -332,44 +332,7 @@ impl LgfiNetwork {
 
     /// Executes one full step of the Figure-7 model.
     pub fn run_step(&mut self) {
-        // --- Phase 1: fault detection (events scheduled for this step take effect). --
-        let events: Vec<_> = self.plan.events_at(self.step).copied().collect();
-        let fault_occurred = events.iter().any(|e| e.kind == FaultEventKind::Fail);
-        if !events.is_empty() {
-            for e in &events {
-                match e.kind {
-                    FaultEventKind::Fail => self.labeling.inject_fault(e.node),
-                    FaultEventKind::Recover => self.labeling.recover(e.node),
-                }
-            }
-            if !self.dirty {
-                self.disturbance_step = self.step;
-                self.rounds_since_disturbance = 0;
-            }
-            self.dirty = true;
-        }
-        if fault_occurred {
-            // Record D(i) for every in-flight probe at this fault occurrence.
-            for p in &mut self.probes {
-                let d = self.mesh.distance(p.probe.current, p.probe.dest);
-                p.distance_at_fault.insert(self.step, d);
-            }
-        }
-
-        // --- Phase 2: λ information rounds. ------------------------------------------
-        for _ in 0..self.config.lambda {
-            self.round += 1;
-            if self.dirty {
-                let changes = self.labeling.run_round();
-                self.rounds_since_disturbance += 1;
-                if changes == 0 {
-                    // The labeling has stabilised: rebuild blocks, identification and
-                    // boundaries, and schedule the visibility of the new information.
-                    self.rebuild_information();
-                    self.dirty = false;
-                }
-            }
-        }
+        self.begin_step();
 
         // --- Phases 3-5: reception, routing decision, sending. -----------------------
         // Every in-flight probe makes one independent decision against the shared
@@ -449,6 +412,70 @@ impl LgfiNetwork {
             self.spare_probes.push((state.probe, state.slots));
         }
 
+        self.step += 1;
+    }
+
+    /// Phases 1–2 of the Figure-7 step, shared by [`LgfiNetwork::run_step`] and
+    /// [`LgfiNetwork::run_traffic_step`]: fault detection (events scheduled for this
+    /// step take effect) and the λ information rounds.
+    fn begin_step(&mut self) {
+        // --- Phase 1: fault detection (events scheduled for this step take effect). --
+        let events: Vec<_> = self.plan.events_at(self.step).copied().collect();
+        let fault_occurred = events.iter().any(|e| e.kind == FaultEventKind::Fail);
+        if !events.is_empty() {
+            for e in &events {
+                match e.kind {
+                    FaultEventKind::Fail => self.labeling.inject_fault(e.node),
+                    FaultEventKind::Recover => self.labeling.recover(e.node),
+                }
+            }
+            if !self.dirty {
+                self.disturbance_step = self.step;
+                self.rounds_since_disturbance = 0;
+            }
+            self.dirty = true;
+        }
+        if fault_occurred {
+            // Record D(i) for every in-flight probe at this fault occurrence.
+            for p in &mut self.probes {
+                let d = self.mesh.distance(p.probe.current, p.probe.dest);
+                p.distance_at_fault.insert(self.step, d);
+            }
+        }
+
+        // --- Phase 2: λ information rounds. ------------------------------------------
+        for _ in 0..self.config.lambda {
+            self.round += 1;
+            if self.dirty {
+                let changes = self.labeling.run_round();
+                self.rounds_since_disturbance += 1;
+                if changes == 0 {
+                    // The labeling has stabilised: rebuild blocks, identification and
+                    // boundaries, and schedule the visibility of the new information.
+                    self.rebuild_information();
+                    self.dirty = false;
+                }
+            }
+        }
+    }
+
+    /// Executes one Figure-7 step whose routing phase drives the concurrent-traffic
+    /// engine for one cycle instead of the independent probes: the fault events and
+    /// λ information rounds run exactly as in [`LgfiNetwork::run_step`], and every
+    /// in-flight packet of `traffic` then makes one contention-arbitrated hop
+    /// against the boundary information visible at its node *this* round.
+    ///
+    /// One network step is one traffic cycle, so packet latency is measured in the
+    /// same unit a probe's steps are.
+    pub fn run_traffic_step(&mut self, traffic: &mut crate::traffic_engine::TrafficEngine) {
+        self.begin_step();
+        self.refresh_visible_arena();
+        traffic.run_cycle(&crate::traffic_engine::CycleEnv {
+            statuses: self.labeling.statuses(),
+            blocks: self.blocks.blocks(),
+            vis_data: &self.vis_data,
+            vis_off: &self.vis_off,
+        });
         self.step += 1;
     }
 
@@ -921,6 +948,52 @@ mod tests {
         let mut net = LgfiNetwork::new(mesh, FaultPlan::empty(), NetworkConfig::default());
         let executed = net.run_to_completion(1_000);
         assert_eq!(executed, 0, "an idle network does not spin");
+    }
+
+    #[test]
+    fn traffic_steps_route_packets_through_dynamic_faults() {
+        use crate::traffic_engine::{TrafficConfig, TrafficEngine};
+        // A fault cluster appears at step 4 while a burst of packets crosses the
+        // mesh concurrently; every packet must survive it, and shared links at the
+        // sources must produce observable queueing.
+        let mesh = Mesh::cubic(12, 2);
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(4, mesh.id_of(&coord![5, 5])),
+            FaultEvent::fail(4, mesh.id_of(&coord![6, 6])),
+            FaultEvent::fail(4, mesh.id_of(&coord![5, 6])),
+            FaultEvent::fail(4, mesh.id_of(&coord![6, 5])),
+        ]);
+        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+            Box::new(LgfiRouter::new())
+        });
+        // Three packets from the same corner (they contend for the corner's two
+        // outgoing links) plus one crossing the future block.
+        traffic.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![11, 11]));
+        traffic.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![11, 10]));
+        traffic.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![10, 11]));
+        traffic.inject(mesh.id_of(&coord![5, 0]), mesh.id_of(&coord![6, 11]));
+        for _ in 0..500 {
+            net.run_traffic_step(&mut traffic);
+            if traffic.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(traffic.in_flight(), 0);
+        assert_eq!(traffic.records().len(), 4);
+        assert!(
+            traffic.records().iter().all(|r| r.delivered()),
+            "{:?}",
+            traffic.records()
+        );
+        assert!(
+            traffic.stats().total_stalls() > 0,
+            "three packets out of one corner (2 links) must queue"
+        );
+        for r in traffic.records() {
+            assert!(r.latency() >= u64::from(r.initial_distance));
+            assert_eq!(r.latency(), r.hops + r.stalls);
+        }
     }
 
     #[test]

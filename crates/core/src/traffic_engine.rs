@@ -1,0 +1,703 @@
+//! The cycle-driven concurrent-traffic engine: many packets in flight at once,
+//! contending for finite-capacity links around fault blocks.
+//!
+//! Every experiment before this module routed probes *alone* on an idle mesh — even
+//! the batched sweeps of [`crate::routing::sweep_static`] only parallelise
+//! independent probes.  Real traffic is different: packets occupy wires, and a
+//! packet that loses a link to another packet waits.  [`TrafficEngine`] models that
+//! regime with a synchronous cycle loop:
+//!
+//! 1. **Decision phase** — every in-flight packet asks its router (the same
+//!    [`RouteCtx`]/Algorithm-3 machinery the probe engines use) for a next hop
+//!    against the *frozen* cycle state.  Decisions are pure per-packet functions, so
+//!    they shard across `traffic_threads` workers over contiguous launch-order
+//!    chunks, each worker holding its own router instance — the launch-order-merge
+//!    discipline of the round and probe engines.
+//! 2. **Arbitration phase** — serial, in packet-launch order (packet-id tie-break):
+//!    each packet that wants to move requests its outgoing link from the
+//!    [`LinkState`] layer; a saturated link stalls the packet for the cycle, and
+//!    queueing delay becomes observable latency.  Backtracks travel the packet's
+//!    own already-reserved channel in reverse and therefore never contend.
+//! 3. **Retirement phase** — finished packets (delivered, unreachable, exhausted or
+//!    failed) are recorded in launch order and their buffers (probe path,
+//!    used-direction arena, neighbor-slot scratch) recycled for future injections,
+//!    so a warm engine performs **zero steady-state heap allocations per cycle**
+//!    (proved by `tests/alloc_regression.rs`).
+//!
+//! Because only the decision phase is parallel and it writes nothing but each
+//! packet's own request slot, every run is **bit-identical** to the serial one for
+//! any `traffic_threads` setting (`tests/traffic_equivalence.rs`).
+//!
+//! The engine is driven one cycle at a time against a [`CycleEnv`] — either the
+//! frozen view of a [`LgfiNetwork`](crate::network::LgfiNetwork) step (dynamic
+//! faults, partially distributed information) via
+//! [`LgfiNetwork::run_traffic_step`](crate::network::LgfiNetwork::run_traffic_step),
+//! or a [`StaticTrafficEnv`] for stabilised fault patterns.
+
+use crate::block::FaultyBlock;
+use crate::boundary::{BoundaryEntry, BoundaryMap};
+use crate::linkstate::LinkState;
+use crate::routing::{
+    fill_neighbor_slots, NeighborSlot, Probe, ProbeStatus, RouteCtx, Router, RoutingDecision,
+};
+use crate::status::NodeStatus;
+use lgfi_sim::TrafficStats;
+use lgfi_topology::{Direction, Mesh, NodeId};
+
+/// Configuration of the [`TrafficEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Packets one directed link can carry per cycle (at least 1).
+    pub link_capacity: u32,
+    /// Cycles a packet may stay in flight (hops + stalls) before being declared
+    /// exhausted.
+    pub max_packet_cycles: u64,
+    /// Worker threads for the per-cycle routing decisions (`1` = serial, `0` = one
+    /// per available core).  An execution detail: results are bit-identical for
+    /// every setting.
+    pub traffic_threads: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            link_capacity: 1,
+            max_packet_cycles: 100_000,
+            traffic_threads: 1,
+        }
+    }
+}
+
+/// The frozen per-cycle environment a packet decision is allowed to look at: node
+/// statuses, the global block view (for the idealised baselines) and the CSR arena
+/// of the boundary information *visible at each node this cycle* (node `i`'s entries
+/// are `vis_data[vis_off[i]..vis_off[i + 1]]`).
+#[derive(Debug, Clone, Copy)]
+pub struct CycleEnv<'a> {
+    /// Detected status of every node.
+    pub statuses: &'a [NodeStatus],
+    /// Global block view — only consulted by the global-information baselines.
+    pub blocks: &'a [FaultyBlock],
+    /// CSR data array of currently-visible boundary entries.
+    pub vis_data: &'a [BoundaryEntry],
+    /// CSR offset table (`node_count + 1` entries).
+    pub vis_off: &'a [usize],
+}
+
+/// An owned, fully-stabilised [`CycleEnv`]: every node holds its complete boundary
+/// information and nothing changes between cycles.  This is the traffic analogue of
+/// [`crate::routing::route_static`]'s environment, used by the static benches and
+/// tests; dynamic runs get their per-step env from the network instead.
+#[derive(Debug, Clone)]
+pub struct StaticTrafficEnv {
+    statuses: Vec<NodeStatus>,
+    blocks: Vec<FaultyBlock>,
+    vis_data: Vec<BoundaryEntry>,
+    vis_off: Vec<usize>,
+}
+
+impl StaticTrafficEnv {
+    /// Flattens a stabilised environment (statuses, blocks, boundary map) into the
+    /// CSR layout packet decisions borrow per cycle.
+    pub fn new(
+        mesh: &Mesh,
+        statuses: &[NodeStatus],
+        blocks: &[FaultyBlock],
+        boundary: &BoundaryMap,
+    ) -> Self {
+        let mut vis_data = Vec::new();
+        let mut vis_off = Vec::with_capacity(mesh.node_count() + 1);
+        vis_off.push(0);
+        for node in 0..mesh.node_count() {
+            vis_data.extend_from_slice(boundary.entries(node));
+            vis_off.push(vis_data.len());
+        }
+        StaticTrafficEnv {
+            statuses: statuses.to_vec(),
+            blocks: blocks.to_vec(),
+            vis_data,
+            vis_off,
+        }
+    }
+
+    /// The borrowed per-cycle view.
+    pub fn env(&self) -> CycleEnv<'_> {
+        CycleEnv {
+            statuses: &self.statuses,
+            blocks: &self.blocks,
+            vis_data: &self.vis_data,
+            vis_off: &self.vis_off,
+        }
+    }
+}
+
+/// The record of one finished packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Launch index of the packet (the arbitration tie-break key).
+    pub id: u64,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Cycle at which the packet was injected.
+    pub injected_at: u64,
+    /// Cycle at which the packet finished.
+    pub finished_at: u64,
+    /// Final status.
+    pub status: ProbeStatus,
+    /// Hops taken (forward + backtrack).
+    pub hops: u64,
+    /// Cycles spent stalled waiting for a link grant.
+    pub stalls: u64,
+    /// Source-destination distance at injection.
+    pub initial_distance: u32,
+}
+
+impl PacketRecord {
+    /// True if the packet reached its destination.
+    pub fn delivered(&self) -> bool {
+        self.status == ProbeStatus::Delivered
+    }
+
+    /// End-to-end latency in cycles (queueing included).
+    pub fn latency(&self) -> u64 {
+        self.finished_at - self.injected_at
+    }
+}
+
+/// What a packet wants to do this cycle, computed in the (parallel) decision phase
+/// and consumed by the serial arbitration phase.
+#[derive(Debug, Clone, Copy)]
+enum CycleRequest {
+    /// Do nothing (the initial state of a freshly injected packet).
+    Hold,
+    /// Move one hop in the given direction — subject to link arbitration.
+    Hop(Direction),
+    /// Backtrack along the packet's own reserved channel — never contends.
+    Backtrack,
+    /// Terminate with the given status.
+    Finish(ProbeStatus),
+}
+
+/// One in-flight packet: the recycled probe (path + used-direction arena), its
+/// injection time, stall count and per-packet neighbor-slot scratch.
+struct FlightPacket {
+    id: u64,
+    probe: Probe,
+    injected_at: u64,
+    stalls: u64,
+    slots: Vec<NeighborSlot>,
+    request: CycleRequest,
+}
+
+/// The cycle-driven concurrent-traffic engine.  See the module docs for the cycle
+/// structure and the determinism contract.
+pub struct TrafficEngine {
+    mesh: Mesh,
+    config: TrafficConfig,
+    link: LinkState,
+    /// Per-worker router instances (index 0 drives the serial path); each decision
+    /// worker uses exactly one, so routers never cross threads.
+    workers: Vec<Box<dyn Router>>,
+    /// In-flight packets, always in launch (id) order.
+    packets: Vec<FlightPacket>,
+    /// Recycled buffers of finished packets.
+    spare: Vec<(Probe, Vec<NeighborSlot>)>,
+    records: Vec<PacketRecord>,
+    stats: TrafficStats,
+    cycle: u64,
+    next_id: u64,
+}
+
+impl TrafficEngine {
+    /// A traffic engine over `mesh` whose packets are all driven by routers from
+    /// `make_router` (one instance per decision worker).
+    pub fn new(
+        mesh: Mesh,
+        config: TrafficConfig,
+        make_router: &dyn Fn() -> Box<dyn Router>,
+    ) -> Self {
+        let threads = lgfi_sim::resolve_threads(config.traffic_threads);
+        let workers: Vec<Box<dyn Router>> = (0..threads).map(|_| make_router()).collect();
+        TrafficEngine {
+            link: LinkState::new(&mesh, config.link_capacity),
+            workers,
+            mesh,
+            config,
+            packets: Vec::new(),
+            spare: Vec::new(),
+            records: Vec::new(),
+            stats: TrafficStats::new(),
+            cycle: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// The resolved decision-worker count (>= 1).
+    pub fn traffic_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Name of the router driving the packets.
+    pub fn router_name(&self) -> &'static str {
+        self.workers[0].name()
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Records of every finished packet, in launch order within each cycle.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// The accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Pre-reserves record storage for `extra` further packets and pre-sizes the
+    /// latency table up to `max_latency`, so a warm steady state performs no
+    /// allocations (see `tests/alloc_regression.rs`).
+    pub fn reserve(&mut self, extra: usize, max_latency: u64) {
+        self.records.reserve(extra);
+        self.packets.reserve(extra);
+        self.stats.reserve_latency(max_latency);
+    }
+
+    /// Injects a packet from `source` to `dest` at the current cycle, recycling a
+    /// finished packet's buffers when available.  A degenerate `source == dest`
+    /// packet is delivered immediately with zero latency.  Returns the packet id.
+    pub fn inject(&mut self, source: NodeId, dest: NodeId) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.record_injected(1);
+        if source == dest {
+            self.records.push(PacketRecord {
+                id,
+                source,
+                dest,
+                injected_at: self.cycle,
+                finished_at: self.cycle,
+                status: ProbeStatus::Delivered,
+                hops: 0,
+                stalls: 0,
+                initial_distance: 0,
+            });
+            self.stats.record_finished(0, 0, 0, true);
+            return id;
+        }
+        let (probe, slots) = match self.spare.pop() {
+            Some((mut probe, slots)) => {
+                probe.reset(&self.mesh, source, dest);
+                (probe, slots)
+            }
+            None => (Probe::new(&self.mesh, source, dest), Vec::new()),
+        };
+        self.packets.push(FlightPacket {
+            id,
+            probe,
+            injected_at: self.cycle,
+            stalls: 0,
+            slots,
+            request: CycleRequest::Hold,
+        });
+        id
+    }
+
+    /// Executes one cycle against the frozen environment `env`: parallel decisions,
+    /// serial launch-order arbitration, retirement.
+    pub fn run_cycle(&mut self, env: &CycleEnv<'_>) {
+        debug_assert_eq!(
+            env.vis_off.len(),
+            self.mesh.node_count() + 1,
+            "cycle env CSR offsets must cover the mesh"
+        );
+        // --- Decision phase (shardable: pure per-packet functions of `env`). ------
+        let mesh = &self.mesh;
+        let config = self.config;
+        let cycle = self.cycle;
+        let live = self.packets.len();
+        if live > 0 {
+            let shard_count = self.workers.len().min(live);
+            if shard_count > 1 {
+                let ranges = lgfi_sim::batch_ranges(live, shard_count);
+                let packets = &mut self.packets;
+                let workers = &mut self.workers;
+                std::thread::scope(|scope| {
+                    let mut rest: &mut [FlightPacket] = packets;
+                    let mut handles = Vec::with_capacity(ranges.len());
+                    for (r, router) in ranges.iter().zip(workers.iter_mut()) {
+                        let (chunk, tail) = rest.split_at_mut(r.len());
+                        rest = tail;
+                        handles.push(scope.spawn(move || {
+                            for p in chunk {
+                                p.request =
+                                    decide_packet(mesh, env, &config, cycle, router.as_ref(), p);
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("traffic decision worker panicked");
+                    }
+                });
+            } else {
+                let router = self.workers[0].as_ref();
+                for p in self.packets.iter_mut() {
+                    p.request = decide_packet(mesh, env, &config, cycle, router, p);
+                }
+            }
+        }
+
+        // --- Arbitration phase (serial, launch order = packet-id order). ----------
+        let link = &mut self.link;
+        link.begin_cycle();
+        for p in &mut self.packets {
+            match p.request {
+                CycleRequest::Hold => {}
+                // A router giving up counts as a step in the probe plane
+                // (`Probe::apply` on `Fail` increments `steps`), so it must here
+                // too — `latency == hops + stalls` then holds for failed packets
+                // as well.  The other terminal statuses (unreachable destination,
+                // exhausted budget) are set without a step, exactly as the probe
+                // engines set them.
+                CycleRequest::Finish(ProbeStatus::Failed) => {
+                    p.probe.apply(mesh, RoutingDecision::Fail)
+                }
+                CycleRequest::Finish(status) => p.probe.status = status,
+                CycleRequest::Backtrack => p.probe.apply(mesh, RoutingDecision::Backtrack),
+                CycleRequest::Hop(dir) => {
+                    if link.try_reserve(p.probe.current, dir) {
+                        p.probe.apply(mesh, RoutingDecision::Forward(dir));
+                    } else {
+                        p.stalls += 1;
+                    }
+                }
+            }
+            p.request = CycleRequest::Hold;
+        }
+        self.cycle += 1;
+        self.stats.record_cycle();
+
+        // --- Retirement phase: record finished packets in launch order, recycle. --
+        let finished_at = self.cycle;
+        let Self {
+            packets,
+            records,
+            spare,
+            stats,
+            ..
+        } = self;
+        let mut write = 0usize;
+        for read in 0..packets.len() {
+            if packets[read].probe.status == ProbeStatus::InFlight {
+                packets.swap(write, read);
+                write += 1;
+            } else {
+                let p = &packets[read];
+                let latency = finished_at - p.injected_at;
+                records.push(PacketRecord {
+                    id: p.id,
+                    source: p.probe.source,
+                    dest: p.probe.dest,
+                    injected_at: p.injected_at,
+                    finished_at,
+                    status: p.probe.status,
+                    hops: p.probe.steps,
+                    stalls: p.stalls,
+                    initial_distance: p.probe.initial_distance,
+                });
+                stats.record_finished(
+                    latency,
+                    p.probe.steps,
+                    p.stalls,
+                    p.probe.status == ProbeStatus::Delivered,
+                );
+            }
+        }
+        for p in packets.drain(write..) {
+            spare.push((p.probe, p.slots));
+        }
+    }
+
+    /// Runs `cycles` cycles against a fixed static environment.
+    pub fn run_static_cycles(&mut self, env: &StaticTrafficEnv, cycles: u64) {
+        let env = env.env();
+        for _ in 0..cycles {
+            self.run_cycle(&env);
+        }
+    }
+
+    /// Runs static cycles until every in-flight packet has finished, up to
+    /// `max_cycles`.  Returns the number of cycles executed.
+    pub fn drain_static(&mut self, env: &StaticTrafficEnv, max_cycles: u64) -> u64 {
+        let env = env.env();
+        let mut executed = 0u64;
+        while !self.packets.is_empty() && executed < max_cycles {
+            self.run_cycle(&env);
+            executed += 1;
+        }
+        executed
+    }
+}
+
+/// Computes one packet's request for this cycle: the forced backtrack off a node
+/// that became faulty under the packet, the unreachable check for a faulty
+/// destination, the cycle-budget check, and otherwise one Algorithm-3 decision over
+/// the boundary information visible at the packet's node.  Pure function of the
+/// frozen cycle state and the packet's own state — the decision phase shards it.
+fn decide_packet(
+    mesh: &Mesh,
+    env: &CycleEnv<'_>,
+    config: &TrafficConfig,
+    cycle: u64,
+    router: &dyn Router,
+    p: &mut FlightPacket,
+) -> CycleRequest {
+    if cycle.saturating_sub(p.injected_at) >= config.max_packet_cycles {
+        return CycleRequest::Finish(ProbeStatus::Exhausted);
+    }
+    let current = p.probe.current;
+    if env.statuses[current] == NodeStatus::Faulty {
+        return CycleRequest::Backtrack;
+    }
+    if env.statuses[p.probe.dest] == NodeStatus::Faulty {
+        return CycleRequest::Finish(ProbeStatus::Unreachable);
+    }
+    let current_coord = mesh.coord_of(current);
+    let dest_coord = mesh.coord_of(p.probe.dest);
+    fill_neighbor_slots(mesh, env.statuses, current, &mut p.slots);
+    let ctx = RouteCtx {
+        mesh,
+        current: &current_coord,
+        dest: &dest_coord,
+        current_status: env.statuses[current],
+        neighbors: &p.slots,
+        boundary_info: &env.vis_data[env.vis_off[current]..env.vis_off[current + 1]],
+        global_blocks: env.blocks,
+        used: p.probe.used_here(),
+        incoming: p.probe.incoming,
+    };
+    match router.decide(&ctx) {
+        RoutingDecision::Forward(dir) => CycleRequest::Hop(dir),
+        RoutingDecision::Backtrack => CycleRequest::Backtrack,
+        RoutingDecision::Fail => CycleRequest::Finish(ProbeStatus::Failed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSet;
+    use crate::labeling::LabelingEngine;
+    use crate::routing::{route_static, LgfiRouter};
+    use lgfi_topology::coord;
+
+    fn static_env(mesh: &Mesh, faults: &[lgfi_topology::Coord]) -> StaticTrafficEnv {
+        let mut eng = LabelingEngine::new(mesh.clone());
+        eng.apply_faults(faults);
+        let blocks = BlockSet::extract(mesh, eng.statuses());
+        let boundary = BoundaryMap::construct(mesh, &blocks);
+        StaticTrafficEnv::new(mesh, eng.statuses(), blocks.blocks(), &boundary)
+    }
+
+    fn lgfi_engine(mesh: &Mesh, config: TrafficConfig) -> TrafficEngine {
+        TrafficEngine::new(mesh.clone(), config, &|| Box::new(LgfiRouter::new()))
+    }
+
+    #[test]
+    fn contending_packets_stall_in_id_order() {
+        // A 1xN line mesh: two packets injected at the same end must share the same
+        // outgoing links; the younger id stalls exactly once behind the older one.
+        let mesh = Mesh::new(&[1, 8]);
+        let env = static_env(&mesh, &[]);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let a = eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
+        let b = eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
+        eng.drain_static(&env, 1_000);
+        assert_eq!(eng.in_flight(), 0);
+        let records = eng.records();
+        assert_eq!(records.len(), 2);
+        let ra = records.iter().find(|r| r.id == a).unwrap();
+        let rb = records.iter().find(|r| r.id == b).unwrap();
+        assert!(ra.delivered() && rb.delivered());
+        assert_eq!(ra.stalls, 0, "the older packet never waits");
+        assert_eq!(rb.stalls, 1, "the younger packet waits once at the source");
+        assert_eq!(ra.hops, 7);
+        assert_eq!(rb.hops, 7);
+        assert_eq!(rb.latency(), ra.latency() + 1);
+    }
+
+    #[test]
+    fn higher_link_capacity_removes_the_stall() {
+        let mesh = Mesh::new(&[1, 8]);
+        let env = static_env(&mesh, &[]);
+        let mut eng = lgfi_engine(
+            &mesh,
+            TrafficConfig {
+                link_capacity: 2,
+                ..TrafficConfig::default()
+            },
+        );
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
+        eng.drain_static(&env, 1_000);
+        assert!(eng.records().iter().all(|r| r.delivered() && r.stalls == 0));
+    }
+
+    #[test]
+    fn uncontended_hops_match_the_probe_engine() {
+        // With a static environment, contention only delays packets — it never
+        // changes their route.  Every delivered packet must take exactly the hops
+        // the one-probe-at-a-time engine takes for the same pair.
+        let mesh = Mesh::cubic(12, 2);
+        let faults = [coord![5, 5], coord![6, 6], coord![5, 6], coord![6, 5]];
+        let env = static_env(&mesh, &faults);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let pairs = [
+            (coord![0, 0], coord![11, 11]),
+            (coord![5, 1], coord![6, 10]),
+            (coord![11, 0], coord![0, 11]),
+            (coord![1, 5], coord![10, 6]),
+        ];
+        for (s, d) in &pairs {
+            eng.inject(mesh.id_of(s), mesh.id_of(d));
+        }
+        eng.drain_static(&env, 10_000);
+        let cycle_env = env.env();
+        for rec in eng.records() {
+            assert!(rec.delivered(), "{rec:?}");
+            let solo = route_static(
+                &mesh,
+                cycle_env.statuses,
+                cycle_env.blocks,
+                &BoundaryMap::construct(&mesh, &BlockSet::extract(&mesh, cycle_env.statuses)),
+                &LgfiRouter::new(),
+                rec.source,
+                rec.dest,
+                100_000,
+            );
+            assert_eq!(rec.hops, solo.steps, "contention must not change the route");
+            assert_eq!(rec.latency(), rec.hops + rec.stalls);
+        }
+    }
+
+    #[test]
+    fn degenerate_self_packet_is_delivered_instantly() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let id = eng.inject(3, 3);
+        assert_eq!(eng.in_flight(), 0);
+        let rec = eng.records()[0];
+        assert_eq!(rec.id, id);
+        assert!(rec.delivered());
+        assert_eq!(rec.latency(), 0);
+    }
+
+    #[test]
+    fn cycle_budget_exhaustion_is_reported() {
+        let mesh = Mesh::cubic(10, 2);
+        let env = static_env(&mesh, &[]);
+        let mut eng = lgfi_engine(
+            &mesh,
+            TrafficConfig {
+                max_packet_cycles: 3,
+                ..TrafficConfig::default()
+            },
+        );
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![9, 9]));
+        eng.drain_static(&env, 100);
+        assert_eq!(eng.records()[0].status, ProbeStatus::Exhausted);
+    }
+
+    #[test]
+    fn faulty_destination_is_unreachable() {
+        let mesh = Mesh::cubic(8, 2);
+        let faults = [coord![4, 4]];
+        let env = static_env(&mesh, &faults);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![4, 4]));
+        eng.drain_static(&env, 100);
+        assert_eq!(eng.records()[0].status, ProbeStatus::Unreachable);
+    }
+
+    #[test]
+    fn recycled_buffers_route_identically() {
+        let mesh = Mesh::cubic(10, 2);
+        let faults = [coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]];
+        let env = static_env(&mesh, &faults);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let pairs = [
+            (coord![0, 0], coord![9, 9]),
+            (coord![9, 0], coord![0, 9]),
+            (coord![4, 0], coord![5, 9]),
+        ];
+        let run = |eng: &mut TrafficEngine| {
+            for (s, d) in &pairs {
+                eng.inject(mesh.id_of(s), mesh.id_of(d));
+            }
+            eng.drain_static(&env, 10_000)
+        };
+        run(&mut eng);
+        let first: Vec<(u64, u64, bool)> = eng
+            .records()
+            .iter()
+            .map(|r| (r.hops, r.stalls, r.delivered()))
+            .collect();
+        run(&mut eng);
+        let second: Vec<(u64, u64, bool)> = eng.records()[pairs.len()..]
+            .iter()
+            .map(|r| (r.hops, r.stalls, r.delivered()))
+            .collect();
+        assert_eq!(first, second, "warm buffers must be invisible");
+    }
+
+    #[test]
+    fn hotspot_saturation_is_observable() {
+        // Funnel far more traffic at one node than its 2n inbound links can carry:
+        // accepted throughput must saturate below the offered load and queueing
+        // delay must show up in the latency.
+        let mesh = Mesh::cubic(8, 2);
+        let env = static_env(&mesh, &[]);
+        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let hot = mesh.id_of(&coord![4, 4]);
+        let mut sources: Vec<NodeId> = (0..mesh.node_count()).filter(|&n| n != hot).collect();
+        sources.truncate(32);
+        for cycle in 0..20 {
+            for &s in &sources {
+                eng.inject(s, hot);
+            }
+            eng.run_static_cycles(&env, 1);
+            let _ = cycle;
+        }
+        eng.drain_static(&env, 10_000);
+        let stats = eng.stats();
+        assert_eq!(stats.delivered() + stats.failed(), stats.injected());
+        assert!(
+            stats.total_stalls() > 0,
+            "a hotspot must produce queueing: {stats:?}"
+        );
+        let mean = stats.mean_latency();
+        let min_possible = 1.0;
+        assert!(mean > min_possible);
+        assert!(stats.latency_quantile(0.99).unwrap() >= stats.latency_quantile(0.5).unwrap());
+    }
+}

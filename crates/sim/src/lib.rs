@@ -20,6 +20,10 @@
 //!   rounds execute on sharded workers ([`shard`]) with bit-identical results,
 //! * [`step::StepClock`] and [`step::StepConfig`] provide the Figure-7 step structure,
 //! * [`faults::FaultPlan`] schedules dynamic fault occurrences and recoveries,
+//! * [`traffic_engine`] supplies the router-agnostic substrate of the cycle-driven
+//!   concurrent-traffic data plane (finite-capacity link arbitration, deterministic
+//!   injection schedules, latency/throughput statistics) consumed by the traffic
+//!   engine in `lgfi-core`,
 //! * [`stats`], [`trace`] and [`rng`] provide measurement, event tracing and
 //!   deterministic randomness.
 //!
@@ -36,6 +40,7 @@ pub mod shard;
 pub mod stats;
 pub mod step;
 pub mod trace;
+pub mod traffic_engine;
 
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
@@ -44,3 +49,4 @@ pub use shard::{batch_ranges, resolve_threads, shard_ranges};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};
+pub use traffic_engine::{InjectionProcess, LinkArbiter, TrafficStats};

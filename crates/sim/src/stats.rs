@@ -108,11 +108,30 @@ impl EngineStats {
 }
 
 /// A small integer histogram used for detour/latency distributions.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
 }
+
+/// Two histograms are equal when they hold the same observations — trailing empty
+/// buckets (left by [`Histogram::reserve_to`] pre-sizing) do not count, so a
+/// reserved and an unreserved histogram over identical data compare equal.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        let trim = |counts: &[u64]| -> usize {
+            counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0)
+        };
+        self.total == other.total
+            && self.counts[..trim(&self.counts)] == other.counts[..trim(&other.counts)]
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Histogram {
     /// An empty histogram.
@@ -128,6 +147,15 @@ impl Histogram {
         }
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Pre-sizes the bucket table so recording values up to `max_value` performs no
+    /// further allocation (steady-state zero-alloc recording).
+    pub fn reserve_to(&mut self, max_value: u64) {
+        let needed = max_value as usize + 1;
+        if self.counts.len() < needed {
+            self.counts.resize(needed, 0);
+        }
     }
 
     /// Number of observations.
@@ -269,6 +297,19 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn reserved_histograms_compare_equal_to_unreserved() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.reserve_to(1_000);
+        assert_eq!(a, b, "pre-sizing must not affect equality");
+        a.record(7);
+        b.record(7);
+        assert_eq!(a, b);
+        b.record(7);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Cycle-driven traffic substrate: link arbitration, injection scheduling and
+//! latency/throughput accounting.
+//!
+//! The round/step machinery of this crate models *information* flow; this module
+//! supplies the router-agnostic pieces of the *data* flow under contention, used by
+//! the concurrent-traffic engine in `lgfi-core`:
+//!
+//! * [`LinkArbiter`] — a finite-capacity grant table over the directed output ports
+//!   of every node.  Each cycle every port can carry at most `capacity` packets;
+//!   grants are handed out in the (deterministic) order they are requested, and the
+//!   per-cycle reset costs `O(touched links)`, not `O(all links)`, so a warm arbiter
+//!   never allocates.
+//! * [`InjectionProcess`] — a deterministic fractional-accumulator injection
+//!   schedule: an offered load of `r` packets per cycle injects `floor(r)` or
+//!   `ceil(r)` packets each cycle such that the long-run average is exactly `r`.
+//! * [`TrafficStats`] — injected/delivered/failed counters, per-packet hop and
+//!   stall totals, and the delivered-latency distribution (mean, quantiles) backed
+//!   by the integer [`Histogram`].
+
+use crate::stats::Histogram;
+
+/// A finite-capacity grant table over the directed output ports of a mesh.
+///
+/// Port indexing is caller-defined (the LGFI data plane uses
+/// `lgfi_topology::Direction::index`, i.e. `2n` ports per node).  The arbiter knows
+/// nothing about topology: it only enforces that no `(node, port)` pair is granted
+/// more than `capacity` times per cycle.
+#[derive(Debug, Clone)]
+pub struct LinkArbiter {
+    /// Per-cycle grant counts, indexed `node * ports + port`.
+    grants: Vec<u32>,
+    /// The link slots with a non-zero grant count this cycle, so the per-cycle
+    /// reset is `O(touched)` and allocation-free once warm.
+    touched: Vec<usize>,
+    /// Output ports per node.
+    ports: usize,
+    /// Packets a single directed link can carry per cycle.
+    capacity: u32,
+}
+
+impl LinkArbiter {
+    /// An arbiter for `node_count` nodes with `ports` output ports each and the
+    /// given per-cycle link capacity (at least 1).
+    pub fn new(node_count: usize, ports: usize, capacity: u32) -> Self {
+        LinkArbiter {
+            grants: vec![0; node_count * ports],
+            touched: Vec::new(),
+            ports,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The per-cycle capacity of one directed link.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Output ports per node.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Starts a new cycle: every grant count returns to zero in `O(touched)`.
+    pub fn begin_cycle(&mut self) {
+        while let Some(slot) = self.touched.pop() {
+            self.grants[slot] = 0;
+        }
+    }
+
+    /// Requests one unit of the directed link `(node, port)` this cycle.  Returns
+    /// `true` (and consumes capacity) if the link still has room, `false` if the
+    /// requester must stall.
+    #[inline]
+    pub fn try_grant(&mut self, node: usize, port: usize) -> bool {
+        debug_assert!(port < self.ports, "port out of range");
+        let slot = node * self.ports + port;
+        if self.grants[slot] >= self.capacity {
+            return false;
+        }
+        if self.grants[slot] == 0 {
+            self.touched.push(slot);
+        }
+        self.grants[slot] += 1;
+        true
+    }
+
+    /// The number of grants handed out for `(node, port)` this cycle.
+    pub fn granted(&self, node: usize, port: usize) -> u32 {
+        self.grants[node * self.ports + port]
+    }
+}
+
+/// A deterministic injection schedule: an offered load of `rate` packets per cycle,
+/// realised as `floor(rate * (c + 1)) - floor(rate * c)` injections in cycle `c`
+/// (`floor(rate)` or `ceil(rate)` per cycle), so after `C` cycles exactly
+/// `floor(rate * C)` packets have been injected — the long-run average is exactly
+/// `rate`, with no accumulator drift (a running `+= rate` accumulator loses one
+/// packet every few hundred cycles for rates like 0.1 that are not binary
+/// representable).
+///
+/// The schedule is a pure function of the rate and the cycle count — no randomness —
+/// so every traffic run over the same generator sees the exact same injection times.
+#[derive(Debug, Clone)]
+pub struct InjectionProcess {
+    rate: f64,
+    cycles: u64,
+}
+
+impl InjectionProcess {
+    /// A schedule offering `rate` packets per cycle (negative rates are clamped
+    /// to zero).
+    pub fn new(rate: f64) -> Self {
+        InjectionProcess {
+            rate: rate.max(0.0),
+            cycles: 0,
+        }
+    }
+
+    /// The offered load in packets per cycle.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The number of packets to inject this cycle.
+    pub fn packets_this_cycle(&mut self) -> usize {
+        let before = (self.rate * self.cycles as f64).floor();
+        self.cycles += 1;
+        let after = (self.rate * self.cycles as f64).floor();
+        (after - before) as usize
+    }
+}
+
+/// Accumulated counters of a concurrent-traffic run.
+///
+/// Latency (in cycles, injection to delivery, queueing included) is recorded for
+/// *delivered* packets only; failed packets (unreachable destination, exhausted
+/// cycle budget, a deterministic router giving up) are counted separately so a
+/// saturated network cannot hide losses inside a pretty latency mean.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    injected: u64,
+    delivered: u64,
+    failed: u64,
+    cycles: u64,
+    total_hops: u64,
+    total_stalls: u64,
+    latency: Histogram,
+}
+
+impl TrafficStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records `n` injected packets.
+    pub fn record_injected(&mut self, n: u64) {
+        self.injected += n;
+    }
+
+    /// Records one executed cycle.
+    pub fn record_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Records one finished packet: its latency in cycles, hops taken (forward and
+    /// backtrack), cycles spent stalled, and whether it was delivered.
+    pub fn record_finished(&mut self, latency: u64, hops: u64, stalls: u64, delivered: bool) {
+        self.total_hops += hops;
+        self.total_stalls += stalls;
+        if delivered {
+            self.delivered += 1;
+            self.latency.record(latency);
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Pre-sizes the latency table for values up to `max_latency`, so steady-state
+    /// recording performs no allocations.
+    pub fn reserve_latency(&mut self, max_latency: u64) {
+        self.latency.reserve_to(max_latency);
+    }
+
+    /// Packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets that finished without being delivered.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total hops over all finished packets.
+    pub fn total_hops(&self) -> u64 {
+        self.total_hops
+    }
+
+    /// Total stall cycles over all finished packets.
+    pub fn total_stalls(&self) -> u64 {
+        self.total_stalls
+    }
+
+    /// The delivered-latency distribution.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Mean delivered latency in cycles (0.0 before any delivery).
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// The `q`-quantile of the delivered latency (nearest rank), if any packet was
+    /// delivered.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        self.latency.quantile(q)
+    }
+
+    /// Accepted throughput: delivered packets per executed cycle (0.0 before any
+    /// cycle ran).
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_enforces_capacity_per_cycle() {
+        let mut arb = LinkArbiter::new(4, 4, 1);
+        assert_eq!(arb.capacity(), 1);
+        assert!(arb.try_grant(2, 3));
+        assert!(!arb.try_grant(2, 3), "capacity 1 is exhausted");
+        assert!(arb.try_grant(2, 2), "other ports are unaffected");
+        assert!(arb.try_grant(1, 3), "other nodes are unaffected");
+        assert_eq!(arb.granted(2, 3), 1);
+        arb.begin_cycle();
+        assert_eq!(arb.granted(2, 3), 0);
+        assert!(arb.try_grant(2, 3), "capacity returns each cycle");
+    }
+
+    #[test]
+    fn arbiter_capacity_two_admits_two() {
+        let mut arb = LinkArbiter::new(2, 2, 2);
+        assert!(arb.try_grant(0, 0));
+        assert!(arb.try_grant(0, 0));
+        assert!(!arb.try_grant(0, 0));
+        assert_eq!(arb.granted(0, 0), 2);
+    }
+
+    #[test]
+    fn arbiter_capacity_zero_is_clamped_to_one() {
+        let mut arb = LinkArbiter::new(1, 1, 0);
+        assert_eq!(arb.capacity(), 1);
+        assert!(arb.try_grant(0, 0));
+    }
+
+    #[test]
+    fn injection_accumulator_hits_the_exact_average() {
+        let mut inj = InjectionProcess::new(0.25);
+        let counts: Vec<usize> = (0..8).map(|_| inj.packets_this_cycle()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+        assert_eq!(counts, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+        let mut inj = InjectionProcess::new(2.5);
+        let counts: Vec<usize> = (0..4).map(|_| inj.packets_this_cycle()).collect();
+        assert_eq!(counts, vec![2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn non_binary_representable_rates_do_not_drift() {
+        // A running `acc += 0.1` accumulator loses a packet every ~10 cycles to
+        // rounding; the closed-form schedule must inject exactly floor(rate * C).
+        for (rate, cycles, expected) in [(0.1f64, 200u64, 20usize), (0.3, 1_000, 300)] {
+            let mut inj = InjectionProcess::new(rate);
+            let total: usize = (0..cycles).map(|_| inj.packets_this_cycle()).sum();
+            assert_eq!(total, expected, "rate {rate} over {cycles} cycles");
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let mut inj = InjectionProcess::new(0.0);
+        assert_eq!(inj.rate(), 0.0);
+        assert!((0..1000).all(|_| inj.packets_this_cycle() == 0));
+        let mut negative = InjectionProcess::new(-3.0);
+        assert_eq!(negative.rate(), 0.0);
+        assert_eq!(negative.packets_this_cycle(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_summarise() {
+        let mut s = TrafficStats::new();
+        s.record_injected(3);
+        s.record_cycle();
+        s.record_cycle();
+        s.record_finished(4, 4, 0, true);
+        s.record_finished(8, 5, 3, true);
+        s.record_finished(2, 2, 0, false);
+        assert_eq!(s.injected(), 3);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.failed(), 1);
+        assert_eq!(s.cycles(), 2);
+        assert_eq!(s.total_hops(), 11);
+        assert_eq!(s.total_stalls(), 3);
+        assert_eq!(s.mean_latency(), 6.0);
+        assert_eq!(s.latency_quantile(0.99), Some(8));
+        assert_eq!(s.accepted_throughput(), 1.0);
+        assert_eq!(s.latency_histogram().count(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = TrafficStats::new();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.latency_quantile(0.99), None);
+        assert_eq!(s.accepted_throughput(), 0.0);
+    }
+}

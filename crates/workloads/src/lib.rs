@@ -20,6 +20,6 @@ pub mod sweep;
 pub mod traffic;
 
 pub use faultgen::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
-pub use scenario::{Scenario, ScenarioResult};
+pub use scenario::{Scenario, ScenarioResult, TrafficLoad, TrafficResult};
 pub use sweep::{run_trials, run_trials_on, SweepPoint};
 pub use traffic::{TrafficGenerator, TrafficPattern, TrafficRequest};

@@ -2,7 +2,9 @@
 
 use lgfi_core::network::{ConvergenceRecord, LgfiNetwork, NetworkConfig, ProbeReport};
 use lgfi_core::routing::Router;
-use lgfi_sim::FaultPlan;
+use lgfi_core::status::NodeStatus;
+use lgfi_core::traffic_engine::{PacketRecord, TrafficConfig, TrafficEngine};
+use lgfi_sim::{FaultPlan, InjectionProcess, TrafficStats};
 use lgfi_topology::Mesh;
 
 use crate::faultgen::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
@@ -42,6 +44,10 @@ pub struct Scenario {
     /// one per available core); like `threads`, results are bit-identical for every
     /// setting.
     pub probe_threads: usize,
+    /// Worker threads for the per-cycle traffic decisions of
+    /// [`Scenario::run_traffic`] (`1` = serial, `0` = one per available core); like
+    /// `threads`, results are bit-identical for every setting.
+    pub traffic_threads: usize,
 }
 
 impl Scenario {
@@ -61,6 +67,7 @@ impl Scenario {
             threads: 1,
             frontier: true,
             probe_threads: 1,
+            traffic_threads: 1,
         }
     }
 
@@ -120,6 +127,150 @@ impl Scenario {
             reports: net.reports().to_vec(),
             convergence: net.convergence_records().to_vec(),
         }
+    }
+
+    /// Runs the scenario as a *concurrent-traffic* experiment: instead of a fixed
+    /// batch of independent probes, packets are injected at `load.injection_rate`
+    /// packets per cycle (drawn from this scenario's traffic pattern over nodes
+    /// usable at injection time) and contend for finite-capacity links while the
+    /// fault plan unfolds, so queueing latency and accepted throughput become
+    /// observable.
+    ///
+    /// One network step is one traffic cycle.  The first `launch_step` steps run
+    /// without traffic (information warm-up, as in [`Scenario::run`]), then
+    /// `load.cycles` injection cycles, then up to `load.drain_cycles` further
+    /// cycles to let the in-flight packets finish.
+    pub fn run_traffic(
+        &self,
+        load: &TrafficLoad,
+        router_factory: &dyn Fn() -> Box<dyn Router>,
+    ) -> TrafficResult {
+        let mesh = self.mesh();
+        let plan = self.fault_plan();
+        let mut net = LgfiNetwork::new(
+            mesh.clone(),
+            plan,
+            NetworkConfig {
+                lambda: self.lambda,
+                max_probe_steps: self.max_steps,
+                threads: self.threads,
+                frontier: self.frontier,
+                probe_threads: self.probe_threads,
+            },
+        );
+        while net.step() < self.launch_step {
+            net.run_step();
+        }
+        let mut engine = TrafficEngine::new(
+            mesh.clone(),
+            TrafficConfig {
+                link_capacity: load.link_capacity,
+                max_packet_cycles: self.max_steps,
+                traffic_threads: self.traffic_threads,
+            },
+            router_factory,
+        );
+        let mut traffic = TrafficGenerator::new(mesh, self.traffic, self.seed ^ 0x00AF_F1C0);
+        let mut injection = InjectionProcess::new(load.injection_rate);
+        for _ in 0..load.cycles {
+            for _ in 0..injection.packets_this_cycle() {
+                let statuses = net.statuses();
+                if let Some(req) = traffic.next_request(|id| statuses[id] == NodeStatus::Enabled) {
+                    engine.inject(req.source, req.dest);
+                }
+            }
+            net.run_traffic_step(&mut engine);
+        }
+        let mut drained = 0u64;
+        while engine.in_flight() > 0 && drained < load.drain_cycles {
+            net.run_traffic_step(&mut engine);
+            drained += 1;
+        }
+        TrafficResult {
+            offered_load: load.injection_rate,
+            measured_cycles: load.cycles,
+            traffic_threads: engine.traffic_threads(),
+            router: engine.router_name(),
+            stats: engine.stats().clone(),
+            records: engine.records().to_vec(),
+        }
+    }
+}
+
+/// The offered load of a [`Scenario::run_traffic`] experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficLoad {
+    /// Packets injected per cycle (fractional rates are realised exactly on average
+    /// by a deterministic accumulator).
+    pub injection_rate: f64,
+    /// Cycles during which packets are injected.
+    pub cycles: u64,
+    /// Extra cycles granted after the injection window for in-flight packets to
+    /// finish.
+    pub drain_cycles: u64,
+    /// Packets one directed link can carry per cycle.
+    pub link_capacity: u32,
+}
+
+impl TrafficLoad {
+    /// A standard load at the given injection rate: 200 injection cycles, a
+    /// generous drain window, unit link capacity.
+    pub fn at_rate(injection_rate: f64) -> Self {
+        TrafficLoad {
+            injection_rate,
+            cycles: 200,
+            drain_cycles: 5_000,
+            link_capacity: 1,
+        }
+    }
+}
+
+/// The outcome of a [`Scenario::run_traffic`] run.
+#[derive(Debug, Clone)]
+pub struct TrafficResult {
+    /// The offered load (packets per cycle).
+    pub offered_load: f64,
+    /// Injection-window cycles (the throughput denominator).
+    pub measured_cycles: u64,
+    /// Resolved traffic decision-worker count the engine ran with (1 = serial).
+    pub traffic_threads: usize,
+    /// Name of the router that drove the packets.
+    pub router: &'static str,
+    /// Accumulated counters (latency distribution, stalls, hops).
+    pub stats: TrafficStats,
+    /// Per-packet records in retirement order.
+    pub records: Vec<PacketRecord>,
+}
+
+impl TrafficResult {
+    /// Number of delivered packets.
+    pub fn delivered(&self) -> usize {
+        self.stats.delivered() as usize
+    }
+
+    /// Delivered fraction of the injected packets (1.0 when nothing was injected).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.stats.injected() == 0 {
+            1.0
+        } else {
+            self.stats.delivered() as f64 / self.stats.injected() as f64
+        }
+    }
+
+    /// Accepted throughput: packets delivered per injection-window cycle
+    /// (deliveries completed while draining count towards the numerator).
+    pub fn accepted_throughput(&self) -> f64 {
+        self.stats.delivered() as f64 / self.measured_cycles.max(1) as f64
+    }
+
+    /// Mean delivered latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.stats.mean_latency()
+    }
+
+    /// 99th-percentile delivered latency in cycles (0 before any delivery).
+    pub fn p99_latency(&self) -> u64 {
+        self.stats.latency_quantile(0.99).unwrap_or(0)
     }
 }
 
@@ -240,6 +391,7 @@ mod tests {
             threads: 1,
             frontier: true,
             probe_threads: 1,
+            traffic_threads: 1,
         };
         let result = scenario.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.launched, 4);
@@ -274,6 +426,63 @@ mod tests {
         assert_eq!(on.delivered(), off.delivered());
         assert_eq!(on.convergence, off.convergence);
         assert_eq!(format!("{:?}", on.reports), format!("{:?}", off.reports));
+    }
+
+    #[test]
+    fn traffic_run_delivers_under_load() {
+        let mut scenario = Scenario::small();
+        scenario.fault_count = 4;
+        let load = TrafficLoad {
+            injection_rate: 0.5,
+            cycles: 100,
+            drain_cycles: 2_000,
+            link_capacity: 1,
+        };
+        let result = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        assert_eq!(result.router, "lgfi");
+        assert_eq!(result.traffic_threads, 1);
+        assert!(result.stats.injected() >= 45, "{:?}", result.stats);
+        assert!(
+            result.delivery_ratio() > 0.95,
+            "ratio {}",
+            result.delivery_ratio()
+        );
+        assert!(result.accepted_throughput() > 0.0);
+        assert!(result.mean_latency() >= 1.0);
+        assert!(result.p99_latency() >= result.stats.latency_quantile(0.5).unwrap_or(0));
+        assert_eq!(result.records.len(), result.stats.injected() as usize);
+    }
+
+    #[test]
+    fn traffic_runs_are_deterministic_and_thread_invariant() {
+        let mut scenario = Scenario::small();
+        scenario.dims = vec![12, 12];
+        scenario.fault_count = 5;
+        let load = TrafficLoad::at_rate(0.8);
+        let a = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        let b = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.stats, b.stats);
+        scenario.traffic_threads = 4;
+        let sharded = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        assert_eq!(sharded.traffic_threads, 4);
+        assert_eq!(a.records, sharded.records, "sharding must be invisible");
+        assert_eq!(a.stats, sharded.stats);
+    }
+
+    #[test]
+    fn zero_injection_rate_produces_no_traffic() {
+        let scenario = Scenario::small();
+        let load = TrafficLoad::at_rate(0.0);
+        let result = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        assert_eq!(result.stats.injected(), 0);
+        assert_eq!(result.records.len(), 0);
+        assert_eq!(
+            result.delivery_ratio(),
+            1.0,
+            "nothing offered, nothing lost"
+        );
+        assert_eq!(result.accepted_throughput(), 0.0);
     }
 
     #[test]

@@ -97,6 +97,12 @@ impl TrafficGenerator {
                 }
                 TrafficPattern::Hotspot => {
                     let s = self.rng.below(self.mesh.node_count());
+                    if !usable(self.hotspot) {
+                        // The fixed hot-spot node became unusable (e.g. it turned
+                        // faulty): re-draw it so the pattern degrades to "the
+                        // hot spot moves" instead of every request failing.
+                        self.hotspot = self.rng.below(self.mesh.node_count());
+                    }
                     (s, self.hotspot)
                 }
                 TrafficPattern::CornerToCorner => {
@@ -212,6 +218,53 @@ mod tests {
         let mesh = Mesh::cubic(4, 2);
         let mut g = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 7);
         assert!(g.next_request(|_| false).is_none());
+    }
+
+    #[test]
+    fn hotspot_on_a_faulty_node_is_redrawn() {
+        // Ban whatever hot spot the generator picked: the pattern must degrade to a
+        // new (usable) hot spot instead of failing every request.
+        let mesh = Mesh::cubic(7, 2);
+        for seed in 0..8u64 {
+            let mut g = TrafficGenerator::new(mesh.clone(), TrafficPattern::Hotspot, seed);
+            let original = g.next_request(|_| true).unwrap().dest;
+            let reqs = g.requests(30, |id| id != original);
+            assert_eq!(reqs.len(), 30, "seed {seed}: requests must keep flowing");
+            let dests: std::collections::BTreeSet<NodeId> = reqs.iter().map(|r| r.dest).collect();
+            assert_eq!(dests.len(), 1, "seed {seed}: still a single hot spot");
+            assert!(!dests.contains(&original), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_1xn_meshes_generate_valid_requests() {
+        for pattern in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Hotspot,
+            TrafficPattern::CornerToCorner,
+        ] {
+            let mesh = Mesh::new(&[1, 9]);
+            let mut g = TrafficGenerator::new(mesh.clone(), pattern, 5);
+            let reqs = g.requests(40, |_| true);
+            assert!(
+                !reqs.is_empty(),
+                "{pattern:?} must produce requests on a 1x9 line"
+            );
+            for r in &reqs {
+                assert_ne!(r.source, r.dest, "{pattern:?}");
+                assert!(r.source < mesh.node_count() && r.dest < mesh.node_count());
+                // All transposed/complemented coordinates must be clamped into the
+                // degenerate dimension.
+                assert_eq!(mesh.coord_of(r.dest)[0], 0, "{pattern:?}");
+            }
+        }
+        // A single-node mesh has no valid pairs at all; the generator must give up
+        // cleanly rather than loop forever.
+        let mesh = Mesh::new(&[1, 1]);
+        let mut g = TrafficGenerator::new(mesh, TrafficPattern::UniformRandom, 1);
+        assert!(g.next_request(|_| true).is_none());
     }
 
     #[test]

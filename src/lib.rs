@@ -10,7 +10,9 @@
 //! * [`sim`] — the round/step-synchronous protocol simulator and dynamic fault plans,
 //! * [`core`] — the paper's model: labeling, faulty blocks, identification, boundary
 //!   construction, the information store, fault-information-based PCS routing, the
-//!   safe-source test and the detour bounds, plus the dynamic [`core::network::LgfiNetwork`],
+//!   safe-source test and the detour bounds, plus the dynamic [`core::network::LgfiNetwork`]
+//!   and the cycle-driven concurrent-traffic engine ([`core::traffic_engine`]) with its
+//!   finite-capacity link-state layer ([`core::linkstate`]),
 //! * [`baselines`] — comparison routers (dimension-order, local-only, global
 //!   information, Wu-style minimal block routing),
 //! * [`workloads`] — fault schedules, traffic patterns, scenarios and sweeps,
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use lgfi_core::identification::{IdentificationOutcome, IdentificationProcess};
     pub use lgfi_core::infostore::{InfoStore, MemoryFootprint};
     pub use lgfi_core::labeling::LabelingEngine;
+    pub use lgfi_core::linkstate::LinkState;
     pub use lgfi_core::network::{LgfiNetwork, NetworkConfig, ProbeReport};
     pub use lgfi_core::routing::{
         route_static, sweep_static, LgfiRouter, ProbeEngine, ProbeOutcome, ProbeStatus, Router,
@@ -69,11 +72,14 @@ pub mod prelude {
     };
     pub use lgfi_core::safety::{is_safe_source, is_safe_source_in};
     pub use lgfi_core::status::NodeStatus;
-    pub use lgfi_sim::{DetRng, FaultEvent, FaultPlan, StepConfig};
+    pub use lgfi_core::traffic_engine::{
+        CycleEnv, PacketRecord, StaticTrafficEnv, TrafficConfig, TrafficEngine,
+    };
+    pub use lgfi_sim::{DetRng, FaultEvent, FaultPlan, InjectionProcess, StepConfig, TrafficStats};
     pub use lgfi_topology::{coord, Coord, Direction, Mesh, NodeId, Region};
     pub use lgfi_workloads::{
         DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario, TrafficGenerator,
-        TrafficPattern,
+        TrafficLoad, TrafficPattern, TrafficResult,
     };
 }
 

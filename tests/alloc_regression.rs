@@ -288,6 +288,50 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
         "routing through a warm ProbeEngine must not allocate per hop (DOR)"
     );
 
+    // --- Traffic data plane: warm TrafficEngine, concurrent packets, contention. --
+    // The same faulty 32x32 environment, flattened into a static cycle env.  A
+    // cohort of packets (several sharing source corners, so links genuinely
+    // contend and stalls occur) is injected and drained twice to warm the engine:
+    // the second run fixes the recycled-buffer assignment, so the measured third
+    // run — injection, every cycle's decision/arbitration/retirement, and record
+    // keeping — must not touch the heap at all: zero steady-state allocations per
+    // cycle.
+    use lgfi_core::traffic_engine::{StaticTrafficEnv, TrafficConfig, TrafficEngine};
+    let env = StaticTrafficEnv::new(&mesh, &statuses, blocks.blocks(), &boundary);
+    let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+        Box::new(LgfiRouter::new())
+    });
+    // Each pair twice: the twin packets fight for the very same links, so every
+    // cycle exercises the arbitration (stall) path as well as the granted path.
+    let traffic_pairs: Vec<(NodeId, NodeId)> =
+        pairs.iter().copied().chain(pairs.iter().copied()).collect();
+    let run_batch = |eng: &mut TrafficEngine| -> (u64, u64, u64) {
+        let before = eng.records().len();
+        for &(s, d) in &traffic_pairs {
+            eng.inject(s, d);
+        }
+        eng.drain_static(&env, 10_000);
+        let recs = &eng.records()[before..];
+        let delivered = recs.iter().filter(|r| r.delivered()).count() as u64;
+        let stalls: u64 = recs.iter().map(|r| r.stalls).sum();
+        let max_latency = recs.iter().map(|r| r.latency()).max().unwrap_or(0);
+        (delivered, stalls, max_latency)
+    };
+    let first = run_batch(&mut traffic);
+    let warm = run_batch(&mut traffic);
+    assert_eq!(first, warm, "warm traffic re-runs must be identical");
+    assert_eq!(warm.0, traffic_pairs.len() as u64, "all packets deliver");
+    assert!(warm.1 > 0, "shared source corners must produce stalls");
+    // Reserve for two measured sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    traffic.reserve(2 * traffic_pairs.len(), warm.2);
+    let (allocs, steady) = count_allocations(|| run_batch(&mut traffic));
+    assert_eq!(steady, warm, "measured run must route identically");
+    assert_eq!(
+        allocs, 0,
+        "a warm serial TrafficEngine must not allocate per cycle"
+    );
+
     // Sanity: the counter actually observes allocator traffic.
     let (allocs, v) = count_allocations(|| vec![1u8]);
     assert!(allocs > 0, "the counting allocator must see allocations");
