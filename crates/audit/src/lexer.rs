@@ -1,0 +1,326 @@
+//! A lightweight Rust tokenizer sufficient for source-level lint passes.
+//!
+//! The lexer does not aim to be a conforming Rust lexer; it aims to be exactly
+//! precise enough that lint keywords inside string literals, char literals and
+//! comments never fire, and that comments (which carry `audit:allow`
+//! annotations) survive with their line numbers intact.  It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r"…"`, `r##"…"##`, `br#"…"#`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * identifiers (including raw identifiers `r#match`), numbers, and
+//!   single-character punctuation.
+
+/// The classification of a single lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// A `//`-style comment; `text` holds everything after the `//`.
+    LineComment,
+    /// A `/* … */` comment (nesting folded into one token).
+    BlockComment,
+    /// A string literal of any flavour; contents are opaque to lint passes.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'_`).
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For `Str`/`Char` literals this is the raw source slice;
+    /// lint passes must never match keywords inside it.
+    pub text: String,
+    /// 1-based line on which the token **starts**.
+    pub line: u32,
+}
+
+/// Tokenize `src` into a flat token stream.
+///
+/// The lexer is total: any byte sequence produces some token stream (unknown
+/// characters become `Punct`), so a syntactically broken file degrades to a
+/// best-effort scan instead of an error.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, keeping the line counter in sync.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string_lit(line);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if c == 'r' && self.raw_string_guard(1).is_some() {
+                self.bump(); // 'r'
+                let hashes = self.raw_string_guard(0).unwrap_or(0);
+                self.raw_string(hashes, line);
+            } else if c == 'b' && (self.peek(1) == Some('"') || self.peek(1) == Some('\'')) {
+                self.bump(); // 'b'
+                if self.peek(0) == Some('"') {
+                    self.string_lit(line);
+                } else {
+                    self.char_or_lifetime(line);
+                }
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_guard(2).is_some() {
+                self.bump(); // 'b'
+                self.bump(); // 'r'
+                let hashes = self.raw_string_guard(0).unwrap_or(0);
+                self.raw_string(hashes, line);
+            } else if is_ident_start(c) {
+                self.ident(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    /// If the chars starting `ahead` positions from here look like the opening
+    /// guard of a raw string (`#*"`), return the number of `#`s.  Used to tell
+    /// `r"…"` / `r#"…"#` apart from the raw identifier `r#foo`.
+    fn raw_string_guard(&self, ahead: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.peek(ahead + n) == Some('#') {
+            n += 1;
+        }
+        if self.peek(ahead + n) == Some('"') {
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string_lit(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                // Skip the escaped char entirely (covers \" and \\).
+                if let Some(e) = self.bump() {
+                    text.push('\\');
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        // Consume `#*"` opener.
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote counts only if followed by `hashes` hash marks.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+                text.push('"');
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                self.bump();
+                self.bump(); // the escaped char
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // 'x' — a one-char literal.
+                self.bump();
+                self.bump();
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // A lifetime: 'a, '_, 'static.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                // Degenerate (`''` or `'<punct>`): treat as an empty char literal.
+                self.push(TokKind::Char, String::new(), line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier `r#foo`: strip the guard so lints see `foo`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` and `1.max(2)` do not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}

@@ -1,0 +1,215 @@
+//! `lgfi-audit`: source-level static analysis that enforces the repo's
+//! determinism and zero-allocation contracts at `cargo`-time.
+//!
+//! The equivalence suites and the counting allocator catch contract
+//! violations *dynamically*, after they ship; this crate catches them at the
+//! source level, before a refactor can silently break a guarantee.  It lexes
+//! every `.rs` file in the workspace (no `syn`, no proc-macros — a ~300-line
+//! tokenizer in [`lexer`]) and runs six named lints:
+//!
+//! | lint      | contract it guards |
+//! |-----------|--------------------|
+//! | `DET-001` | no hash-order containers in engine crates (launch-order merge) |
+//! | `DET-002` | no wall-clock / thread-identity reads in data-plane code |
+//! | `DET-003` | thread spawns only in `lgfi_sim::shard` |
+//! | `ALLOC-001` | no allocation calls in `hotpaths.toml`-registered hot paths |
+//! | `PANIC-001` | no unjustified panics in library code |
+//! | `LINT-001` | `[lints] workspace = true` opt-in, commented `#[allow]`s, annotation grammar |
+//!
+//! Violations are waived line-by-line with `// audit:allow(<key>): <reason>`
+//! and ratcheted against the committed `AUDIT_baseline.json`: pre-existing
+//! debt can only shrink, and any new violation fails the run (exit 1).
+
+pub mod json;
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod report;
+
+use manifest::HotPath;
+use report::{Baseline, Lint, RatchetDiff, Violation};
+use std::path::{Path, PathBuf};
+
+/// Everything a single audit run produced.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// All violations, in canonical (file, line, lint) order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// The parsed hot-path manifest, for reporting.
+    pub hotpaths: Vec<HotPath>,
+}
+
+/// Scan one in-memory source file. Exposed for the fixture-driven self-tests;
+/// `rel` drives the scope rules exactly as it would on disk.
+pub fn scan_source(rel: &str, source: &str, hotpaths: &[HotPath]) -> Vec<Violation> {
+    let toks = lexer::tokenize(source);
+    let scan = lints::FileScan::new(rel, &toks);
+    let mut violations = scan.run(lints::classify(rel), hotpaths);
+    report::sort_violations(&mut violations);
+    violations
+}
+
+/// Run the full audit over the workspace rooted at `root`.
+pub fn run_audit(root: &Path) -> Result<AuditOutcome, String> {
+    let manifest_path = root.join("crates/audit/hotpaths.toml");
+    let manifest_src = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let hotpaths = manifest::parse(&manifest_src)?;
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let toks = lexer::tokenize(&src);
+        let scan = lints::FileScan::new(rel, &toks);
+        violations.extend(scan.run(lints::classify(rel), &hotpaths));
+    }
+
+    // Hot-path entries must point at files that exist (and are scanned).
+    for hp in &hotpaths {
+        if !files.iter().any(|f| f == &hp.file) {
+            violations.push(Violation {
+                lint: Lint::Alloc001,
+                file: hp.file.clone(),
+                line: 1,
+                message: "hotpaths.toml entry points at a file that does not \
+                          exist in the workspace"
+                    .to_string(),
+            });
+        }
+    }
+
+    violations.extend(check_member_lints(root)?);
+    report::sort_violations(&mut violations);
+    Ok(AuditOutcome {
+        violations,
+        files_scanned: files.len(),
+        hotpaths,
+    })
+}
+
+/// LINT-001 (manifest half): every member crate must opt into the workspace
+/// lint policy with `[lints] workspace = true`.
+fn check_member_lints(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut members: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let toml_path = member.join("Cargo.toml");
+        let src = std::fs::read_to_string(&toml_path)
+            .map_err(|e| format!("cannot read {}: {e}", toml_path.display()))?;
+        if !has_workspace_lints(&src) {
+            let rel = rel_path(root, &toml_path);
+            out.push(Violation {
+                lint: Lint::Lint001,
+                file: rel,
+                line: 1,
+                message: "member crate does not opt into the workspace lint \
+                          policy (`[lints]\\nworkspace = true`)"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Does this Cargo.toml contain a `[lints]` table with `workspace = true`?
+fn has_workspace_lints(toml: &str) -> bool {
+    let mut in_lints = false;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints {
+            let cleaned: String = line
+                .split('#')
+                .next()
+                .unwrap_or("")
+                .split_whitespace()
+                .collect();
+            if cleaned == "workspace=true" {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Recursively collect workspace-relative `.rs` paths, skipping build output,
+/// VCS metadata, and lint-fixture directories (fixtures contain deliberate
+/// violations).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | ".github") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Load the committed baseline, tolerating a missing file (empty baseline).
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join("AUDIT_baseline.json");
+    if !path.is_file() {
+        return Ok(Baseline::default());
+    }
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+    Baseline::from_json(&value)
+}
+
+/// Diff a fresh run against the committed baseline.
+pub fn ratchet_against_baseline(outcome: &AuditOutcome, baseline: &Baseline) -> RatchetDiff {
+    report::ratchet(&outcome.violations, baseline)
+}
+
+/// Walk upward from `start` to the workspace root (the first directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

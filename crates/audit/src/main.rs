@@ -1,0 +1,121 @@
+//! CLI driver: `cargo run -p lgfi-audit [-- --write-baseline] [--root <dir>]`.
+//!
+//! Exit codes: 0 — clean (no violations beyond the committed baseline);
+//! 1 — new violations (ratchet regression) or audit error.
+
+use lgfi_audit::report::{render_table, report_json, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("lgfi-audit: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut write_baseline = false;
+    let mut quiet = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--quiet" => quiet = true,
+            "--root" => {
+                root_arg = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lgfi-audit: enforce determinism / zero-allocation contracts\n\n\
+                     USAGE: cargo run -p lgfi-audit [-- OPTIONS]\n\n\
+                     OPTIONS:\n  \
+                     --write-baseline  rewrite AUDIT_baseline.json from this run\n  \
+                     --root <dir>      workspace root (default: walk up from cwd)\n  \
+                     --quiet           suppress the per-violation table"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = match root_arg {
+        Some(r) => r,
+        None => lgfi_audit::find_workspace_root(&cwd)
+            .ok_or("no workspace Cargo.toml above the current directory (try --root)")?,
+    };
+
+    let outcome = lgfi_audit::run_audit(&root)?;
+    let report = report_json(&outcome.violations, outcome.files_scanned);
+    let report_path = root.join("AUDIT_report.json");
+    std::fs::write(&report_path, report.pretty())
+        .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
+
+    if !quiet && !outcome.violations.is_empty() {
+        print!("{}", render_table(&outcome.violations));
+    }
+    println!(
+        "lgfi-audit: {} file(s), {} hot path(s), {} violation(s) -> {}",
+        outcome.files_scanned,
+        outcome.hotpaths.iter().map(|h| h.fns.len()).sum::<usize>(),
+        outcome.violations.len(),
+        report_path.display(),
+    );
+
+    if write_baseline {
+        let baseline = Baseline::from_violations(&outcome.violations);
+        let path = root.join("AUDIT_baseline.json");
+        std::fs::write(&path, baseline.to_json().pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "lgfi-audit: wrote {} ({} ratchet entr{})",
+            path.display(),
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+        return Ok(true);
+    }
+
+    let baseline = lgfi_audit::load_baseline(&root)?;
+    let diff = lgfi_audit::ratchet_against_baseline(&outcome, &baseline);
+    for (file, lint, allowed, fresh) in &diff.regressions {
+        eprintln!(
+            "lgfi-audit: REGRESSION {file} {lint}: {fresh} violation(s), \
+             baseline allows {allowed}"
+        );
+    }
+    for (file, lint, allowed, fresh) in &diff.improvements {
+        println!(
+            "lgfi-audit: improved {file} {lint}: {fresh} violation(s), \
+             baseline still records {allowed} — rerun with --write-baseline \
+             to tighten the ratchet"
+        );
+    }
+    if diff.is_clean() {
+        println!("lgfi-audit: clean against AUDIT_baseline.json");
+        Ok(true)
+    } else {
+        eprintln!(
+            "lgfi-audit: {} ratchet regression(s) — fix the new violations or \
+             annotate them (`// audit:allow(<key>): <reason>`)",
+            diff.regressions.len()
+        );
+        Ok(false)
+    }
+}

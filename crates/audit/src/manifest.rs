@@ -1,0 +1,113 @@
+//! Parser for `crates/audit/hotpaths.toml`, the checked-in manifest of
+//! zero-allocation hot-path functions guarded by ALLOC-001.
+//!
+//! The file is TOML, but the audit is std-only, so this module parses the
+//! small line-oriented subset the manifest actually uses:
+//!
+//! ```toml
+//! [[hotpath]]
+//! file = "crates/sim/src/engine.rs"
+//! fns = ["round_serial", "eval_span"]
+//! contract = "why this path must not allocate"
+//! ```
+
+/// One `[[hotpath]]` entry: a file plus the functions in it whose bodies must
+/// stay allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPath {
+    /// Workspace-relative path of the source file.
+    pub file: String,
+    /// Names of the functions whose bodies are scanned.
+    pub fns: Vec<String>,
+    /// Human-readable statement of the contract this entry guards.
+    pub contract: String,
+}
+
+/// Parse the manifest. Unknown keys are rejected so typos (`fn = …` instead of
+/// `fns = …`) cannot silently disable a hot-path check.
+pub fn parse(src: &str) -> Result<Vec<HotPath>, String> {
+    let mut entries: Vec<HotPath> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[hotpath]]" {
+            entries.push(HotPath {
+                file: String::new(),
+                fns: Vec::new(),
+                contract: String::new(),
+            });
+            continue;
+        }
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!(
+                "hotpaths.toml:{lineno}: key before the first [[hotpath]] table"
+            ));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("hotpaths.toml:{lineno}: expected `key = value`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "file" => entry.file = parse_string(value, lineno)?,
+            "contract" => entry.contract = parse_string(value, lineno)?,
+            "fns" => entry.fns = parse_string_array(value, lineno)?,
+            other => {
+                return Err(format!("hotpaths.toml:{lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    for entry in &entries {
+        if entry.file.is_empty() || entry.fns.is_empty() {
+            return Err(format!(
+                "hotpaths.toml: entry for {:?} is missing `file` or `fns`",
+                entry.file
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Drop a trailing `# comment`, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "hotpaths.toml:{lineno}: expected a double-quoted string, found {v:?}"
+        ))
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(format!(
+            "hotpaths.toml:{lineno}: expected `[\"a\", \"b\"]`, found {v:?}"
+        ));
+    };
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}

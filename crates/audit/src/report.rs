@@ -1,0 +1,281 @@
+//! Violation model, human-readable table, `AUDIT_report.json` emission and
+//! the `AUDIT_baseline.json` ratchet diff.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The lints the audit enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Hash-order containers in engine crates.
+    Det001,
+    /// Wall-clock / thread-identity reads in data-plane code.
+    Det002,
+    /// Thread spawns outside `lgfi_sim::shard`.
+    Det003,
+    /// Allocations inside manifest-registered hot paths.
+    Alloc001,
+    /// Panics in library code without justification.
+    Panic001,
+    /// Lint hygiene: `[lints] workspace = true` opt-in and commented `#[allow]`s.
+    Lint001,
+}
+
+impl Lint {
+    /// The stable machine-readable id (`DET-001`, …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::Det001 => "DET-001",
+            Lint::Det002 => "DET-002",
+            Lint::Det003 => "DET-003",
+            Lint::Alloc001 => "ALLOC-001",
+            Lint::Panic001 => "PANIC-001",
+            Lint::Lint001 => "LINT-001",
+        }
+    }
+
+    /// All lints, in report order.
+    pub fn all() -> [Lint; 6] {
+        [
+            Lint::Det001,
+            Lint::Det002,
+            Lint::Det003,
+            Lint::Alloc001,
+            Lint::Panic001,
+            Lint::Lint001,
+        ]
+    }
+
+    /// Resolve an `audit:allow` key or a report/baseline id: the full id in
+    /// any case (`DET-001`, `det-001`) or a short alias.
+    pub fn from_key(key: &str) -> Option<Lint> {
+        let k = key.to_ascii_lowercase();
+        match k.as_str() {
+            "det-001" | "hash" => Some(Lint::Det001),
+            "det-002" | "clock" => Some(Lint::Det002),
+            "det-003" | "thread" => Some(Lint::Det003),
+            "alloc-001" | "alloc" => Some(Lint::Alloc001),
+            "panic-001" | "panic" => Some(Lint::Panic001),
+            "lint-001" | "lint" => Some(Lint::Lint001),
+            _ => None,
+        }
+    }
+}
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Sort violations into the canonical (file, line, lint) report order.
+pub fn sort_violations(violations: &mut [Violation]) {
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+}
+
+/// Render the clickable `file:line` violation table.
+pub fn render_table(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "no violations\n".to_string();
+    }
+    let mut out = String::new();
+    let loc_width = violations
+        .iter()
+        .map(|v| v.file.len() + 1 + digits(v.line))
+        .max()
+        .unwrap_or(0);
+    for v in violations {
+        let loc = format!("{}:{}", v.file, v.line);
+        let _ = writeln!(out, "{loc:<loc_width$}  {:<9}  {}", v.lint.id(), v.message);
+    }
+    let mut per_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in violations {
+        *per_lint.entry(v.lint.id()).or_default() += 1;
+    }
+    let _ = writeln!(out, "\n{} violation(s):", violations.len());
+    for (id, n) in per_lint {
+        let _ = writeln!(out, "  {id:<9}  {n}");
+    }
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Build the `AUDIT_report.json` document.
+pub fn report_json(violations: &[Violation], files_scanned: usize) -> Value {
+    let mut per_lint: BTreeMap<&str, u64> = BTreeMap::new();
+    for v in violations {
+        *per_lint.entry(v.lint.id()).or_default() += 1;
+    }
+    Value::Obj(vec![
+        ("tool".to_string(), Value::Str("lgfi-audit".to_string())),
+        (
+            "version".to_string(),
+            Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+        ),
+        (
+            "files_scanned".to_string(),
+            Value::Num(files_scanned as f64),
+        ),
+        ("total".to_string(), Value::Num(violations.len() as f64)),
+        (
+            "per_lint".to_string(),
+            Value::Obj(
+                per_lint
+                    .into_iter()
+                    .map(|(k, n)| (k.to_string(), Value::Num(n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "violations".to_string(),
+            Value::Arr(
+                violations
+                    .iter()
+                    .map(|v| {
+                        Value::Obj(vec![
+                            ("lint".to_string(), Value::Str(v.lint.id().to_string())),
+                            ("file".to_string(), Value::Str(v.file.clone())),
+                            ("line".to_string(), Value::Num(f64::from(v.line))),
+                            ("message".to_string(), Value::Str(v.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The ratchet baseline: per-(file, lint) violation counts.  Keying by count
+/// rather than line number keeps the baseline stable under unrelated edits
+/// that shift lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// (file, lint-id) → allowed violation count.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Collapse a violation list into baseline form.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.file.clone(), v.lint.id().to_string()))
+                .or_default() += 1;
+        }
+        Self { entries }
+    }
+
+    /// Serialize to the committed `AUDIT_baseline.json` shape.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("tool".to_string(), Value::Str("lgfi-audit".to_string())),
+            (
+                "entries".to_string(),
+                Value::Arr(
+                    self.entries
+                        .iter()
+                        .map(|((file, lint), count)| {
+                            Value::Obj(vec![
+                                ("file".to_string(), Value::Str(file.clone())),
+                                ("lint".to_string(), Value::Str(lint.clone())),
+                                ("count".to_string(), Value::Num(*count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a committed baseline document.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let list = value
+            .get("entries")
+            .ok_or("baseline: missing `entries` array")?;
+        for item in list.as_arr() {
+            let file = item
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry: missing `file`")?;
+            let lint = item
+                .get("lint")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry: missing `lint`")?;
+            if Lint::from_key(lint).is_none() {
+                return Err(format!("baseline entry: unknown lint id `{lint}`"));
+            }
+            let count = item
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or("baseline entry: missing `count`")?;
+            entries.insert((file.to_string(), lint.to_string()), count);
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// The outcome of diffing a fresh run against the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RatchetDiff {
+    /// (file, lint, baseline count, fresh count) — fresh exceeds baseline.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// (file, lint, baseline count, fresh count) — debt shrank; the baseline
+    /// should be rewritten (`--write-baseline`) so the ratchet tightens.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl RatchetDiff {
+    /// True when the fresh run introduces no new violations.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diff fresh violations against the committed baseline.  Any (file, lint)
+/// count above its baseline entry — or any pair absent from the baseline —
+/// is a regression; counts below baseline are improvements.
+pub fn ratchet(violations: &[Violation], baseline: &Baseline) -> RatchetDiff {
+    let fresh = Baseline::from_violations(violations);
+    let mut diff = RatchetDiff::default();
+    for ((file, lint), &count) in &fresh.entries {
+        let allowed = baseline
+            .entries
+            .get(&(file.clone(), lint.clone()))
+            .copied()
+            .unwrap_or(0);
+        if count > allowed {
+            diff.regressions
+                .push((file.clone(), lint.clone(), allowed, count));
+        } else if count < allowed {
+            diff.improvements
+                .push((file.clone(), lint.clone(), allowed, count));
+        }
+    }
+    for ((file, lint), &allowed) in &baseline.entries {
+        if !fresh.entries.contains_key(&(file.clone(), lint.clone())) {
+            diff.improvements
+                .push((file.clone(), lint.clone(), allowed, 0));
+        }
+    }
+    diff.improvements.sort();
+    diff
+}

@@ -1,0 +1,15 @@
+//! ALLOC-001 golden fixture: allocation calls in a manifest-registered hot
+//! path (`round_serial`); `cold_helper` is not registered and may allocate.
+
+pub fn round_serial(n: usize) -> usize {
+    let v: Vec<usize> = Vec::new();
+    let w = vec![0usize; n];
+    let s = format!("{n}");
+    // audit:allow(alloc): fixture — a sanctioned cold-path allocation is waived
+    let t = v.clone();
+    w.len() + s.len() + t.len() + n
+}
+
+pub fn cold_helper() -> Vec<u32> {
+    vec![1, 2, 3]
+}

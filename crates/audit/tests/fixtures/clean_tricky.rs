@@ -1,0 +1,20 @@
+//! Tokenizer stress fixture: every lint keyword below sits inside a string,
+//! char literal or comment, so a scan of this file must produce **zero**
+//! violations.  Doc comments may discuss HashMap, thread::spawn and even the
+//! audit:allow(hash): grammar without being parsed as annotations.
+
+/// Doc example that must never fire: `Instant::now()`, `x.unwrap()`,
+/// `HashSet::new()` and `panic!("boom")` are documentation, not code.
+pub fn tricky() -> usize {
+    let s = "HashMap::new() and thread::spawn inside a plain string";
+    let r = r#"SystemTime::now() inside a raw "string" with a # guard"#;
+    let b = br##"unwrap() and panic! inside a raw byte string with "# inside"##;
+    /* block comment with Instant::now()
+       /* nested block comment with HashSet and thread::scope */
+       still inside the outer comment: RandomState */
+    let c = 'x';
+    let esc = '\n';
+    let quote = '\'';
+    let _lifetime: &'static str = s;
+    usize::from(c != esc && quote == '\'') + s.len() + r.len() + b.len()
+}

@@ -1,0 +1,19 @@
+//! DET-001 golden fixture: hash containers in (synthetic) engine-crate code.
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let mut s = HashSet::new();
+        s.insert(1);
+        assert!(s.contains(&1));
+    }
+}

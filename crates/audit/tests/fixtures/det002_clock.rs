@@ -1,0 +1,14 @@
+//! DET-002 golden fixture: wall-clock and thread-identity reads.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> bool {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let id = std::thread::current().id();
+    let state: std::collections::hash_map::RandomState = Default::default();
+    // audit:allow(clock): fixture — a justified wall-clock read is waived
+    let ok = Instant::now();
+    drop((t, s, id, state));
+    ok.elapsed().as_nanos() > 0
+}

@@ -1,0 +1,9 @@
+//! DET-003 golden fixture: thread spawns outside the sharding layer.
+
+pub fn fan_out() -> i32 {
+    let handle = std::thread::spawn(|| 1);
+    std::thread::scope(|scope| {
+        let _ = scope;
+    });
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+//! LINT-001 golden fixture: `#[allow]` hygiene and annotation grammar.
+
+#[allow(dead_code)]
+pub fn uncommented() {}
+
+// Waived: fixture demonstrates that a commented allow is acceptable.
+#[allow(dead_code)]
+pub fn commented() {}
+
+// audit:allow(panic)
+pub fn missing_reason() {}
+
+// audit:allow(bogus): the key does not name a lint
+pub fn unknown_key() {}

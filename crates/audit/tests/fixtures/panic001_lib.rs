@@ -1,0 +1,12 @@
+//! PANIC-001 golden fixture: panics in (synthetic) library code.
+
+pub fn risky(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("fixture");
+    if *first > *second {
+        panic!("fixture");
+    }
+    // audit:allow(panic): fixture — guarded above, cannot fail
+    let third = v.get(2).unwrap();
+    *third
+}

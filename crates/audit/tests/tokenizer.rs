@@ -1,0 +1,125 @@
+//! Fixture-driven tokenizer self-tests: the lexer must classify raw strings,
+//! nested comments and char/lifetime ambiguities correctly, because every
+//! lint pass depends on lint keywords inside literals and comments never
+//! reaching the significant token stream.
+
+use lgfi_audit::lexer::{tokenize, TokKind};
+
+const TRICKY: &str = include_str!("fixtures/clean_tricky.rs");
+
+fn idents(src: &str) -> Vec<String> {
+    tokenize(src)
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn lint_keywords_inside_literals_and_comments_never_become_idents() {
+    let ids = idents(TRICKY);
+    for banned in [
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "RandomState",
+        "spawn",
+        "scope",
+        "unwrap",
+        "panic",
+        "now",
+    ] {
+        assert!(
+            !ids.iter().any(|i| i == banned),
+            "`{banned}` leaked out of a literal or comment into the ident stream"
+        );
+    }
+    // The real identifiers of the fixture are still there.
+    assert!(ids.iter().any(|i| i == "tricky"));
+    assert!(ids.iter().any(|i| i == "len"));
+}
+
+#[test]
+fn raw_strings_with_hash_guards_are_single_tokens() {
+    let toks = tokenize(r####"let r = r#"SystemTime::now() "quoted" inside"#;"####);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1, "raw string must lex as one Str token");
+    assert!(strs[0].text.contains("SystemTime"));
+
+    let toks = tokenize(r####"let b = br##"with "# inside"##;"####);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1,
+        "raw byte string with doubled guard must lex as one Str token"
+    );
+}
+
+#[test]
+fn nested_block_comments_fold_into_one_token() {
+    let toks = tokenize("/* outer /* inner HashSet */ tail thread::spawn */ fn f() {}");
+    let comments: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::BlockComment)
+        .collect();
+    assert_eq!(comments.len(), 1, "nesting must fold into a single comment");
+    assert!(comments[0].text.contains("inner HashSet"));
+    assert!(comments[0].text.contains("tail"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "f"));
+}
+
+#[test]
+fn char_literals_and_lifetimes_disambiguate() {
+    let toks = tokenize(r"let c = 'x'; let e = '\n'; let q = '\''; let s: &'static str = x;");
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        3,
+        "'x', '\\n' and '\\'' are char literals"
+    );
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    assert_eq!(lifetimes.len(), 1, "&'static is a lifetime, not a char");
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents_not_raw_strings() {
+    let toks = tokenize("let r#match = 1; let r = r\"text\";");
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("match")),
+        "r#match is a raw identifier"
+    );
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1,
+        "r\"text\" is still a raw string"
+    );
+}
+
+#[test]
+fn token_lines_are_one_based_and_track_newlines() {
+    let toks = tokenize("fn a() {}\nfn b() {}\n\nfn c() {}");
+    let line_of = |name: &str| {
+        toks.iter()
+            .find(|t| t.kind == TokKind::Ident && t.text == name)
+            .map(|t| t.line)
+    };
+    assert_eq!(line_of("a"), Some(1));
+    assert_eq!(line_of("b"), Some(2));
+    assert_eq!(line_of("c"), Some(4));
+}
+
+#[test]
+fn lexer_is_total_on_broken_input() {
+    // Unterminated string, stray bytes: must still produce a token stream.
+    let toks = tokenize("fn f() { let s = \"unterminated");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "f"));
+    let toks = tokenize("§ @ ` \u{7f}");
+    assert!(!toks.is_empty());
+}

@@ -33,7 +33,7 @@ fn bench_block_construction(c: &mut Criterion) {
                     let mut eng = LabelingEngine::new(mesh.clone());
                     let rounds = eng.apply_faults(faults);
                     std::hint::black_box(rounds)
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -42,7 +42,7 @@ fn bench_block_construction(c: &mut Criterion) {
             |b, (mesh, faults)| {
                 let mut eng = LabelingEngine::new(mesh.clone());
                 eng.apply_faults(faults);
-                b.iter(|| std::hint::black_box(BlockSet::extract(mesh, eng.statuses()).len()))
+                b.iter(|| std::hint::black_box(BlockSet::extract(mesh, eng.statuses()).len()));
             },
         );
     }

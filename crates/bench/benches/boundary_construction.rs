@@ -36,7 +36,7 @@ fn bench_boundary_construction(c: &mut Criterion) {
                 b.iter(|| {
                     let map = BoundaryMap::construct(mesh, blocks);
                     std::hint::black_box((map.nodes_with_info(), map.construction_rounds()))
-                })
+                });
             },
         );
     }

@@ -56,7 +56,7 @@ fn bench_convergence(c: &mut Criterion) {
                             .max()
                             .unwrap_or(0),
                     )
-                })
+                });
             },
         );
     }
@@ -79,7 +79,7 @@ fn bench_round_engine_threads(c: &mut Criterion) {
                         RoundEngine::new(mesh.clone(), ThroughputGossip).with_threads(threads);
                     eng.run_rounds(40);
                     std::hint::black_box(eng.states()[0])
-                })
+                });
             },
         );
     }
@@ -118,7 +118,7 @@ fn bench_labeling_threads(c: &mut Criterion) {
                             eng.run_round();
                         }
                         std::hint::black_box(eng.census())
-                    })
+                    });
                 },
             );
         }

@@ -36,7 +36,9 @@ fn bench_detour_bounds(c: &mut Criterion) {
                     );
                     let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
                     let s = mesh.id_of(&Coord::origin(mesh.ndim()));
-                    let d = mesh.id_of(&Coord::new(mesh.dims().iter().map(|&k| k - 1).collect()));
+                    let d = mesh.id_of(&Coord::new(
+                        mesh.dims().iter().map(|&k| k - 1).collect::<Vec<i32>>(),
+                    ));
                     net.launch_probe(s, d, Box::new(LgfiRouter::new()));
                     net.run_to_completion(20_000);
                     let report = net.reports()[0].clone();
@@ -44,7 +46,7 @@ fn bench_detour_bounds(c: &mut Criterion) {
                     let t3 = check_theorem3(&report, &bound).iter().all(|c| c.holds);
                     let t4 = check_theorem4(&report, &bound).holds;
                     std::hint::black_box((report.outcome.steps, t3, t4))
-                })
+                });
             },
         );
     }

@@ -46,13 +46,13 @@ fn bench_identification(c: &mut Criterion) {
                         .run_from_default_corner(mesh, block, statuses)
                         .expect("corner exists");
                     std::hint::black_box((outcome.formed_round, outcome.completed_round))
-                })
+                });
             },
         );
     }
     // The closed-form duration recursion on its own (scales to high dimensions).
     group.bench_function("level_duration_6d", |b| {
-        b.iter(|| std::hint::black_box(IdentificationProcess::level_duration(&[4, 5, 6, 7, 8, 9])))
+        b.iter(|| std::hint::black_box(IdentificationProcess::level_duration(&[4, 5, 6, 7, 8, 9])));
     });
     group.finish();
 }

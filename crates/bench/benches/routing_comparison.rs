@@ -78,7 +78,7 @@ fn bench_routing(c: &mut Criterion) {
                         delivered += usize::from(out.delivered());
                     }
                     std::hint::black_box((delivered, steps))
-                })
+                });
             },
         );
     }
@@ -112,7 +112,7 @@ fn bench_probe_sweep_threads(c: &mut Criterion) {
                         threads,
                     );
                     std::hint::black_box(outcomes.iter().map(|o| o.steps).sum::<u64>())
-                })
+                });
             },
         );
     }

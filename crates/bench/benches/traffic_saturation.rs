@@ -28,7 +28,7 @@ fn bench_traffic_cycles(c: &mut Criterion) {
                 b.iter(|| {
                     let result = scenario.run_traffic(&load, &|| router_by_name(router));
                     std::hint::black_box((result.stats.delivered(), result.stats.total_stalls()))
-                })
+                });
             },
         );
     }
@@ -51,7 +51,7 @@ fn bench_traffic_threads(c: &mut Criterion) {
                 b.iter(|| {
                     let result = scenario.run_traffic(&load, &|| router_by_name("lgfi"));
                     std::hint::black_box(result.stats.delivered())
-                })
+                });
             },
         );
     }

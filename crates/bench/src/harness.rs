@@ -595,7 +595,9 @@ fn run_dynamic_probes(
         // Launch a corner-to-corner probe at step 0 so it is in flight while the
         // faults appear.
         let source = mesh.id_of(&Coord::origin(mesh.ndim()));
-        let dest = mesh.id_of(&Coord::new(mesh.dims().iter().map(|&k| k - 1).collect()));
+        let dest = mesh.id_of(&Coord::new(
+            mesh.dims().iter().map(|&k| k - 1).collect::<Vec<i32>>(),
+        ));
         net.launch_probe(source, dest, Box::new(LgfiRouter::new()));
         net.run_to_completion(50_000);
         let report = net.reports()[0].clone();

@@ -105,6 +105,7 @@ impl BlockSet {
             }
             nodes.sort_unstable();
             let coords: Vec<Coord> = nodes.iter().map(|&n| mesh.coord_of(n)).collect();
+            // audit:allow(panic): a connected component always contains at least the seed node, so the bound exists
             let region = Region::bounding_all(coords.iter()).expect("non-empty block");
             blocks.push(FaultyBlock {
                 id,

@@ -305,6 +305,7 @@ impl LabelingEngine {
                 }));
             }
             for h in handles {
+                // audit:allow(panic): a panicked shard worker must propagate — swallowing it would commit a half-evaluated round
                 evaluated += h.join().expect("labeling shard worker panicked");
             }
         });
@@ -366,6 +367,7 @@ impl LabelingEngine {
             self.inject_fault_coord(f);
         }
         self.run_to_fixpoint(self.safe_round_bound())
+            // audit:allow(panic): Theorem 1 bounds stabilisation well below safe_round_bound; exceeding it means the rules themselves are broken
             .expect("labeling must stabilise")
     }
 
@@ -376,6 +378,7 @@ impl LabelingEngine {
             self.recover_coord(r);
         }
         self.run_to_fixpoint(self.safe_round_bound())
+            // audit:allow(panic): Theorem 1 bounds stabilisation well below safe_round_bound; exceeding it means the rules themselves are broken
             .expect("labeling must stabilise")
     }
 
@@ -471,6 +474,7 @@ fn eval_ids(
             let views: Vec<NeighborStatus> = nbrs
                 .iter()
                 .map(|&(dir, nid)| (dir, view.statuses[nid]))
+                // audit:allow(alloc): cold fallback for meshes of more than 8 dimensions; every benchmarked mesh stays on the stack buffer above
                 .collect();
             next_status(prev, &views)
         };
@@ -518,6 +522,7 @@ impl Protocol for LabelingProtocol {
                 if nb.faulty {
                     NodeStatus::Faulty
                 } else {
+                    // audit:allow(panic): the round engine hands every non-faulty neighbor a state; None here is engine corruption
                     *nb.state.expect("non-faulty neighbor must expose state")
                 },
             )
@@ -545,6 +550,7 @@ pub fn run_distributed_labeling(mesh: &Mesh, faults: &[Coord]) -> (Vec<NodeStatu
     }
     let rounds = engine
         .run_until_quiescent(4 * (u64::from(mesh.diameter()) + 4))
+        // audit:allow(panic): the budget is 4x the diameter-based Theorem 1 bound; non-quiescence means the protocol is broken
         .expect("labeling must stabilise");
     let statuses: Vec<NodeStatus> = (0..mesh.node_count())
         .map(|id| {
@@ -576,7 +582,7 @@ mod tests {
     #[test]
     fn figure1_faults_produce_the_block_3to5_5to6_3to4() {
         let mesh = Mesh::cubic(10, 3);
-        let mut eng = LabelingEngine::new(mesh.clone());
+        let mut eng = LabelingEngine::new(mesh);
         let rounds = eng.apply_faults(&figure1_faults());
         assert!(
             rounds >= 2,
@@ -659,7 +665,7 @@ mod tests {
     fn figure4_recovery_sequence() {
         // Figure 4: after the Figure-1 block is stable, node (5,5,3) recovers.
         let mesh = Mesh::cubic(10, 3);
-        let mut eng = LabelingEngine::new(mesh.clone());
+        let mut eng = LabelingEngine::new(mesh);
         eng.apply_faults(&figure1_faults());
         eng.recover_coord(&coord![5, 5, 3]);
         // Round 1: the recovered node is clean; its disabled neighbors that do not
@@ -703,7 +709,7 @@ mod tests {
     #[test]
     fn full_recovery_returns_mesh_to_all_enabled() {
         let mesh = Mesh::cubic(8, 2);
-        let mut eng = LabelingEngine::new(mesh.clone());
+        let mut eng = LabelingEngine::new(mesh);
         let faults = [coord![3, 3], coord![4, 4], coord![3, 4], coord![4, 3]];
         eng.apply_faults(&faults);
         let (f, d, _, _) = eng.census();

@@ -372,6 +372,7 @@ impl LgfiNetwork {
                         }));
                     }
                     for h in handles {
+                        // audit:allow(panic): a panicked decision worker must propagate — swallowing it would commit a half-decided step
                         h.join().expect("probe decision worker panicked");
                     }
                 });
@@ -569,6 +570,7 @@ impl LgfiNetwork {
                     .iter()
                     .find(|b| &b.region == region)
                     .map(|b| b.id)
+                    // audit:allow(panic): `changed` was computed as the set difference against exactly these blocks one statement earlier
                     .expect("changed region must be in the new block set");
                 let outcome =
                     ident.run_from_default_corner(&self.mesh, region, self.labeling.statuses());
@@ -901,7 +903,7 @@ mod tests {
         for &id in &ids {
             plan.push(FaultEvent::recover(50, id));
         }
-        let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+        let mut net = LgfiNetwork::new(mesh, plan, NetworkConfig::default());
         for _ in 0..40 {
             net.run_step();
         }

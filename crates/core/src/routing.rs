@@ -450,6 +450,7 @@ impl Probe {
                 self.used.insert(self.current, dir);
                 let next = mesh
                     .neighbor_id(self.current, dir)
+                    // audit:allow(panic): Algorithm 3 only offers in-mesh directions; an off-mesh Forward is a router bug worth crashing on
                     .expect("router returned an off-mesh direction");
                 self.path.push(next);
                 self.current = next;
@@ -465,7 +466,8 @@ impl Probe {
                     return;
                 }
                 self.path.pop();
-                let prev = *self.path.last().unwrap();
+                // audit:allow(panic): guarded above — path.len() > 1 before the pop, so a last element remains
+                let prev = *self.path.last().expect("path retains the source");
                 self.incoming = mesh
                     .coord_of(self.current)
                     .direction_to(&mesh.coord_of(prev));
@@ -707,6 +709,7 @@ pub fn sweep_static(
             })
             .collect();
         for h in handles {
+            // audit:allow(panic): a panicked sweep worker must propagate — swallowing it would return a truncated outcome list
             out.extend(h.join().expect("probe sweep worker panicked"));
         }
     });

@@ -356,6 +356,7 @@ impl TrafficEngine {
                         }));
                     }
                     for h in handles {
+                        // audit:allow(panic): a panicked decision worker must propagate — swallowing it would arbitrate on stale decisions
                         h.join().expect("traffic decision worker panicked");
                     }
                 });
@@ -380,7 +381,7 @@ impl TrafficEngine {
                 // exhausted budget) are set without a step, exactly as the probe
                 // engines set them.
                 CycleRequest::Finish(ProbeStatus::Failed) => {
-                    p.probe.apply(mesh, RoutingDecision::Fail)
+                    p.probe.apply(mesh, RoutingDecision::Fail);
                 }
                 CycleRequest::Finish(status) => p.probe.status = status,
                 CycleRequest::Backtrack => p.probe.apply(mesh, RoutingDecision::Backtrack),

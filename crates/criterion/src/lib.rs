@@ -78,6 +78,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark that borrows a prepared input value.
+    // The real criterion takes `BenchmarkId` by value; the shim mirrors its
+    // signature so benches compile against either implementation.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
@@ -85,7 +88,7 @@ impl BenchmarkGroup<'_> {
     {
         let label = format!("{}/{}", self.name, id);
         run_benchmark(&label, self.sample_size, self.measurement_time, |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }

@@ -544,6 +544,7 @@ impl<P: Protocol> RoundEngine<P> {
                 off[node] = k;
             }
             let msg = sends[(key & 0xFFFF_FFFF) as usize].1.take();
+            // audit:allow(panic): the sort is a permutation of the send indices, so every slot is taken exactly once
             data.push(msg.expect("each send is placed exactly once"));
         }
         while node < n {
@@ -718,6 +719,7 @@ impl<P: Protocol> RoundEngine<P> {
                 }));
             }
             for h in handles {
+                // audit:allow(panic): a panicked shard worker must propagate — swallowing it would commit a half-evaluated round
                 h.join().expect("shard worker panicked");
             }
         });
@@ -1259,7 +1261,7 @@ mod tests {
         let mesh = Mesh::cubic(6, 2);
         let seed = mesh.id_of(&coord![0, 0]);
         let mut serial = RoundEngine::new(mesh.clone(), MinFlood { seed });
-        let mut parallel = RoundEngine::new(mesh.clone(), MinFlood { seed }).with_threads(4);
+        let mut parallel = RoundEngine::new(mesh, MinFlood { seed }).with_threads(4);
         let r1 = serial.run_until_quiescent(1000).unwrap();
         let r2 = parallel.run_until_quiescent(1000).unwrap();
         assert_eq!(r1, r2);

@@ -44,9 +44,11 @@ enum Repr {
 pub struct Coord(Repr);
 
 impl Coord {
-    /// Creates a coordinate from a vector of per-dimension positions.
-    pub fn new(values: Vec<i32>) -> Self {
-        Coord::from_slice(&values)
+    /// Creates a coordinate from per-dimension positions (a `Vec`, array, or
+    /// slice — the values are copied into the inline representation, so
+    /// nothing is consumed).
+    pub fn new(values: impl AsRef<[i32]>) -> Self {
+        Coord::from_slice(values.as_ref())
     }
 
     /// Creates the all-zero coordinate (the origin) in `n` dimensions.

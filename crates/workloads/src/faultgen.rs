@@ -177,7 +177,7 @@ mod tests {
         assert_eq!(faults.len(), 40);
         assert!(faults.iter().all(|c| !mesh.on_outermost_surface(c)));
         // Distinct.
-        let mut sorted = faults.clone();
+        let mut sorted = faults;
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 40);
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn clustered_faults_are_close_together() {
         let mesh = Mesh::cubic(16, 2);
-        let mut generator = FaultGenerator::new(mesh.clone(), 11);
+        let mut generator = FaultGenerator::new(mesh, 11);
         let faults = generator.place(9, FaultPlacement::Clustered { clusters: 1 });
         assert_eq!(faults.len(), 9);
         let bb = Region::bounding_all(faults.iter()).unwrap();

@@ -59,7 +59,7 @@ impl TrafficGenerator {
                 .iter()
                 .zip(self.mesh.dims())
                 .map(|(&x, &k)| k - 1 - x)
-                .collect(),
+                .collect::<Vec<i32>>(),
         )
     }
 
@@ -109,7 +109,11 @@ impl TrafficGenerator {
                     self.corner_toggle = !self.corner_toggle;
                     let origin = self.mesh.id_of(&Coord::origin(self.mesh.ndim()));
                     let far = self.mesh.id_of(&Coord::new(
-                        self.mesh.dims().iter().map(|&k| k - 1).collect(),
+                        self.mesh
+                            .dims()
+                            .iter()
+                            .map(|&k| k - 1)
+                            .collect::<Vec<i32>>(),
                     ));
                     if self.corner_toggle {
                         (origin, far)

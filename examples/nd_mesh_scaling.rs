@@ -57,7 +57,9 @@ fn main() {
 
         // Corner-to-corner routing straight across the cluster.
         let source = mesh.id_of(&Coord::origin(n));
-        let dest = mesh.id_of(&Coord::new(mesh.dims().iter().map(|&k| k - 1).collect()));
+        let dest = mesh.id_of(&Coord::new(
+            mesh.dims().iter().map(|&k| k - 1).collect::<Vec<i32>>(),
+        ));
         let out = route_static(
             &mesh,
             labeling.statuses(),

@@ -245,7 +245,7 @@ fn labeling_frontier_shrinks_to_the_disturbed_region() {
     // frontier is empty, and a single recovery wakes only its neighborhood.
     let mesh = Mesh::cubic(48, 2);
     let n = mesh.node_count() as f64;
-    let mut eng = LabelingEngine::new(mesh.clone());
+    let mut eng = LabelingEngine::new(mesh);
     assert!(eng.is_stable());
     eng.apply_faults(&[
         coord![20, 20],

@@ -140,7 +140,7 @@ fn corner_to_corner_routing_terminates_and_delivers() {
         let (dims, faults) = sample_mesh_and_faults(&mut rng);
         let (mesh, labeling, blocks, boundary) = build(&dims, &faults);
         let s = Coord::origin(mesh.ndim());
-        let d = Coord::new(mesh.dims().iter().map(|&k| k - 1).collect());
+        let d = Coord::new(mesh.dims().iter().map(|&k| k - 1).collect::<Vec<i32>>());
         // Corners are never faulted (interior-only faults) and, for these densities,
         // rarely disabled — skip the cases where they are.
         if labeling.status_at(&s) != NodeStatus::Enabled

@@ -27,7 +27,9 @@ fn dynamic_run(
     );
     let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
     let source = mesh.id_of(&Coord::origin(mesh.ndim()));
-    let dest = mesh.id_of(&Coord::new(mesh.dims().iter().map(|&k| k - 1).collect()));
+    let dest = mesh.id_of(&Coord::new(
+        mesh.dims().iter().map(|&k| k - 1).collect::<Vec<i32>>(),
+    ));
     net.launch_probe(source, dest, Box::new(LgfiRouter::new()));
     net.run_to_completion(50_000);
     let report = net.reports()[0].clone();
