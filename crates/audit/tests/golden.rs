@@ -174,7 +174,7 @@ fn committed_baseline_matches_a_fresh_audit_run_and_ratchets() {
 
     // An injected violation is a ratchet regression (exit 1): scan a fixture
     // full of DET-001 hits as if it were a new engine-crate source file.
-    let mut violations = outcome.violations.clone();
+    let mut violations = outcome.violations;
     violations.extend(scan_source("crates/core/src/injected.rs", DET001, &[]));
     let diff = ratchet(&violations, &committed);
     assert!(

@@ -604,15 +604,17 @@ pub fn measure_gossip_rounds(threads: usize, variant: &str) -> EngineBenchRecord
     }
 }
 
-/// Runs the standard engine measurements (labeling sweep and gossip rounds at 1 and 4
-/// workers) and appends the records to [`default_json_path`].
+/// Runs the standard engine measurements (labeling sweep and gossip rounds at 1, 2
+/// and 4 pooled workers) and appends the records to [`default_json_path`].
 pub fn emit_engine_records() {
     let variant = variant_tag();
     let records = vec![
         measure_labeling_sweep(1, true, &variant),
         measure_labeling_sweep(1, false, &variant),
+        measure_labeling_sweep(2, true, &variant),
         measure_labeling_sweep(4, true, &variant),
         measure_gossip_rounds(1, &variant),
+        measure_gossip_rounds(2, &variant),
         measure_gossip_rounds(4, &variant),
     ];
     let path = default_json_path();

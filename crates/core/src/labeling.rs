@@ -10,10 +10,22 @@
 //!   distributed protocol; the test suite checks that both produce identical fixpoints
 //!   round by round.
 
-use lgfi_sim::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
+use std::ops::Range;
+
+use lgfi_sim::{
+    NeighborView, NodeCtx, Outbox, PoolHandle, Protocol, RoundEngine, MAX_STACK_NEIGHBORS,
+};
 use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
 use crate::status::{next_status, NeighborStatus, NodeStatus};
+
+/// Per-worker scratch of a sharded labeling round: the shard's changed-id list
+/// and how many nodes the worker evaluated.
+#[derive(Debug, Clone, Default)]
+struct LabelWorker {
+    changed: Vec<NodeId>,
+    evaluated: u64,
+}
 
 /// Array-based synchronous implementation of Algorithm 1.
 ///
@@ -45,16 +57,23 @@ pub struct LabelingEngine {
     dirty: Vec<bool>,
     /// Serial-path scratch (and sharded merge target) for changed node ids.
     changed: Vec<NodeId>,
-    /// Per-worker changed-id scratch for sharded rounds.
-    worker_changed: Vec<Vec<NodeId>>,
+    /// Per-worker scratch for sharded rounds.
+    workers: Vec<LabelWorker>,
     /// The frontier knob: when false every non-faulty node is evaluated each round.
     frontier_enabled: bool,
     rounds: u64,
     /// Total nodes evaluated over all rounds (for frontier-size reporting).
     evaluated_total: u64,
     /// Worker threads for round execution (1 = serial); results are bit-identical
-    /// for every setting, exactly as for [`RoundEngine`].
+    /// for every setting, exactly as for [`RoundEngine`].  Resolved once in
+    /// [`LabelingEngine::set_threads`].
     threads: usize,
+    /// Shard ranges for parallel rounds, recomputed only when the thread count
+    /// changes so warm rounds never re-partition (or allocate).
+    shards: Vec<Range<usize>>,
+    /// The engine's persistent worker pool (spawned lazily on the first parallel
+    /// round; a cloned engine starts with an empty handle and its own workers).
+    pool: PoolHandle,
 }
 
 impl LabelingEngine {
@@ -70,6 +89,7 @@ impl LabelingEngine {
             nbr_data.extend(mesh.neighbor_ids(id));
             nbr_off.push(nbr_data.len());
         }
+        let shards = lgfi_sim::shard_ranges(n, lgfi_sim::shard::slab_width(&mesh), 1);
         LabelingEngine {
             mesh,
             statuses: vec![NodeStatus::Enabled; n],
@@ -79,20 +99,34 @@ impl LabelingEngine {
             frontier: Vec::new(),
             dirty: vec![false; n],
             changed: Vec::new(),
-            worker_changed: Vec::new(),
+            workers: Vec::new(),
             frontier_enabled: true,
             rounds: 0,
             evaluated_total: 0,
             threads: 1,
+            shards,
+            pool: PoolHandle::new(),
         }
     }
 
     /// Sets the number of worker threads used to execute labeling rounds: `1` runs
-    /// serially, `0` resolves to one worker per available core.  The labeling rule is
-    /// a pure per-node function of the previous-round statuses, so every setting
-    /// produces bit-identical status vectors and round counts.
+    /// serially, `0` resolves to one worker per available core.  The count is
+    /// resolved **once**, here.  The labeling rule is a pure per-node function of
+    /// the previous-round statuses, so every setting produces bit-identical status
+    /// vectors and round counts.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = lgfi_sim::resolve_threads(threads);
+        // Re-partition once per knob change (not per round) and pre-size the
+        // per-shard scratch, keeping warm parallel rounds allocation-free.
+        self.shards = lgfi_sim::shard_ranges(
+            self.statuses.len(),
+            lgfi_sim::shard::slab_width(&self.mesh),
+            self.threads,
+        );
+        if self.workers.len() < self.shards.len() {
+            self.workers
+                .resize_with(self.shards.len(), LabelWorker::default);
+        }
     }
 
     /// Builder-style variant of [`LabelingEngine::set_threads`].
@@ -262,15 +296,9 @@ impl LabelingEngine {
     /// the halo exchange); the changed-id lists are merged at the round barrier in
     /// shard order.
     fn round_sharded(&mut self) -> usize {
-        let n = self.statuses.len();
-        let shards =
-            lgfi_sim::shard_ranges(n, lgfi_sim::shard::slab_width(&self.mesh), self.threads);
-        if shards.len() <= 1 {
+        if self.shards.len() <= 1 {
             // A single slab cannot be split: skip the worker machinery entirely.
             return self.round_serial();
-        }
-        if self.worker_changed.len() < shards.len() {
-            self.worker_changed.resize_with(shards.len(), Vec::new);
         }
         let view = StatusView {
             statuses: &self.statuses,
@@ -279,42 +307,34 @@ impl LabelingEngine {
         };
         let use_frontier = self.frontier_enabled;
         let frontier = &self.frontier;
-        let mut evaluated = 0u64;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards.len());
-            for ((base, slab), changed) in
-                lgfi_sim::shard::split_shards_mut(&mut self.next_statuses, &shards)
-                    .into_iter()
-                    .zip(self.worker_changed.iter_mut())
-            {
+        let shard_count = self.shards.len();
+        self.pool.get(self.threads).run_sharded(
+            &mut self.next_statuses,
+            &self.shards,
+            &mut self.workers[..shard_count],
+            |_, base, slab, ws| {
+                ws.changed.clear();
                 let range = base..base + slab.len();
-                let front: &[NodeId] = if use_frontier {
+                ws.evaluated = if use_frontier {
                     let lo = frontier.partition_point(|&x| x < range.start);
                     let hi = frontier.partition_point(|&x| x < range.end);
-                    &frontier[lo..hi]
+                    eval_ids(
+                        &view,
+                        frontier[lo..hi].iter().copied(),
+                        base,
+                        slab,
+                        &mut ws.changed,
+                    )
                 } else {
-                    &[]
+                    eval_ids(&view, range, base, slab, &mut ws.changed)
                 };
-                handles.push(scope.spawn(move || {
-                    changed.clear();
-                    if use_frontier {
-                        eval_ids(&view, front.iter().copied(), base, slab, changed)
-                    } else {
-                        eval_ids(&view, range, base, slab, changed)
-                    }
-                }));
-            }
-            for h in handles {
-                // audit:allow(panic): a panicked shard worker must propagate — swallowing it would commit a half-evaluated round
-                evaluated += h.join().expect("labeling shard worker panicked");
-            }
-        });
-        self.evaluated_total += evaluated;
+            },
+        );
         self.changed.clear();
-        let (shard_count, changed, worker_changed) =
-            (shards.len(), &mut self.changed, &self.worker_changed);
-        for ws in &worker_changed[..shard_count] {
-            changed.extend_from_slice(ws);
+        let (changed, workers) = (&mut self.changed, &self.workers);
+        for ws in &workers[..shard_count] {
+            self.evaluated_total += ws.evaluated;
+            changed.extend_from_slice(&ws.changed);
         }
         self.commit_and_mark()
     }

@@ -194,6 +194,9 @@ pub struct LgfiNetwork {
     /// high-water memory is bounded by the maximum number of *concurrent* probes
     /// rather than the total launched.
     spare_probes: Vec<(Probe, Vec<NeighborSlot>)>,
+    /// Persistent worker pool for the sharded per-step probe decisions (spawned
+    /// lazily on the first parallel decision sweep, parked between steps).
+    probe_pool: lgfi_sim::PoolHandle,
 }
 
 impl LgfiNetwork {
@@ -226,6 +229,7 @@ impl LgfiNetwork {
             vis_next_transition: None,
             probe_threads: lgfi_sim::resolve_threads(config.probe_threads),
             spare_probes: Vec::new(),
+            probe_pool: lgfi_sim::PoolHandle::new(),
         }
     }
 
@@ -350,32 +354,26 @@ impl LgfiNetwork {
             let probes = &mut self.probes;
             let workers = self.probe_threads.min(probes.len());
             if workers > 1 {
-                let ranges = lgfi_sim::batch_ranges(probes.len(), workers);
-                std::thread::scope(|scope| {
-                    let mut rest: &mut [ProbeState] = probes;
-                    let mut handles = Vec::with_capacity(ranges.len());
-                    for r in &ranges {
-                        let (chunk, tail) = rest.split_at_mut(r.len());
-                        rest = tail;
-                        handles.push(scope.spawn(move || {
-                            for state in chunk {
-                                advance_probe(
-                                    mesh,
-                                    statuses,
-                                    blocks,
-                                    vis_data,
-                                    vis_off,
-                                    max_probe_steps,
-                                    state,
-                                );
-                            }
-                        }));
-                    }
-                    for h in handles {
-                        // audit:allow(panic): a panicked decision worker must propagate — swallowing it would commit a half-decided step
-                        h.join().expect("probe decision worker panicked");
-                    }
-                });
+                // Each pool chunk is a contiguous launch-order run of probes; the
+                // chunk count tracks the in-flight population while the pool keeps
+                // its `probe_threads` width (no re-spawn as probes come and go).
+                self.probe_pool.get(self.probe_threads).run_chunked(
+                    probes.as_mut_slice(),
+                    workers,
+                    |_, chunk| {
+                        for state in chunk {
+                            advance_probe(
+                                mesh,
+                                statuses,
+                                blocks,
+                                vis_data,
+                                vis_off,
+                                max_probe_steps,
+                                state,
+                            );
+                        }
+                    },
+                );
             } else {
                 for state in probes.iter_mut() {
                     advance_probe(

@@ -698,21 +698,14 @@ pub fn sweep_static(
         return route_chunk(pairs);
     }
     let ranges = lgfi_sim::batch_ranges(pairs.len(), threads);
-    let mut out = Vec::with_capacity(pairs.len());
-    let route_chunk = &route_chunk;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|r| {
-                let chunk = &pairs[r.clone()];
-                scope.spawn(move || route_chunk(chunk))
-            })
-            .collect();
-        for h in handles {
-            // audit:allow(panic): a panicked sweep worker must propagate — swallowing it would return a truncated outcome list
-            out.extend(h.join().expect("probe sweep worker panicked"));
-        }
+    let mut slots: Vec<Vec<ProbeOutcome>> = (0..ranges.len()).map(|_| Vec::new()).collect();
+    lgfi_sim::WorkerPool::new(threads).run_chunked(&mut slots, threads, |i, slot| {
+        slot[0] = route_chunk(&pairs[ranges[i].clone()]);
     });
+    let mut out = Vec::with_capacity(pairs.len());
+    for slot in &mut slots {
+        out.append(slot);
+    }
     out
 }
 

@@ -11,8 +11,9 @@
 //!    [`RouteCtx`]/Algorithm-3 machinery the probe engines use) for a next hop
 //!    against the *frozen* cycle state.  Decisions are pure per-packet functions, so
 //!    they shard across `traffic_threads` workers over contiguous launch-order
-//!    chunks, each worker holding its own router instance — the launch-order-merge
-//!    discipline of the round and probe engines.
+//!    chunks on a persistent [`lgfi_sim::WorkerPool`] (spawned lazily on the first
+//!    parallel cycle, parked between cycles), each worker holding its own router
+//!    instance — the launch-order-merge discipline of the round and probe engines.
 //! 2. **Arbitration phase** — serial, in packet-launch order (packet-id tie-break):
 //!    each packet that wants to move requests its outgoing link from the
 //!    [`LinkState`] layer; a saturated link stalls the packet for the cycle, and
@@ -200,6 +201,9 @@ pub struct TrafficEngine {
     /// Per-worker router instances (index 0 drives the serial path); each decision
     /// worker uses exactly one, so routers never cross threads.
     workers: Vec<Box<dyn Router>>,
+    /// Persistent decision workers, spawned lazily on the first parallel cycle and
+    /// parked between cycles.
+    pool: lgfi_sim::PoolHandle,
     /// In-flight packets, always in launch (id) order.
     packets: Vec<FlightPacket>,
     /// Recycled buffers of finished packets.
@@ -223,6 +227,7 @@ impl TrafficEngine {
         TrafficEngine {
             link: LinkState::new(&mesh, config.link_capacity),
             workers,
+            pool: lgfi_sim::PoolHandle::new(),
             mesh,
             config,
             packets: Vec::new(),
@@ -339,27 +344,16 @@ impl TrafficEngine {
         if live > 0 {
             let shard_count = self.workers.len().min(live);
             if shard_count > 1 {
-                let ranges = lgfi_sim::batch_ranges(live, shard_count);
-                let packets = &mut self.packets;
-                let workers = &mut self.workers;
-                std::thread::scope(|scope| {
-                    let mut rest: &mut [FlightPacket] = packets;
-                    let mut handles = Vec::with_capacity(ranges.len());
-                    for (r, router) in ranges.iter().zip(workers.iter_mut()) {
-                        let (chunk, tail) = rest.split_at_mut(r.len());
-                        rest = tail;
-                        handles.push(scope.spawn(move || {
-                            for p in chunk {
-                                p.request =
-                                    decide_packet(mesh, env, &config, cycle, router.as_ref(), p);
-                            }
-                        }));
-                    }
-                    for h in handles {
-                        // audit:allow(panic): a panicked decision worker must propagate — swallowing it would arbitrate on stale decisions
-                        h.join().expect("traffic decision worker panicked");
-                    }
-                });
+                self.pool.get(self.workers.len()).run_chunked_with(
+                    &mut self.packets,
+                    &mut self.workers[..shard_count],
+                    |_, chunk, router| {
+                        for p in chunk {
+                            p.request =
+                                decide_packet(mesh, env, &config, cycle, router.as_ref(), p);
+                        }
+                    },
+                );
             } else {
                 let router = self.workers[0].as_ref();
                 for p in self.packets.iter_mut() {

@@ -46,18 +46,24 @@
 //! Because every round reads only previous-round data, the engine can execute rounds
 //! in parallel without changing protocol semantics: [`RoundEngine::set_threads`]
 //! partitions the mesh into contiguous slabs along the highest-stride dimension (see
-//! [`crate::shard`]) and gives each slab to a worker under [`std::thread::scope`].
+//! [`crate::shard`]) and gives each slab to a worker of the engine's persistent
+//! [`WorkerPool`](crate::shard::WorkerPool) (spawned lazily on the first parallel
+//! round, parked on a generation barrier between rounds).
 //! Workers read the shared previous-round state (the halo exchange is implicit in the
 //! double buffer) and write their staged states into disjoint regions of the shared
 //! back buffer; their send lists are merged at the round barrier in shard order,
 //! which preserves the exact serial per-mailbox message order.  Parallel runs are
 //! therefore **bit-identical** to serial runs for any protocol — parallelism is an
 //! execution detail, not a semantics change, and it composes with active-frontier
-//! scheduling (each worker evaluates the frontier slice of its own slab).
+//! scheduling (each worker evaluates the frontier slice of its own slab).  Shard
+//! ranges are computed once per [`RoundEngine::set_threads`] call and the per-shard
+//! scratch is owned by the engine, so warm parallel rounds stay allocation-free.
+
+use std::ops::Range;
 
 use lgfi_topology::{Coord, Direction, Mesh, NodeId};
 
-use crate::shard::{resolve_threads, shard_ranges, slab_width, split_shards_mut};
+use crate::shard::{resolve_threads, shard_ranges, slab_width, PoolHandle};
 use crate::stats::{EngineStats, RoundStats};
 
 /// Capacity of the stack-allocated neighbor-view scratch: meshes with up to
@@ -245,8 +251,15 @@ pub struct RoundEngine<P: Protocol> {
     frontier_requested: bool,
     round: u64,
     stats: EngineStats,
-    /// Number of worker threads for round execution (1 = serial).
+    /// Number of worker threads for round execution (1 = serial), resolved once in
+    /// [`RoundEngine::set_threads`].
     threads: usize,
+    /// The shard ranges parallel rounds execute over; recomputed only when the
+    /// thread count changes, so warm rounds never re-partition (or allocate).
+    shards: Vec<Range<usize>>,
+    /// The engine's persistent worker pool (workers spawn lazily on the first
+    /// parallel round and park between rounds).
+    pool: PoolHandle,
 }
 
 impl<P: Protocol> RoundEngine<P> {
@@ -298,16 +311,28 @@ impl<P: Protocol> RoundEngine<P> {
             round: 0,
             stats: EngineStats::default(),
             threads: 1,
+            shards: shard_ranges(n, slab_width(&mesh), 1),
+            pool: PoolHandle::new(),
             mesh,
         }
     }
 
     /// Sets the number of worker threads used to execute rounds: `1` runs serially,
     /// `0` resolves to one worker per available core, any other value is used as-is.
-    /// Results are bit-identical for every setting (see the module docs).
+    /// The count is resolved **once**, here; rounds and [`EngineStats::threads`]
+    /// use the resolved value from then on.  Results are bit-identical for every
+    /// setting (see the module docs).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = resolve_threads(threads);
         self.stats.set_threads(self.threads);
+        // Re-partition once per knob change (not per round) and pre-size the
+        // per-shard scratch, keeping warm parallel rounds allocation-free.
+        self.shards = shard_ranges(self.states.len(), slab_width(&self.mesh), self.threads);
+        if self.scratch.workers.len() < self.shards.len() {
+            self.scratch
+                .workers
+                .resize_with(self.shards.len(), WorkerScratch::new);
+        }
     }
 
     /// Builder-style variant of [`RoundEngine::set_threads`].
@@ -662,24 +687,19 @@ impl<P: Protocol> RoundEngine<P> {
         (changes, messages_sent, evaluated)
     }
 
-    /// The sharded round body: each worker evaluates one contiguous slab of node ids
-    /// (or the frontier slice inside it) against the shared previous-round state,
+    /// The sharded round body: each pool worker evaluates one contiguous slab of node
+    /// ids (or the frontier slice inside it) against the shared previous-round state,
     /// staging next states into its disjoint region of the shared back buffer; the
     /// per-shard results are merged at the round barrier in shard order, reproducing
-    /// the serial state commits and message order exactly.
+    /// the serial state commits and message order exactly.  A worker panic completes
+    /// the barrier and re-raises on this thread before any merge happens, so no
+    /// half-evaluated round is ever committed.
     fn round_sharded(&mut self) -> (usize, u64, u64) {
-        let n = self.states.len();
-        let shards = shard_ranges(n, slab_width(&self.mesh), self.threads);
-        if shards.len() <= 1 {
+        if self.shards.len() <= 1 {
             // A single slab cannot be split: skip the worker machinery entirely.
             return self.round_serial();
         }
         let use_frontier = self.frontier_active();
-        if self.scratch.workers.len() < shards.len() {
-            self.scratch
-                .workers
-                .resize_with(shards.len(), WorkerScratch::new);
-        }
         let view = RoundView {
             mesh: &self.mesh,
             protocol: &self.protocol,
@@ -692,41 +712,29 @@ impl<P: Protocol> RoundEngine<P> {
             round: self.round,
         };
         let frontier = &self.frontier;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards.len());
-            for ((base, slab), ws) in split_shards_mut(&mut self.next_states, &shards)
-                .into_iter()
-                .zip(self.scratch.workers.iter_mut())
-            {
+        let shard_count = self.shards.len();
+        self.pool.get(self.threads).run_sharded(
+            &mut self.next_states,
+            &self.shards,
+            &mut self.scratch.workers[..shard_count],
+            |_, base, slab, ws| {
+                ws.changed.clear();
+                debug_assert!(ws.sends.is_empty());
                 let range = base..base + slab.len();
-                let front: &[NodeId] = if use_frontier {
+                let (evaluated, messages) = if use_frontier {
                     let lo = frontier.partition_point(|&x| x < range.start);
                     let hi = frontier.partition_point(|&x| x < range.end);
-                    &frontier[lo..hi]
+                    eval_span(&view, frontier[lo..hi].iter().copied(), base, slab, ws)
                 } else {
-                    &[]
+                    eval_span(&view, range, base, slab, ws)
                 };
-                handles.push(scope.spawn(move || {
-                    ws.changed.clear();
-                    debug_assert!(ws.sends.is_empty());
-                    let (evaluated, messages) = if use_frontier {
-                        eval_span(&view, front.iter().copied(), base, slab, ws)
-                    } else {
-                        eval_span(&view, range, base, slab, ws)
-                    };
-                    ws.evaluated = evaluated;
-                    ws.messages = messages;
-                }));
-            }
-            for h in handles {
-                // audit:allow(panic): a panicked shard worker must propagate — swallowing it would commit a half-evaluated round
-                h.join().expect("shard worker panicked");
-            }
-        });
+                ws.evaluated = evaluated;
+                ws.messages = messages;
+            },
+        );
 
         // Round barrier: merge shard results in shard (= ascending node id) order so
         // state commits and the send list reproduce the serial order exactly.
-        let shard_count = shards.len();
         let RoundScratch { main, workers, .. } = &mut self.scratch;
         main.changed.clear();
         debug_assert!(main.sends.is_empty());
@@ -1001,6 +1009,32 @@ mod tests {
         eng.recover(blocker, 1_000);
         eng.run_until_quiescent(1000).unwrap();
         assert_eq!(*eng.state(mesh.id_of(&coord![8])), 0);
+    }
+
+    #[test]
+    fn auto_thread_count_is_resolved_once_and_stable_across_rounds() {
+        // `threads = 0` means "one worker per available core", resolved exactly
+        // once in `set_threads`; every round and every stats snapshot must then
+        // report the same concrete count, never a re-query of the machine.
+        let mesh = Mesh::cubic(8, 2);
+        let seed = mesh.id_of(&coord![0, 0]);
+        let mut eng = RoundEngine::new(mesh, MinFlood { seed }).with_threads(0);
+        let resolved = eng.threads();
+        assert!(resolved >= 1, "auto must resolve to a concrete count");
+        assert_eq!(eng.stats().threads(), resolved);
+        for _ in 0..10 {
+            eng.run_round();
+            assert_eq!(eng.threads(), resolved, "thread count drifted mid-run");
+            assert_eq!(
+                eng.stats().threads(),
+                resolved,
+                "stats thread count drifted mid-run"
+            );
+        }
+        // Explicit re-resolution is the only way the count changes.
+        eng.set_threads(resolved + 1);
+        assert_eq!(eng.threads(), resolved + 1);
+        assert_eq!(eng.stats().threads(), resolved + 1);
     }
 
     #[test]

@@ -30,7 +30,6 @@
 //! The protocols themselves (labeling, identification, boundary construction, routing)
 //! live in `lgfi-core`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -45,7 +44,7 @@ pub mod traffic_engine;
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
 pub use rng::DetRng;
-pub use shard::{batch_ranges, resolve_threads, shard_ranges};
+pub use shard::{batch_ranges, resolve_threads, shard_ranges, PoolHandle, WorkerPool};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};

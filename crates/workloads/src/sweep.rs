@@ -1,11 +1,11 @@
 //! Parallel parameter sweeps.
 //!
 //! Experiment tables are produced by running many independent trials (different seeds,
-//! fault counts, mesh sizes).  [`run_trials`] executes them on all available cores with
-//! `std::thread::scope` while keeping the output order identical to the input order,
-//! so tables remain deterministic; [`run_trials_on`] takes an explicit worker count so
-//! callers can trade sweep-level for engine-level parallelism (see
-//! `NetworkConfig::threads`).
+//! fault counts, mesh sizes).  [`run_trials`] executes them on all available cores via
+//! a per-sweep [`lgfi_sim::WorkerPool`] while keeping the output order identical to
+//! the input order, so tables remain deterministic; [`run_trials_on`] takes an
+//! explicit worker count so callers can trade sweep-level for engine-level
+//! parallelism (see `NetworkConfig::threads`).
 
 /// One point of a parameter sweep, pairing an input with its computed output.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,20 +57,16 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots_mutex = std::sync::Mutex::new(&mut slots);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if idx >= inputs.len() {
-                    break;
-                }
-                let input = inputs[idx].clone();
-                let output = f(&input);
-                let point = SweepPoint { input, output };
-                let mut guard = slots_mutex.lock().unwrap();
-                guard[idx] = Some(point);
-            });
+    lgfi_sim::WorkerPool::new(threads).run(threads, |_| loop {
+        let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if idx >= inputs.len() {
+            break;
         }
+        let input = inputs[idx].clone();
+        let output = f(&input);
+        let point = SweepPoint { input, output };
+        let mut guard = slots_mutex.lock().unwrap();
+        guard[idx] = Some(point);
     });
 
     slots

@@ -5,10 +5,14 @@
 //! recycled outbox for the round loop; inline coordinates, the direction-indexed
 //! neighbor-slot scratch, the recycled path and the flat used-direction arena for
 //! the probe loop), so **steady-state rounds and probe hops perform zero heap
-//! allocations** in the serial engines.  This test installs a counting global
-//! allocator and proves it: after a warm-up (where buffers reach their high-water
-//! capacity), further rounds — and further probes through a warm
-//! [`ProbeEngine`] — must not allocate.
+//! allocations** — in the serial engines *and* in the warm pooled parallel ones:
+//! the persistent worker pool hands each generation's job to its parked workers as
+//! a raw pointer and the per-shard scratch is pre-sized when the thread count is
+//! set, so a warm parallel round touches the heap exactly as much as a serial one
+//! (not at all).  This test installs a counting global allocator and proves both:
+//! after a warm-up (where buffers reach their high-water capacity and the pool has
+//! spawned), further rounds — and further probes through a warm [`ProbeEngine`] —
+//! must not allocate.
 //!
 //! Everything runs inside a single `#[test]` because the allocation counter is
 //! process-global and the libtest harness runs separate tests on separate threads.
@@ -330,6 +334,71 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
     assert_eq!(
         allocs, 0,
         "a warm serial TrafficEngine must not allocate per cycle"
+    );
+
+    // --- Pooled round plane: warm parallel rounds are allocation-free too. --------
+    // The persistent worker pool spawns its threads and sizes the per-shard scratch
+    // during the warm-up (`set_threads` pre-computes the shard ranges, the first
+    // parallel round spawns the workers), after which a round submits a job as a
+    // raw pointer hand-off and parks on futex-backed condvars: no heap traffic on
+    // any thread.  The counter is process-global, so the workers' own allocations
+    // (if any) would be charged to the armed section.
+    let mesh = Mesh::cubic(32, 2);
+    let mut eng = RoundEngine::new(mesh.clone(), LabelingProtocol).with_threads(4);
+    for c in [coord![10, 10], coord![11, 11], coord![10, 11]] {
+        eng.inject_fault(mesh.id_of(&c));
+    }
+    eng.run_until_quiescent(1_000).expect("labeling stabilises");
+    // Reserve for two steady sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    eng.reserve_rounds(2 * STEADY_ROUNDS as usize + 1);
+    let (allocs, changes) = count_allocations(|| eng.run_rounds(STEADY_ROUNDS));
+    assert_eq!(changes, 0);
+    assert_eq!(
+        allocs, 0,
+        "warm pooled RoundEngine rounds must not allocate (threads=4)"
+    );
+
+    // --- Pooled labeling plane. ---------------------------------------------------
+    let mut eng = LabelingEngine::new(mesh.clone()).with_threads(4);
+    for c in [coord![10, 10], coord![11, 11], coord![10, 11]] {
+        eng.inject_fault_coord(&c);
+    }
+    eng.run_to_fixpoint(1_000).expect("labeling stabilises");
+    let (allocs, changes) = count_allocations(|| {
+        let mut total = 0usize;
+        for _ in 0..STEADY_ROUNDS {
+            total += eng.run_round();
+        }
+        total
+    });
+    assert_eq!(changes, 0);
+    assert_eq!(
+        allocs, 0,
+        "warm pooled LabelingEngine rounds must not allocate (threads=4)"
+    );
+
+    // --- Pooled traffic plane: warm parallel decision cycles. ---------------------
+    let mut traffic = TrafficEngine::new(
+        mesh,
+        TrafficConfig {
+            traffic_threads: 4,
+            ..TrafficConfig::default()
+        },
+        &|| Box::new(LgfiRouter::new()),
+    );
+    let first = run_batch(&mut traffic);
+    let warm = run_batch(&mut traffic);
+    assert_eq!(first, warm, "warm pooled traffic re-runs must be identical");
+    assert_eq!(warm.0, traffic_pairs.len() as u64, "all packets deliver");
+    // Reserve for two measured sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    traffic.reserve(2 * traffic_pairs.len(), warm.2);
+    let (allocs, steady) = count_allocations(|| run_batch(&mut traffic));
+    assert_eq!(steady, warm, "measured pooled run must route identically");
+    assert_eq!(
+        allocs, 0,
+        "a warm pooled TrafficEngine must not allocate per cycle (threads=4)"
     );
 
     // Sanity: the counter actually observes allocator traffic.

@@ -86,15 +86,32 @@ fn gossip_run(
     Vec<lgfi::sim::RoundStats>,
     Vec<usize>,
 ) {
+    gossip_run_schedule(mesh, seed, frontier, [threads; 4])
+}
+
+/// Like [`gossip_run`], but re-targets the worker count at every phase boundary so
+/// the persistent pool is torn down and re-spawned mid-run.
+fn gossip_run_schedule(
+    mesh: &Mesh,
+    seed: u64,
+    frontier: bool,
+    schedule: [usize; 4],
+) -> (
+    Vec<u64>,
+    Vec<NodeId>,
+    Vec<lgfi::sim::RoundStats>,
+    Vec<usize>,
+) {
     let mut rng = DetRng::seed_from_u64(seed);
     let mut eng = RoundEngine::new(mesh.clone(), MaxGossip)
         .with_frontier(frontier)
-        .with_threads(threads);
+        .with_threads(schedule[0]);
     assert_eq!(eng.frontier_active(), frontier);
     let faults = sample_nodes(mesh, &mut rng, 1 + (seed as usize % 4));
     let posts = sample_nodes(mesh, &mut rng, 2);
     let mut changes_log = Vec::new();
     for phase in 0..4u64 {
+        eng.set_threads(schedule[phase as usize]);
         match phase {
             0 => {}
             1 => {
@@ -143,6 +160,25 @@ fn frontier_runs_are_bit_identical_to_full_evaluation() {
                     "frontier run diverged: dims {dims:?} seed {seed} threads {threads}"
                 );
             }
+        }
+    }
+}
+
+/// Pool-lifecycle cross-check with the frontier on: width changes at phase
+/// boundaries (pool re-creation mid-run) must not disturb the frontier's
+/// dirty-set bookkeeping — the run stays bit-identical to the full serial
+/// evaluation.
+#[test]
+fn frontier_runs_survive_pool_recreation_mid_schedule() {
+    let mesh = Mesh::cubic(12, 2);
+    for seed in 0..3u64 {
+        let reference = gossip_run(&mesh, seed, false, 1);
+        for schedule in [[2usize, 4, 1, 3], [3, 3, 1, 1], [1, 2, 4, 8]] {
+            let switched = gossip_run_schedule(&mesh, seed, true, schedule);
+            assert_eq!(
+                reference, switched,
+                "frontier run with schedule {schedule:?} diverged: seed {seed}"
+            );
         }
     }
 }

@@ -81,11 +81,19 @@ struct GossipRun {
 /// Runs the gossip protocol with a seeded fault/recovery schedule and records a full
 /// trace of per-round activity.
 fn gossip_run(mesh: &Mesh, seed: u64, threads: usize) -> GossipRun {
+    gossip_run_schedule(mesh, seed, [threads; 3])
+}
+
+/// Like [`gossip_run`], but re-targets the engine's worker count at the start of
+/// each phase, so a width change (and the worker-pool re-creation it triggers)
+/// lands mid-schedule.
+fn gossip_run_schedule(mesh: &Mesh, seed: u64, schedule: [usize; 3]) -> GossipRun {
     let mut rng = DetRng::seed_from_u64(seed);
-    let mut eng = RoundEngine::new(mesh.clone(), OrderSensitiveGossip).with_threads(threads);
+    let mut eng = RoundEngine::new(mesh.clone(), OrderSensitiveGossip).with_threads(schedule[0]);
     let mut trace: Trace<(u64, u64)> = Trace::new();
     let faults = sample_nodes(mesh, &mut rng, 1 + (seed as usize % 4));
     for phase in 0..3u64 {
+        eng.set_threads(schedule[phase as usize]);
         match phase {
             0 => {}
             1 => {
@@ -144,6 +152,33 @@ fn gossip_serial_and_parallel_runs_are_bit_identical() {
                     threads,
                     "thread count not recorded"
                 );
+            }
+        }
+    }
+}
+
+/// Pool-lifecycle cross-check: an engine whose worker pool is torn down and
+/// re-created mid-schedule (by changing the width between phases — the pooled
+/// analogue of the old scoped-threads world, where every round got fresh
+/// workers) must stay bit-identical to both the serial run and the
+/// steady-width pooled run.
+#[test]
+fn gossip_pool_recreation_mid_schedule_is_bit_identical() {
+    for dims in [vec![12, 12], vec![5, 4, 6]] {
+        let mesh = Mesh::new(&dims);
+        for seed in 0..3u64 {
+            let serial = gossip_run(&mesh, seed, 1);
+            let steady = gossip_run(&mesh, seed, 3);
+            for schedule in [[2usize, 4, 3], [3, 1, 3], [1, 2, 1]] {
+                let switched = gossip_run_schedule(&mesh, seed, schedule);
+                let tag = format!("dims {dims:?} seed {seed} schedule {schedule:?}");
+                assert_eq!(serial.states, switched.states, "states diverged: {tag}");
+                assert_eq!(
+                    steady.states, switched.states,
+                    "pooled runs diverged: {tag}"
+                );
+                assert_eq!(serial.faulty, switched.faulty, "fault sets diverged: {tag}");
+                assert_eq!(serial.trace, switched.trace, "traces diverged: {tag}");
             }
         }
     }

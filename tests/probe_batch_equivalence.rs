@@ -148,6 +148,46 @@ fn batched_sweeps_are_bit_identical_to_serial_for_every_router_and_thread_count(
     }
 }
 
+/// Pool-lifecycle cross-check: every `sweep_static` call spins up its own
+/// worker pool, so back-to-back pooled sweeps (pool spawn → sweep → pool
+/// teardown, repeated) must reproduce each other and the one-engine-per-probe
+/// serial path exactly — no state may leak between pools or linger in a
+/// half-torn-down one.
+#[test]
+fn repeated_pooled_sweeps_are_stable_and_match_serial() {
+    let world = static_world(&[18, 18], 16, 11, 48);
+    for name in ROUTERS {
+        let serial = seed_outcomes(&world, router_by_name(name).as_ref());
+        let sweep = |threads: usize| {
+            sweep_static(
+                &world.mesh,
+                &world.statuses,
+                world.blocks.blocks(),
+                &world.boundary,
+                &|| router_by_name(name),
+                &world.pairs,
+                100_000,
+                threads,
+            )
+        };
+        let first = sweep(4);
+        let second = sweep(4);
+        let narrower = sweep(2);
+        assert_eq!(
+            first, second,
+            "router {name}: pooled sweeps diverged run-to-run"
+        );
+        assert_eq!(
+            first, narrower,
+            "router {name}: pool width changed the outcomes"
+        );
+        assert_eq!(
+            serial, first,
+            "router {name}: pooled sweep diverged from serial"
+        );
+    }
+}
+
 #[test]
 fn empty_and_single_probe_batches_are_handled() {
     let world = static_world(&[10, 10], 6, 9, 1);

@@ -195,6 +195,30 @@ fn env_configured_configuration_is_bit_identical_to_serial() {
     assert_eq!(reference.1, configured.1);
 }
 
+/// Pool-lifecycle cross-check: the traffic engine's decision workers are a
+/// persistent pool, spawned on the first contended cycle and reused for every
+/// cycle after (warm pool).  Two complete pooled runs — each spawning, warming
+/// and tearing down its own pool — must reproduce each other and the serial
+/// reference bit for bit.
+#[test]
+fn warm_pooled_traffic_runs_are_reproducible_and_match_serial() {
+    for dynamic in [false, true] {
+        let serial = fingerprint("lgfi", dynamic, 1, 1, true, 1);
+        let first = fingerprint("lgfi", dynamic, 4, 1, true, 1);
+        let second = fingerprint("lgfi", dynamic, 4, 1, true, 1);
+        assert_eq!(
+            first.0, second.0,
+            "dynamic {dynamic}: pooled runs diverged run-to-run"
+        );
+        assert_eq!(first.1, second.1);
+        assert_eq!(
+            serial.0, first.0,
+            "dynamic {dynamic}: pooled records diverged from serial"
+        );
+        assert_eq!(serial.1, first.1);
+    }
+}
+
 #[test]
 fn contention_is_actually_exercised_by_the_matrix_workload() {
     // Guard against the suite silently degenerating into uncontended traffic (in
