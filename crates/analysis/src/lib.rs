@@ -2,17 +2,19 @@
 //!
 //! Measurement and reporting utilities for the LGFI reproduction: statistical
 //! summaries ([`summary`]), fixed-width text tables ([`table`]) used by the experiment
-//! binaries to print the rows recorded in `EXPERIMENTS.md`, and the bound-verification
-//! helpers ([`verify`]) that compare measured probe behaviour against the theorems of
-//! the paper.
+//! binaries to print the rows recorded in `EXPERIMENTS.md`, availability-SLO reports
+//! over fault campaigns ([`slo`]), and the bound-verification helpers ([`verify`])
+//! that compare measured probe behaviour against the theorems of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod slo;
 pub mod summary;
 pub mod table;
 pub mod verify;
 
+pub use slo::{SloReport, SloRow};
 pub use summary::{Summary, TrafficSummary};
 pub use table::Table;
 pub use verify::{check_theorem3, check_theorem4, BoundCheck};

@@ -1,0 +1,234 @@
+//! SLO reports: availability curves over fault campaigns.
+//!
+//! A fault campaign (see `lgfi-workloads`) accumulates its observations in an
+//! [`SloTracker`]; [`SloRow`] condenses one campaign into the availability SLOs
+//! reported by the `exp_slo` experiment — delivery rate, latency quantiles
+//! (p50/p99/p999), Theorem-4 detour-bound violations, unreachable drops and
+//! time-to-reconverge — and [`SloReport`] collects the rows of a sweep (fault
+//! density × campaign shape × horizon) into one comparable, renderable report.
+//!
+//! Rows are plain data with exact equality: two campaigns that behaved
+//! bit-identically produce equal reports, which is how the determinism suite
+//! compares runs across thread knobs.
+
+use lgfi_sim::SloTracker;
+
+use crate::table::Table;
+
+/// The availability SLOs of one fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    /// Router that drove the packets.
+    pub router: String,
+    /// Campaign shape tag (e.g. `uniform`, `L`, `ring`, `front`, `outage`, `churn`).
+    pub shape: String,
+    /// Fault density: peak simultaneous faults per interior node.
+    pub density: f64,
+    /// Injection cycles of the campaign.
+    pub horizon: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mesh-wide delivery rate (1.0 when nothing was injected).
+    pub delivery_rate: f64,
+    /// Median delivered latency in cycles (0 before any delivery).
+    pub p50_latency: u64,
+    /// 99th-percentile delivered latency in cycles.
+    pub p99_latency: u64,
+    /// 99.9th-percentile delivered latency in cycles.
+    pub p999_latency: u64,
+    /// Mean delivered latency in cycles.
+    pub mean_latency: f64,
+    /// Delivered packets whose detour exceeded the Theorem-4 budget.
+    pub detour_violations: u64,
+    /// Packets dropped because their destination became unreachable.
+    pub unreachable: u64,
+    /// Fault bursts observed (steps with at least one new fault).
+    pub bursts: u64,
+    /// Mean steps from a fault burst to labeling re-stabilisation.
+    pub mean_reconverge: f64,
+    /// Largest observed burst-to-stabilisation time in steps.
+    pub max_reconverge: u64,
+    /// The worst per-node delivery rate over nodes that injected anything.
+    pub worst_node_delivery: f64,
+}
+
+impl SloRow {
+    /// Condenses a campaign's tracker into one report row.
+    pub fn from_tracker(
+        router: &str,
+        shape: &str,
+        density: f64,
+        horizon: u64,
+        tracker: &SloTracker,
+    ) -> SloRow {
+        SloRow {
+            router: router.to_string(),
+            shape: shape.to_string(),
+            density,
+            horizon,
+            injected: tracker.injected(),
+            delivered: tracker.delivered(),
+            delivery_rate: tracker.delivery_rate(),
+            p50_latency: tracker.latency().quantile(0.50).unwrap_or(0),
+            p99_latency: tracker.latency().quantile(0.99).unwrap_or(0),
+            p999_latency: tracker.latency().quantile(0.999).unwrap_or(0),
+            mean_latency: tracker.latency().mean(),
+            detour_violations: tracker.detour_violations(),
+            unreachable: tracker.unreachable(),
+            bursts: tracker.bursts(),
+            mean_reconverge: tracker.reconverge().mean(),
+            max_reconverge: tracker.reconverge().max().unwrap_or(0),
+            worst_node_delivery: tracker.worst_node_delivery(),
+        }
+    }
+}
+
+/// The rows of an SLO sweep (fault density × campaign shape × horizon), in
+/// insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloReport {
+    rows: Vec<SloRow>,
+}
+
+impl SloReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        SloReport::default()
+    }
+
+    /// Appends one campaign's row.
+    pub fn push(&mut self, row: SloRow) {
+        self.rows.push(row);
+    }
+
+    /// The collected rows.
+    pub fn rows(&self) -> &[SloRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no campaign has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as a fixed-width text table.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "router",
+                "shape",
+                "density",
+                "horizon",
+                "injected",
+                "delivered",
+                "rate",
+                "p50",
+                "p99",
+                "p999",
+                "mean",
+                "viol",
+                "unreach",
+                "bursts",
+                "reconv",
+                "worst-node",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.router.clone(),
+                r.shape.clone(),
+                format!("{:.4}", r.density),
+                r.horizon.to_string(),
+                r.injected.to_string(),
+                r.delivered.to_string(),
+                format!("{:.4}", r.delivery_rate),
+                r.p50_latency.to_string(),
+                r.p99_latency.to_string(),
+                r.p999_latency.to_string(),
+                format!("{:.2}", r.mean_latency),
+                r.detour_violations.to_string(),
+                r.unreachable.to_string(),
+                r.bursts.to_string(),
+                format!("{:.1}/{}", r.mean_reconverge, r.max_reconverge),
+                format!("{:.4}", r.worst_node_delivery),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgfi_sim::SloOutcome;
+
+    fn sample_tracker() -> SloTracker {
+        let mut t = SloTracker::new(8);
+        t.record_packet(1, SloOutcome::Delivered, 10, false);
+        t.record_packet(1, SloOutcome::Delivered, 30, true);
+        t.record_packet(2, SloOutcome::Unreachable, 0, false);
+        t.record_burst();
+        t.record_reconverge(6);
+        t
+    }
+
+    #[test]
+    fn row_condenses_tracker_observations() {
+        let row = SloRow::from_tracker("lgfi", "churn", 0.01, 1_000, &sample_tracker());
+        assert_eq!(row.injected, 3);
+        assert_eq!(row.delivered, 2);
+        assert!((row.delivery_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(row.p50_latency, 10);
+        assert_eq!(row.p999_latency, 30);
+        assert_eq!(row.detour_violations, 1);
+        assert_eq!(row.unreachable, 1);
+        assert_eq!(row.bursts, 1);
+        assert_eq!(row.max_reconverge, 6);
+        assert_eq!(row.worst_node_delivery, 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_compares_exactly() {
+        let mut a = SloReport::new();
+        a.push(SloRow::from_tracker(
+            "lgfi",
+            "L",
+            0.02,
+            500,
+            &sample_tracker(),
+        ));
+        let mut b = SloReport::new();
+        b.push(SloRow::from_tracker(
+            "lgfi",
+            "L",
+            0.02,
+            500,
+            &sample_tracker(),
+        ));
+        assert_eq!(a, b, "identical campaigns must compare equal");
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        let rendered = a.table("slo").render();
+        assert!(rendered.contains("router"));
+        assert!(rendered.contains("lgfi"));
+        assert!(rendered.contains("0.6667"));
+    }
+
+    #[test]
+    fn empty_tracker_yields_benign_row() {
+        let row = SloRow::from_tracker("lgfi", "none", 0.0, 0, &SloTracker::new(4));
+        assert_eq!(row.injected, 0);
+        assert_eq!(row.delivery_rate, 1.0);
+        assert_eq!(row.p99_latency, 0);
+        assert_eq!(row.mean_reconverge, 0.0);
+        assert!(SloReport::new().is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment binary: availability SLOs under adversarial fault campaigns —
+//! shaped concave clusters, a sweeping fault front, correlated regional outages
+//! and streaming Poisson churn, for the LGFI router and the global-information
+//! baseline.  Prints the C6 table and appends machine-readable records to
+//! `BENCH_engine.json`.
+//!
+//! `LGFI_SLO_CYCLES` scales the injection horizon (default 600);
+//! `LGFI_THREADS` / `LGFI_TRAFFIC_THREADS` select worker counts (`0` = one per
+//! core).  Output is bit-identical for every thread setting.
+
+fn main() {
+    let horizon = lgfi_bench::slo::configured_slo_cycles();
+    let (table, records) = lgfi_bench::slo::run_slo_suite(horizon);
+    println!("{table}");
+    let path = lgfi_bench::perf::default_json_path();
+    match lgfi_bench::perf::append_slo_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

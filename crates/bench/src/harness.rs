@@ -1240,6 +1240,7 @@ pub fn run_all_experiments() -> String {
         ("C3", exp_memory_overhead),
         ("C4", exp_dynamic_convergence),
         ("C5", exp_traffic),
+        ("C6", crate::slo::exp_slo),
     ];
     let mut out = String::new();
     for (name, f) in sections {

@@ -9,3 +9,4 @@
 
 pub mod harness;
 pub mod perf;
+pub mod slo;

@@ -246,6 +246,95 @@ pub fn append_traffic_records(path: &Path, records: &[TrafficBenchRecord]) -> st
     append_json_lines(path, &lines)
 }
 
+/// One fault-campaign SLO measurement, as recorded in `BENCH_engine.json`
+/// alongside the engine, routing and traffic records.  One record per
+/// (router, campaign shape) point of the `exp_slo` sweep.
+#[derive(Debug, Clone)]
+pub struct SloBenchRecord {
+    /// Benchmark id, e.g. `slo_churn_16x16`.
+    pub bench: String,
+    /// The code/config variant that produced the number (`LGFI_BENCH_VARIANT`).
+    pub variant: String,
+    /// Mesh shape, e.g. `16x16`.
+    pub mesh: String,
+    /// The router that drove the packets.
+    pub router: String,
+    /// Traffic decision workers the campaign ran with (1 = serial).
+    pub threads: usize,
+    /// Campaign shape tag (`L`, `ring`, `front`, `outage`, `churn`, ...).
+    pub shape: String,
+    /// Fault density: peak simultaneous faults per interior node.
+    pub density: f64,
+    /// Injection cycles of the campaign.
+    pub horizon: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered — a determinism fingerprint: identical across variants
+    /// and thread counts.
+    pub delivered: u64,
+    /// Mesh-wide delivery rate.
+    pub delivery_rate: f64,
+    /// Median delivered latency in cycles.
+    pub p50_latency: u64,
+    /// 99th-percentile delivered latency in cycles.
+    pub p99_latency: u64,
+    /// 99.9th-percentile delivered latency in cycles.
+    pub p999_latency: u64,
+    /// Delivered packets whose detour exceeded the Theorem-4 budget.
+    pub detour_violations: u64,
+    /// Packets dropped because their destination became unreachable.
+    pub unreachable: u64,
+    /// Fault bursts observed.
+    pub bursts: u64,
+    /// Mean steps from a fault burst to labeling re-stabilisation.
+    pub mean_reconverge: f64,
+    /// The worst per-node delivery rate over nodes that injected anything.
+    pub worst_node_delivery: f64,
+}
+
+impl SloBenchRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"router\":\"{}\",\
+             \"threads\":{},\"shape\":\"{}\",\"density\":{:.4},\"horizon\":{},\
+             \"injected\":{},\"delivered\":{},\"delivery_rate\":{:.4},\"p50_latency\":{},\
+             \"p99_latency\":{},\"p999_latency\":{},\"detour_violations\":{},\
+             \"unreachable\":{},\"bursts\":{},\"mean_reconverge\":{:.2},\
+             \"worst_node_delivery\":{:.4}}}",
+            escape(&self.bench),
+            escape(&self.variant),
+            escape(&self.mesh),
+            escape(&self.router),
+            self.threads,
+            escape(&self.shape),
+            self.density,
+            self.horizon,
+            self.injected,
+            self.delivered,
+            self.delivery_rate,
+            self.p50_latency,
+            self.p99_latency,
+            self.p999_latency,
+            self.detour_violations,
+            self.unreachable,
+            self.bursts,
+            self.mean_reconverge,
+            self.worst_node_delivery,
+        );
+        s
+    }
+}
+
+/// Appends SLO records to the JSON file at `path` (same one-record-per-line array
+/// format as [`append_records`]).
+pub fn append_slo_records(path: &Path, records: &[SloBenchRecord]) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_lines(path, &lines)
+}
+
 /// Runs the standard C5 traffic scenario (16×16 mesh, 12 clustered static faults,
 /// 200 injection cycles) once for one router at one offered load and traffic
 /// pattern, and returns the latency-vs-load record.

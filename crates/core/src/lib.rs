@@ -36,6 +36,9 @@
 //!    data plane where many packets are in flight at once, contending for
 //!    finite-capacity links around the fault blocks — queueing latency and
 //!    saturation throughput become observable instead of only hop counts.
+//! 10. **SLO plane** ([`slo`]): per-router availability SLOs (delivery rate, latency
+//!     quantiles, Theorem-4 detour-bound violations, time-to-reconverge) accumulated
+//!     allocation-free over long-horizon fault campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +54,7 @@ pub mod linkstate;
 pub mod network;
 pub mod routing;
 pub mod safety;
+pub mod slo;
 pub mod status;
 pub mod traffic_engine;
 
@@ -67,5 +71,6 @@ pub use routing::{
     DirectionClass, LgfiRouter, Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router, RoutingDecision,
 };
 pub use safety::is_safe_source;
+pub use slo::SloObserver;
 pub use status::NodeStatus;
 pub use traffic_engine::{CycleEnv, PacketRecord, StaticTrafficEnv, TrafficConfig, TrafficEngine};

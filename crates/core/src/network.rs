@@ -23,7 +23,7 @@
 
 use std::collections::BTreeMap;
 
-use lgfi_sim::{FaultEventKind, FaultPlan, StepConfig};
+use lgfi_sim::{FaultEvent, FaultEventKind, FaultPlan, FaultPlanCursor, StepConfig};
 use lgfi_topology::{Mesh, NodeId, Region};
 
 use crate::block::{BlockSet, FaultyBlock};
@@ -153,6 +153,9 @@ pub struct LgfiNetwork {
     mesh: Mesh,
     config: NetworkConfig,
     plan: FaultPlan,
+    /// Forward scanner over `plan`, so the per-step event lookup is O(events at this
+    /// step) instead of a full-plan scan-and-collect.
+    plan_cursor: FaultPlanCursor,
     labeling: LabelingEngine,
     step: u64,
     round: u64,
@@ -214,6 +217,7 @@ impl LgfiNetwork {
             mesh,
             config,
             plan,
+            plan_cursor: FaultPlanCursor::new(),
             step: 0,
             round: 0,
             dirty: false,
@@ -418,16 +422,34 @@ impl LgfiNetwork {
     /// [`LgfiNetwork::run_traffic_step`]: fault detection (events scheduled for this
     /// step take effect) and the λ information rounds.
     fn begin_step(&mut self) {
+        self.begin_step_with(&[]);
+    }
+
+    /// [`LgfiNetwork::begin_step`] with additional `external` events taking effect at
+    /// this step, on top of those the fault plan schedules.  Incremental fault
+    /// sources (e.g. a churn process emitting events step by step) feed the network
+    /// through this path without ever materialising a full plan.  External events
+    /// must carry the current step number and satisfy the [`FaultPlan::validate`]
+    /// rules against the network's live fault state.
+    fn begin_step_with(&mut self, external: &[FaultEvent]) {
         // --- Phase 1: fault detection (events scheduled for this step take effect). --
-        let events: Vec<_> = self.plan.events_at(self.step).copied().collect();
-        let fault_occurred = events.iter().any(|e| e.kind == FaultEventKind::Fail);
-        if !events.is_empty() {
-            for e in &events {
-                match e.kind {
-                    FaultEventKind::Fail => self.labeling.inject_fault(e.node),
-                    FaultEventKind::Recover => self.labeling.recover(e.node),
+        // The cursor returns the plan's events for this step as a contiguous slice —
+        // no per-step allocation, no full-plan scan.
+        let events = self.plan_cursor.events_at(&self.plan, self.step);
+        let mut any_event = false;
+        let mut fault_occurred = false;
+        for e in events.iter().chain(external) {
+            debug_assert_eq!(e.step, self.step, "event applied at the wrong step");
+            any_event = true;
+            match e.kind {
+                FaultEventKind::Fail => {
+                    fault_occurred = true;
+                    self.labeling.inject_fault(e.node);
                 }
+                FaultEventKind::Recover => self.labeling.recover(e.node),
             }
+        }
+        if any_event {
             if !self.dirty {
                 self.disturbance_step = self.step;
                 self.rounds_since_disturbance = 0;
@@ -467,7 +489,21 @@ impl LgfiNetwork {
     /// One network step is one traffic cycle, so packet latency is measured in the
     /// same unit a probe's steps are.
     pub fn run_traffic_step(&mut self, traffic: &mut crate::traffic_engine::TrafficEngine) {
-        self.begin_step();
+        self.run_traffic_step_with(&[], traffic);
+    }
+
+    /// [`LgfiNetwork::run_traffic_step`] with additional fault events taking effect
+    /// at this step, on top of those the fault plan schedules.  This is the entry
+    /// point of incremental fault sources (a `ChurnProcess` emitting millions of
+    /// events one step at a time): the caller owns the event stream and the network
+    /// never materialises it as a plan.  `external` events must carry the current
+    /// step number ([`LgfiNetwork::step`]).
+    pub fn run_traffic_step_with(
+        &mut self,
+        external: &[FaultEvent],
+        traffic: &mut crate::traffic_engine::TrafficEngine,
+    ) {
+        self.begin_step_with(external);
         self.refresh_visible_arena();
         traffic.run_cycle(&crate::traffic_engine::CycleEnv {
             statuses: self.labeling.statuses(),
@@ -541,8 +577,13 @@ impl LgfiNetwork {
 
         // Information for regions that no longer exist is deleted; the deletion wave
         // travels the same path as the original distribution, so the entry disappears
-        // `arrival_offset` rounds after the deletion starts (now).
+        // `arrival_offset` rounds after the deletion starts (now).  Entries whose
+        // window already closed can never become visible again — dropping them here
+        // keeps the store (and the arena rebuild cost) proportional to the *live*
+        // information under long fail/repair churn instead of every entry ever
+        // distributed.
         for entries in self.info.iter_mut() {
+            entries.retain(|t| t.visible_until.map_or(true, |u| u > self.round));
             for t in entries.iter_mut() {
                 if t.visible_until.is_none() && !new_regions.contains(&t.entry.block) {
                     t.visible_until = Some(self.round + t.entry.arrival_offset + 1);
@@ -615,40 +656,39 @@ impl LgfiNetwork {
     /// block seen.
     pub fn detour_bound_for(&self, start_step: u64) -> DetourBound {
         let cfg = self.step_config();
-        let times = self.plan.occurrence_times();
-        let t_p = times
-            .iter()
-            .copied()
+        let t_p = self
+            .plan
+            .occurrence_times_iter()
             .filter(|&t| t <= start_step)
             .max()
             .unwrap_or(0);
-        let mut intervals = Vec::new();
-        let after: Vec<u64> = times.iter().copied().filter(|&t| t >= t_p).collect();
-        for w in after.windows(2) {
-            let d = w[1] - w[0];
+        let a_steps_at = |step: u64| {
             let a_rounds = self
                 .convergence
                 .iter()
-                .find(|c| c.step == w[0])
+                .find(|c| c.step == step)
                 .map(|c| c.a_rounds)
                 .unwrap_or(0);
-            intervals.push(IntervalParams {
-                d,
-                a_steps: cfg.steps_for_rounds(a_rounds),
-            });
+            cfg.steps_for_rounds(a_rounds)
+        };
+        // Walk the occurrence times >= t_p pairwise without collecting them.
+        let mut intervals = Vec::new();
+        let mut prev: Option<u64> = None;
+        for t in self.plan.occurrence_times_iter().filter(|&t| t >= t_p) {
+            if let Some(p) = prev {
+                intervals.push(IntervalParams {
+                    d: t - p,
+                    a_steps: a_steps_at(p),
+                });
+            }
+            prev = Some(t);
         }
         // The last interval extends to "after the last fault": treat it as long enough
         // for any remaining distance (diameter of the mesh).
-        if let Some(&last) = after.last() {
-            let a_rounds = self
-                .convergence
-                .iter()
-                .find(|c| c.step == last)
-                .map(|c| c.a_rounds)
-                .unwrap_or(0);
+        if let Some(last) = prev {
             intervals.push(IntervalParams {
                 d: u64::from(self.mesh.diameter()) * 4,
-                a_steps: cfg.steps_for_rounds(a_rounds),
+                a_steps: a_steps_at(last),
             });
         }
         let e_max = self.blocks.e_max() as u64;

@@ -274,6 +274,15 @@ impl TrafficEngine {
         &self.records
     }
 
+    /// Drops the finished-packet records accumulated so far, keeping their capacity
+    /// and every other statistic.  Long-horizon campaigns drain the records into an
+    /// external accumulator each cycle and clear them here, so a multi-million-cycle
+    /// run holds memory proportional to the in-flight population rather than every
+    /// packet ever finished.
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+
     /// The accumulated traffic statistics.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats

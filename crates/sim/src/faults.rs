@@ -122,13 +122,19 @@ impl FaultPlan {
         self.events.last().map(|e| e.step)
     }
 
-    /// The occurrence times `t_i` of fault occurrences (not recoveries), in order.
-    pub fn occurrence_times(&self) -> Vec<u64> {
+    /// The occurrence times `t_i` of fault occurrences (not recoveries), in order,
+    /// without allocating (use [`FaultPlan::occurrence_times`] when a `Vec` is
+    /// actually wanted).
+    pub fn occurrence_times_iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.events
             .iter()
             .filter(|e| e.kind == FaultEventKind::Fail)
             .map(|e| e.step)
-            .collect()
+    }
+
+    /// The occurrence times `t_i` of fault occurrences (not recoveries), in order.
+    pub fn occurrence_times(&self) -> Vec<u64> {
+        self.occurrence_times_iter().collect()
     }
 
     /// The intervals `d_i = t_{i+1} - t_i` between consecutive fault occurrences.
@@ -137,33 +143,54 @@ impl FaultPlan {
         times.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
-    /// The set of nodes that are faulty at the *end* of step `step` (i.e. after all
-    /// events with `t_i <= step` have been applied).
-    pub fn faulty_at(&self, step: u64) -> Vec<NodeId> {
-        let mut faulty = std::collections::BTreeSet::new();
+    /// Fills `out` with the set of nodes that are faulty at the *end* of step `step`
+    /// (after all events with `t_i <= step` have been applied), sorted by node id.
+    /// Reuses `out`'s capacity, so repeated queries perform no steady-state
+    /// allocation.
+    pub fn faulty_at_into(&self, step: u64, out: &mut Vec<NodeId>) {
+        out.clear();
         for e in self.events_up_to(step) {
             match e.kind {
-                FaultEventKind::Fail => {
-                    faulty.insert(e.node);
-                }
+                FaultEventKind::Fail => out.push(e.node),
                 FaultEventKind::Recover => {
-                    faulty.remove(&e.node);
+                    if let Some(pos) = out.iter().position(|&n| n == e.node) {
+                        out.swap_remove(pos);
+                    }
                 }
             }
         }
-        faulty.into_iter().collect()
+        out.sort_unstable();
+    }
+
+    /// The set of nodes that are faulty at the *end* of step `step` (i.e. after all
+    /// events with `t_i <= step` have been applied).
+    pub fn faulty_at(&self, step: u64) -> Vec<NodeId> {
+        let mut faulty = Vec::new();
+        self.faulty_at_into(step, &mut faulty);
+        faulty
     }
 
     /// Checks the paper's structural assumptions against a mesh:
     ///
+    /// * every event targets a node inside the mesh,
     /// * no fault occurs on the outermost surface of the mesh (Section 5),
-    /// * a recovery only targets a node that is faulty at that time,
-    /// * no node fails twice without recovering in between.
+    /// * a recovery only targets a node that is faulty at that time (so a recovery
+    ///   never precedes the fault it undoes),
+    /// * no node fails twice without recovering in between,
+    /// * no node has two events scheduled at the same step.
     ///
     /// Returns the list of violations (empty = valid).
     pub fn validate(&self, mesh: &Mesh) -> Vec<String> {
         let mut problems = Vec::new();
         let mut faulty = std::collections::BTreeSet::new();
+        for w in self.events.windows(2) {
+            if w[0].step == w[1].step && w[0].node == w[1].node {
+                problems.push(format!(
+                    "node {} has two events at step {} ({:?} and {:?})",
+                    w[0].node, w[0].step, w[0].kind, w[1].kind
+                ));
+            }
+        }
         for e in &self.events {
             if e.node >= mesh.node_count() {
                 problems.push(format!("event {e:?}: node id out of range"));
@@ -214,6 +241,47 @@ impl FaultPlan {
             peak = peak.max(faulty.len());
         }
         peak
+    }
+}
+
+/// An allocation-free forward scanner over a [`FaultPlan`].
+///
+/// [`FaultPlan::events_at`] walks the whole event list on every call, which turns a
+/// long churn run into an O(steps × events) scan.  A cursor remembers where the last
+/// query left off: the plan is sorted by `(step, node)`, so the events of any step are
+/// one contiguous slice and successive queries with non-decreasing steps advance the
+/// cursor monotonically.  Querying the same step again returns the same slice; the
+/// engines' step loop holds one cursor per plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlanCursor {
+    idx: usize,
+}
+
+impl FaultPlanCursor {
+    /// A cursor positioned before the first event.
+    pub fn new() -> Self {
+        FaultPlanCursor::default()
+    }
+
+    /// Rewinds the cursor to the start of the plan.
+    pub fn reset(&mut self) {
+        self.idx = 0;
+    }
+
+    /// The events taking effect exactly at `step`, as a contiguous slice.
+    ///
+    /// Steps must be queried in non-decreasing order between resets; events at steps
+    /// skipped over are never returned again.
+    pub fn events_at<'a>(&mut self, plan: &'a FaultPlan, step: u64) -> &'a [FaultEvent] {
+        let events = plan.events();
+        while self.idx < events.len() && events[self.idx].step < step {
+            self.idx += 1;
+        }
+        let mut end = self.idx;
+        while end < events.len() && events[end].step == step {
+            end += 1;
+        }
+        &events[self.idx..end]
     }
 }
 
@@ -299,6 +367,114 @@ mod tests {
         assert!(plan.events().iter().all(|e| e.step == 0));
         assert_eq!(plan.faulty_at(0), vec![2, 4, 9]);
         assert!(plan.intervals().iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn faulty_at_into_reuses_buffer() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(1, 9),
+            FaultEvent::fail(1, 4),
+            FaultEvent::recover(3, 9),
+            FaultEvent::fail(5, 2),
+        ]);
+        let mut buf = Vec::with_capacity(8);
+        plan.faulty_at_into(2, &mut buf);
+        assert_eq!(buf, vec![4, 9]);
+        plan.faulty_at_into(6, &mut buf);
+        assert_eq!(buf, vec![2, 4]);
+        assert_eq!(plan.faulty_at(6), buf);
+    }
+
+    #[test]
+    fn occurrence_times_iter_matches_collected() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(5, 0),
+            FaultEvent::recover(7, 0),
+            FaultEvent::fail(11, 1),
+        ]);
+        let collected: Vec<u64> = plan.occurrence_times_iter().collect();
+        assert_eq!(collected, plan.occurrence_times());
+        assert_eq!(collected, vec![5, 11]);
+    }
+
+    #[test]
+    fn cursor_returns_contiguous_step_slices() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(2, 3),
+            FaultEvent::fail(2, 1),
+            FaultEvent::fail(5, 7),
+            FaultEvent::recover(9, 1),
+        ]);
+        let mut cursor = FaultPlanCursor::new();
+        assert!(cursor.events_at(&plan, 0).is_empty());
+        assert!(cursor.events_at(&plan, 1).is_empty());
+        let at2 = cursor.events_at(&plan, 2);
+        assert_eq!(at2.len(), 2);
+        assert_eq!(at2[0].node, 1);
+        assert_eq!(at2[1].node, 3);
+        // Re-querying the same step is idempotent.
+        assert_eq!(cursor.events_at(&plan, 2).len(), 2);
+        // Skipping steps works, and skipped events are gone.
+        assert_eq!(cursor.events_at(&plan, 9).len(), 1);
+        assert!(cursor.events_at(&plan, 10).is_empty());
+        cursor.reset();
+        assert_eq!(cursor.events_at(&plan, 5).len(), 1);
+    }
+
+    #[test]
+    fn cursor_agrees_with_events_at_over_a_sweep() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(0, 5),
+            FaultEvent::fail(3, 6),
+            FaultEvent::recover(3, 5),
+            FaultEvent::fail(3, 8),
+            FaultEvent::recover(12, 6),
+        ]);
+        let mut cursor = FaultPlanCursor::new();
+        for step in 0..15u64 {
+            let via_cursor: Vec<FaultEvent> = cursor.events_at(&plan, step).to_vec();
+            let via_scan: Vec<FaultEvent> = plan.events_at(step).copied().collect();
+            assert_eq!(via_cursor, via_scan, "step {step}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_mesh_nodes() {
+        let mesh = Mesh::cubic(4, 2);
+        let plan = FaultPlan::new(vec![FaultEvent::fail(0, mesh.node_count() + 3)]);
+        let problems = plan.validate(&mesh);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_recover_before_fail() {
+        let mesh = Mesh::cubic(6, 2);
+        let n = mesh.id_of(&coord![3, 3]);
+        let plan = FaultPlan::new(vec![FaultEvent::recover(2, n), FaultEvent::fail(5, n)]);
+        let problems = plan.validate(&mesh);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("recovers at step 2 while not faulty"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_same_step_events() {
+        let mesh = Mesh::cubic(6, 2);
+        let n = mesh.id_of(&coord![2, 3]);
+        let m = mesh.id_of(&coord![3, 2]);
+        // Same-step fail+recover on one node, and same-step double fail on another.
+        let plan = FaultPlan::new(vec![
+            FaultEvent::fail(4, n),
+            FaultEvent::recover(4, n),
+            FaultEvent::fail(4, m),
+            FaultEvent::fail(4, m),
+        ]);
+        let problems = plan.validate(&mesh);
+        let dupes = problems
+            .iter()
+            .filter(|p| p.contains("two events at step"))
+            .count();
+        assert_eq!(dupes, 2, "problems: {problems:?}");
     }
 
     #[test]

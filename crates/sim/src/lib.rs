@@ -36,15 +36,17 @@ pub mod engine;
 pub mod faults;
 pub mod rng;
 pub mod shard;
+pub mod slo;
 pub mod stats;
 pub mod step;
 pub mod trace;
 pub mod traffic_engine;
 
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
-pub use faults::{FaultEvent, FaultEventKind, FaultPlan};
+pub use faults::{FaultEvent, FaultEventKind, FaultPlan, FaultPlanCursor};
 pub use rng::DetRng;
 pub use shard::{batch_ranges, resolve_threads, shard_ranges, PoolHandle, WorkerPool};
+pub use slo::{NodeSlo, SloOutcome, SloTracker};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};

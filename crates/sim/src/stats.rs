@@ -217,6 +217,14 @@ impl Histogram {
         self.max()
     }
 
+    /// Forgets all observations while keeping the bucket table allocated, so a
+    /// cleared histogram records again without allocating (the warm-path reset of
+    /// accumulators such as `SloTracker`).
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.counts.len() > self.counts.len() {
@@ -310,6 +318,20 @@ mod tests {
         assert_eq!(a, b);
         b.record(7);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn histogram_clear_keeps_capacity() {
+        let mut h = Histogram::new();
+        h.reserve_to(100);
+        h.record(7);
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h, Histogram::new());
+        h.record(99);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl Mesh {
             strides[d] = acc;
             acc = acc
                 .checked_mul(dims[d] as usize)
+                // audit:allow(panic): construction-time overflow is a caller error
                 .expect("mesh too large for usize");
         }
         Mesh {

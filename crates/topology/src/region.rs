@@ -144,7 +144,7 @@ impl Region {
     /// The longest edge length of the region, the paper's `e_max` contribution of a
     /// single block.
     pub fn max_edge(&self) -> i32 {
-        (0..self.ndim()).map(|d| self.len(d)).max().unwrap()
+        (0..self.ndim()).map(|d| self.len(d)).max().unwrap_or(0)
     }
 
     /// Number of coordinates contained in the region.

@@ -1,0 +1,271 @@
+//! Deterministic Poisson fail/repair churn.
+//!
+//! Long-horizon robustness campaigns need fault schedules spanning millions of
+//! steps.  Materialising such a schedule as a [`FaultPlan`] up front would cost
+//! memory proportional to the horizon; [`ChurnProcess`] instead *streams* the
+//! events: [`ChurnProcess::events_at`] emits the events of one step at a time into a
+//! caller-owned buffer, in exactly the order [`FaultPlan::new`] would sort them, so
+//! the stream can be fed to `LgfiNetwork::run_traffic_step_with` step by step and a
+//! 10M-cycle run never holds more than the currently-faulty node set.
+//!
+//! The process is a marked Poisson process driven by a [`DetRng`]: fault
+//! inter-arrival times are exponential with rate [`ChurnConfig::fail_rate`] (so the
+//! expected number of fails per step is `fail_rate`), each fault picks a uniformly
+//! random currently-alive interior node, and each faulty node repairs after an
+//! exponential downtime with mean [`ChurnConfig::mean_downtime`] (at least one
+//! step).  Same seed ⇒ bit-identical event stream, independent of how the caller
+//! batches its queries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lgfi_sim::{DetRng, FaultEvent, FaultPlan};
+use lgfi_topology::{Mesh, NodeId};
+
+/// Parameters of a [`ChurnProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Expected fault occurrences per step (the Poisson rate λ of the fail process).
+    pub fail_rate: f64,
+    /// Mean steps a faulty node stays down before repairing (exponential, rounded,
+    /// at least 1).
+    pub mean_downtime: f64,
+    /// Hard cap on simultaneously faulty nodes; fault arrivals beyond the cap are
+    /// dropped (the arrival time is still consumed, so the stream stays aligned).
+    pub max_faulty: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            fail_rate: 0.02,
+            mean_downtime: 200.0,
+            max_faulty: 64,
+        }
+    }
+}
+
+/// A deterministic streaming Poisson fail/repair process over the mesh interior.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    mesh: Mesh,
+    rng: DetRng,
+    config: ChurnConfig,
+    /// Interior nodes currently alive (order irrelevant; `alive_pos` indexes it).
+    alive: Vec<NodeId>,
+    /// Position of each node in `alive`, or `usize::MAX` when faulty/non-interior.
+    alive_pos: Vec<usize>,
+    /// Pending repairs as `(step, node)`, earliest first.
+    repairs: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// Continuous time of the next fault arrival.
+    next_fail: f64,
+    /// Currently faulty node count.
+    faulty: usize,
+}
+
+impl ChurnProcess {
+    /// A churn process over `mesh` seeded with `seed`.
+    pub fn new(mesh: Mesh, seed: u64, config: ChurnConfig) -> Self {
+        let interior = mesh.interior_region().unwrap_or_else(|| mesh.full_region());
+        let mut alive_pos = vec![usize::MAX; mesh.node_count()];
+        let mut alive = Vec::new();
+        for c in interior.iter_coords() {
+            let id = mesh.id_of(&c);
+            alive_pos[id] = alive.len();
+            alive.push(id);
+        }
+        let mut process = ChurnProcess {
+            mesh,
+            rng: DetRng::seed_from_u64(seed),
+            config,
+            alive,
+            alive_pos,
+            repairs: BinaryHeap::with_capacity(config.max_faulty + 1),
+            next_fail: 0.0,
+            faulty: 0,
+        };
+        process.next_fail = process.exponential_gap();
+        process
+    }
+
+    /// The mesh the process runs over.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Currently faulty node count.
+    pub fn faulty_count(&self) -> usize {
+        self.faulty
+    }
+
+    /// One exponential fail inter-arrival gap in steps.
+    fn exponential_gap(&mut self) -> f64 {
+        // unit() is in [0, 1), so 1 - unit() is in (0, 1] and ln is finite.
+        -(1.0 - self.rng.unit()).ln() / self.config.fail_rate.max(f64::MIN_POSITIVE)
+    }
+
+    /// One exponential downtime, rounded to whole steps, at least 1.
+    fn downtime(&mut self) -> u64 {
+        let d = -(1.0 - self.rng.unit()).ln() * self.config.mean_downtime.max(0.0);
+        (d.round() as u64).max(1)
+    }
+
+    fn remove_alive(&mut self, node: NodeId) {
+        let pos = self.alive_pos[node];
+        let last = self.alive.len() - 1;
+        self.alive.swap(pos, last);
+        self.alive_pos[self.alive[pos]] = pos;
+        self.alive.pop();
+        self.alive_pos[node] = usize::MAX;
+    }
+
+    fn push_alive(&mut self, node: NodeId) {
+        self.alive_pos[node] = self.alive.len();
+        self.alive.push(node);
+    }
+
+    /// Emits the events taking effect at `step` into `out` (clearing it first), in
+    /// the `(step, node)` order a [`FaultPlan`] would store them.  Steps must be
+    /// queried in strictly increasing order; `out`'s capacity is reused, so the
+    /// steady state allocates nothing beyond occasional heap growth of the pending
+    /// repair queue.
+    pub fn events_at(&mut self, step: u64, out: &mut Vec<FaultEvent>) {
+        out.clear();
+        // Fault arrivals landing in this step.  The repair queue never exceeds
+        // `max_faulty` entries (pre-reserved), so admitting a fault does not allocate.
+        while self.next_fail < (step + 1) as f64 {
+            let gap = self.exponential_gap();
+            if !self.alive.is_empty() && self.faulty < self.config.max_faulty {
+                let victim = self.alive[self.rng.below(self.alive.len())];
+                self.remove_alive(victim);
+                self.faulty += 1;
+                let repair = step + self.downtime();
+                self.repairs.push(Reverse((repair, victim)));
+                out.push(FaultEvent::fail(step, victim));
+            }
+            self.next_fail += gap;
+        }
+        // Repairs due this step.  A node repaired here re-enters `alive` only after
+        // the arrival loop above ran, so it can never fail again at the same step.
+        while let Some(&Reverse((when, node))) = self.repairs.peek() {
+            if when > step {
+                break;
+            }
+            self.repairs.pop();
+            self.push_alive(node);
+            self.faulty -= 1;
+            out.push(FaultEvent::recover(step, node));
+        }
+        out.sort_unstable_by_key(|e| e.node);
+    }
+
+    /// Materialises the first `horizon` steps of the stream as a [`FaultPlan`]
+    /// (tests and short campaigns; long campaigns should stream
+    /// [`ChurnProcess::events_at`] instead).
+    pub fn plan(&mut self, horizon: u64) -> FaultPlan {
+        let mut events = Vec::new();
+        let mut buf = Vec::new();
+        for step in 0..horizon {
+            self.events_at(step, &mut buf);
+            events.extend_from_slice(&buf);
+        }
+        FaultPlan::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_matches_materialised_plan() {
+        let mesh = Mesh::cubic(10, 2);
+        let config = ChurnConfig {
+            fail_rate: 0.1,
+            mean_downtime: 30.0,
+            max_faulty: 8,
+        };
+        let plan = ChurnProcess::new(mesh.clone(), 7, config).plan(500);
+        let mut streamed = ChurnProcess::new(mesh, 7, config);
+        let mut buf = Vec::new();
+        let mut collected = Vec::new();
+        for step in 0..500 {
+            streamed.events_at(step, &mut buf);
+            collected.extend_from_slice(&buf);
+        }
+        assert_eq!(FaultPlan::new(collected), plan);
+        assert!(!plan.is_empty(), "rate 0.1 over 500 steps must fire");
+    }
+
+    #[test]
+    fn plans_are_validate_clean() {
+        for seed in 0..5u64 {
+            let mesh = Mesh::cubic(12, 2);
+            let mut churn = ChurnProcess::new(
+                mesh.clone(),
+                seed,
+                ChurnConfig {
+                    fail_rate: 0.2,
+                    mean_downtime: 20.0,
+                    max_faulty: 10,
+                },
+            );
+            let plan = churn.plan(1_000);
+            assert!(
+                plan.validate(&mesh).is_empty(),
+                "seed {seed}: {:?}",
+                plan.validate(&mesh)
+            );
+            assert!(plan.peak_fault_count() <= 10, "cap must hold");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mesh = Mesh::cubic(10, 2);
+        let a = ChurnProcess::new(mesh.clone(), 42, ChurnConfig::default()).plan(2_000);
+        let b = ChurnProcess::new(mesh.clone(), 42, ChurnConfig::default()).plan(2_000);
+        let c = ChurnProcess::new(mesh, 43, ChurnConfig::default()).plan(2_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_controls_the_expected_fault_count() {
+        let mesh = Mesh::cubic(16, 2);
+        let mut churn = ChurnProcess::new(
+            mesh,
+            3,
+            ChurnConfig {
+                fail_rate: 0.05,
+                mean_downtime: 10.0,
+                max_faulty: 1_000,
+            },
+        );
+        let plan = churn.plan(10_000);
+        let fails = plan.occurrence_times_iter().count();
+        // Expected 500; allow generous slack for a single sample path.
+        assert!(
+            (300..700).contains(&fails),
+            "expected ~500 fails, got {fails}"
+        );
+    }
+
+    #[test]
+    fn faults_stay_interior() {
+        let mesh = Mesh::cubic(8, 2);
+        let mut churn = ChurnProcess::new(
+            mesh.clone(),
+            11,
+            ChurnConfig {
+                fail_rate: 0.3,
+                mean_downtime: 15.0,
+                max_faulty: 12,
+            },
+        );
+        let plan = churn.plan(2_000);
+        for e in plan.events() {
+            assert!(!mesh.on_outermost_surface(&mesh.coord_of(e.node)));
+        }
+    }
+}

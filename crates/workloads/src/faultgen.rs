@@ -3,6 +3,21 @@
 use lgfi_sim::{DetRng, FaultEvent, FaultPlan};
 use lgfi_topology::{Coord, Mesh, NodeId, Region};
 
+/// The outline of a concave fault cluster — adversarial input for Algorithm 2's
+/// rectangular-block convexification, which must disable the nodes inside the
+/// shape's cavity to reach a box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterShape {
+    /// Two perpendicular arms meeting at a corner.
+    L,
+    /// A bar with a perpendicular stem from its middle.
+    T,
+    /// Four arms around a center.
+    Plus,
+    /// A hollow rectangular ring (the cavity is entirely enclosed).
+    Ring,
+}
+
 /// How faulty nodes are placed in the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPlacement {
@@ -18,6 +33,10 @@ pub enum FaultPlacement {
         /// Number of cluster seed points.
         clusters: usize,
     },
+    /// A single concave cluster of the given shape at a random interior anchor,
+    /// drawn in the first two dimensions.  The shape grows until it holds the
+    /// requested fault count; partial counts take a connected prefix of the shape.
+    Shaped(ClusterShape),
 }
 
 /// Parameters of a dynamic fault schedule.
@@ -49,6 +68,116 @@ impl Default for DynamicFaultConfig {
     }
 }
 
+/// Parameters of a fault front sweeping across dimension 0 of the interior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultFrontConfig {
+    /// Step at which the first slice fails.
+    pub first_step: u64,
+    /// Steps between consecutive slices failing.
+    pub interval: u64,
+    /// Number of simultaneously faulty slices (the wall's width); each slice
+    /// recovers when the front has moved this many slices past it.
+    pub thickness: usize,
+}
+
+impl Default for FaultFrontConfig {
+    fn default() -> Self {
+        FaultFrontConfig {
+            first_step: 10,
+            interval: 30,
+            thickness: 2,
+        }
+    }
+}
+
+/// Parameters of a correlated regional-outage schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionalOutageConfig {
+    /// Number of outage regions.
+    pub outages: usize,
+    /// Maximum extent of an outage region along each dimension.
+    pub max_extent: i32,
+    /// Step at which the first region fails.
+    pub first_step: u64,
+    /// Steps between consecutive regions failing.
+    pub spacing: u64,
+    /// Steps each region stays down before recovering as one burst.
+    pub duration: u64,
+}
+
+impl Default for RegionalOutageConfig {
+    fn default() -> Self {
+        RegionalOutageConfig {
+            outages: 3,
+            max_extent: 3,
+            first_step: 10,
+            spacing: 80,
+            duration: 50,
+        }
+    }
+}
+
+/// The ordered cell offsets of a [`ClusterShape`] holding at least `count` cells, in
+/// the first two dimensions around the anchor.  Every prefix of the returned order
+/// is connected (cells are appended by growing distance from the anchor, or by
+/// walking the ring's perimeter), so truncating to `count` keeps one cluster.
+fn shape_offsets(shape: ClusterShape, count: usize) -> Vec<(i32, i32)> {
+    let mut offs: Vec<(i32, i32)> = Vec::with_capacity(count.max(1));
+    match shape {
+        ClusterShape::L => {
+            offs.push((0, 0));
+            let mut d = 1;
+            while offs.len() < count {
+                offs.push((d, 0));
+                if offs.len() < count {
+                    offs.push((0, d));
+                }
+                d += 1;
+            }
+        }
+        ClusterShape::T => {
+            offs.push((0, 0));
+            let mut d = 1;
+            while offs.len() < count {
+                for arm in [(0, -d), (0, d), (d, 0)] {
+                    if offs.len() < count {
+                        offs.push(arm);
+                    }
+                }
+                d += 1;
+            }
+        }
+        ClusterShape::Plus => {
+            offs.push((0, 0));
+            let mut d = 1;
+            while offs.len() < count {
+                for arm in [(-d, 0), (d, 0), (0, -d), (0, d)] {
+                    if offs.len() < count {
+                        offs.push(arm);
+                    }
+                }
+                d += 1;
+            }
+        }
+        ClusterShape::Ring => {
+            // Smallest ring with a perimeter of at least `count` cells.
+            let mut r = 1i32;
+            while (8 * r) < count as i32 {
+                r += 1;
+            }
+            let (mut x, mut y) = (-r, -r);
+            for (dx, dy) in [(0, 1), (1, 0), (0, -1), (-1, 0)] {
+                for _ in 0..2 * r {
+                    offs.push((x, y));
+                    x += dx;
+                    y += dy;
+                }
+            }
+        }
+    }
+    offs
+}
+
 /// Generates fault placements and schedules deterministically from a seed.
 #[derive(Debug, Clone)]
 pub struct FaultGenerator {
@@ -68,7 +197,9 @@ impl FaultGenerator {
     /// The candidate region for a placement policy.
     fn candidate_nodes(&self, placement: FaultPlacement) -> Vec<Coord> {
         match placement {
-            FaultPlacement::UniformInterior | FaultPlacement::Clustered { .. } => self
+            FaultPlacement::UniformInterior
+            | FaultPlacement::Clustered { .. }
+            | FaultPlacement::Shaped(_) => self
                 .mesh
                 .interior_region()
                 .unwrap_or_else(|| self.mesh.full_region())
@@ -78,8 +209,18 @@ impl FaultGenerator {
         }
     }
 
+    /// The interior region (or the full mesh when there is no interior).
+    fn interior(&self) -> Region {
+        self.mesh
+            .interior_region()
+            .unwrap_or_else(|| self.mesh.full_region())
+    }
+
     /// Picks `count` distinct faulty nodes according to the placement policy.
     pub fn place(&mut self, count: usize, placement: FaultPlacement) -> Vec<Coord> {
+        if let FaultPlacement::Shaped(shape) = placement {
+            return self.place_shaped(shape, count);
+        }
         let candidates = self.candidate_nodes(placement);
         assert!(
             count <= candidates.len(),
@@ -91,6 +232,8 @@ impl FaultGenerator {
                 let picks = self.rng.sample_indices(candidates.len(), count);
                 picks.into_iter().map(|i| candidates[i].clone()).collect()
             }
+            // audit:allow(panic): shaped placements take the early return at the top of this function
+            FaultPlacement::Shaped(_) => unreachable!("handled above"),
             FaultPlacement::Clustered { clusters } => {
                 let clusters = clusters.max(1);
                 let seed_picks = self
@@ -132,6 +275,114 @@ impl FaultGenerator {
                 chosen
             }
         }
+    }
+
+    /// Places one concave cluster of `shape` with `count` nodes at a random interior
+    /// anchor.
+    fn place_shaped(&mut self, shape: ClusterShape, count: usize) -> Vec<Coord> {
+        assert!(count > 0, "cannot place an empty shape");
+        assert!(
+            self.mesh.dims().len() >= 2,
+            "shaped placements need at least 2 dimensions"
+        );
+        let mut offsets = shape_offsets(shape, count);
+        offsets.truncate(count);
+        let (mut lo0, mut hi0, mut lo1, mut hi1) = (0i32, 0i32, 0i32, 0i32);
+        for &(a, b) in &offsets {
+            lo0 = lo0.min(a);
+            hi0 = hi0.max(a);
+            lo1 = lo1.min(b);
+            hi1 = hi1.max(b);
+        }
+        let interior = self.interior();
+        let (ilo, ihi) = (interior.lo().to_vec(), interior.hi().to_vec());
+        assert!(
+            ilo[0] - lo0 <= ihi[0] - hi0 && ilo[1] - lo1 <= ihi[1] - hi1,
+            "mesh interior too small for a {count}-node {shape:?} cluster"
+        );
+        let a0 = self.rng.range_i32(ilo[0] - lo0, ihi[0] - hi0);
+        let a1 = self.rng.range_i32(ilo[1] - lo1, ihi[1] - hi1);
+        let rest: Vec<i32> = (2..ilo.len())
+            .map(|d| self.rng.range_i32(ilo[d], ihi[d]))
+            .collect();
+        offsets
+            .iter()
+            .map(|&(o0, o1)| {
+                let mut v = Vec::with_capacity(ilo.len());
+                v.push(a0 + o0);
+                v.push(a1 + o1);
+                v.extend_from_slice(&rest);
+                Coord::new(v)
+            })
+            .collect()
+    }
+
+    /// A fault *front* sweeping across the mesh: successive interior slices along
+    /// dimension 0 fail one [`FaultFrontConfig::interval`] apart, and each slice
+    /// recovers once the front has moved [`FaultFrontConfig::thickness`] slices past
+    /// it — a moving wall of faults crossing the whole interior.  Deterministic (no
+    /// randomness involved) and [`FaultPlan::validate`]-clean.
+    pub fn front_plan(&mut self, config: FaultFrontConfig) -> FaultPlan {
+        let interior = self.interior();
+        let (lo, hi) = (interior.lo().to_vec(), interior.hi().to_vec());
+        let thickness = config.thickness.max(1) as u64;
+        let slices = (hi[0] - lo[0] + 1).max(0) as u64;
+        let mut events = Vec::new();
+        for i in 0..slices {
+            let mut slice_lo = lo.clone();
+            let mut slice_hi = hi.clone();
+            slice_lo[0] = lo[0] + i as i32;
+            slice_hi[0] = slice_lo[0];
+            let t_fail = config.first_step + config.interval * i;
+            let t_recover = config.first_step + config.interval * (i + thickness);
+            for c in Region::new(slice_lo, slice_hi).iter_coords() {
+                let id = self.mesh.id_of(&c);
+                events.push(FaultEvent::fail(t_fail, id));
+                events.push(FaultEvent::recover(t_recover, id));
+            }
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Correlated regional outages: [`RegionalOutageConfig::outages`] random
+    /// pairwise-disjoint interior regions, each failing as one burst and recovering
+    /// as one burst.  Regions that cannot be placed disjointly after a bounded number
+    /// of deterministic attempts are skipped.
+    pub fn regional_outage_plan(&mut self, config: RegionalOutageConfig) -> FaultPlan {
+        let interior = self.interior();
+        let ndim = self.mesh.dims().len();
+        let mut chosen: Vec<Region> = Vec::new();
+        let mut events = Vec::new();
+        for k in 0..config.outages {
+            let mut picked = None;
+            for _attempt in 0..32 {
+                let mut lo = Vec::with_capacity(ndim);
+                let mut hi = Vec::with_capacity(ndim);
+                for d in 0..ndim {
+                    let span = interior.hi()[d] - interior.lo()[d] + 1;
+                    let extent = self.rng.range_i32(1, config.max_extent.max(1).min(span));
+                    let l = self
+                        .rng
+                        .range_i32(interior.lo()[d], interior.hi()[d] - (extent - 1));
+                    lo.push(l);
+                    hi.push(l + extent - 1);
+                }
+                let r = Region::new(lo, hi);
+                if chosen.iter().all(|c| c.clip(&r).is_none()) {
+                    picked = Some(r);
+                    break;
+                }
+            }
+            let Some(region) = picked else { continue };
+            let t = config.first_step + config.spacing * k as u64;
+            for c in region.iter_coords() {
+                let id = self.mesh.id_of(&c);
+                events.push(FaultEvent::fail(t, id));
+                events.push(FaultEvent::recover(t + config.duration.max(1), id));
+            }
+            chosen.push(region);
+        }
+        FaultPlan::new(events)
     }
 
     /// A static plan: all faults present from step 0.
@@ -255,6 +506,119 @@ mod tests {
             2,
             "faults overlap by 45-30=15 steps"
         );
+    }
+
+    #[test]
+    fn shaped_placements_are_connected_interior_and_concave() {
+        let mesh = Mesh::cubic(16, 2);
+        for shape in [
+            ClusterShape::L,
+            ClusterShape::T,
+            ClusterShape::Plus,
+            ClusterShape::Ring,
+        ] {
+            let mut generator = FaultGenerator::new(mesh.clone(), 21);
+            let faults = generator.place(9, FaultPlacement::Shaped(shape));
+            assert_eq!(faults.len(), 9, "{shape:?}");
+            assert!(
+                faults.iter().all(|c| !mesh.on_outermost_surface(c)),
+                "{shape:?} must stay interior"
+            );
+            let mut sorted = faults.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 9, "{shape:?} cells must be distinct");
+            // Connected under 1-hop adjacency (Manhattan distance 1).
+            let mut reached = vec![false; faults.len()];
+            reached[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(i) = frontier.pop() {
+                for j in 0..faults.len() {
+                    if !reached[j] {
+                        let d: i32 = faults[i]
+                            .as_slice()
+                            .iter()
+                            .zip(faults[j].as_slice())
+                            .map(|(a, b)| (a - b).abs())
+                            .sum();
+                        if d == 1 {
+                            reached[j] = true;
+                            frontier.push(j);
+                        }
+                    }
+                }
+            }
+            assert!(
+                reached.iter().all(|&r| r),
+                "{shape:?} cluster must be connected"
+            );
+            // Concave: the bounding box strictly exceeds the cell count.
+            let bb = Region::bounding_all(faults.iter()).unwrap();
+            assert!(
+                bb.volume() as usize > faults.len(),
+                "{shape:?} must not fill its bounding box"
+            );
+        }
+    }
+
+    #[test]
+    fn full_ring_encloses_its_cavity() {
+        let mesh = Mesh::cubic(16, 2);
+        let mut generator = FaultGenerator::new(mesh, 5);
+        // 8 cells = a complete radius-1 ring around some anchor.
+        let faults = generator.place(8, FaultPlacement::Shaped(ClusterShape::Ring));
+        let bb = Region::bounding_all(faults.iter()).unwrap();
+        assert_eq!(bb.volume(), 9, "radius-1 ring bounding box is 3x3");
+        assert_eq!(faults.len(), 8, "the center cell is the cavity");
+    }
+
+    #[test]
+    fn front_plan_sweeps_and_validates() {
+        let mesh = Mesh::cubic(8, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 3);
+        let plan = generator.front_plan(FaultFrontConfig {
+            first_step: 5,
+            interval: 20,
+            thickness: 2,
+        });
+        assert!(plan.validate(&mesh).is_empty());
+        // 6 interior slices of 6 nodes, each failing and recovering once.
+        assert_eq!(plan.len(), 2 * 6 * 6);
+        // The wall is `thickness` slices wide while sweeping.
+        assert_eq!(plan.peak_fault_count(), 2 * 6);
+        // Everything recovers after the front has passed.
+        assert!(plan.faulty_at(10_000).is_empty());
+        // Deterministic: no randomness involved.
+        let again = FaultGenerator::new(mesh, 99).front_plan(FaultFrontConfig {
+            first_step: 5,
+            interval: 20,
+            thickness: 2,
+        });
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn regional_outage_plan_validates_and_recovers() {
+        let mesh = Mesh::cubic(12, 2);
+        let mut generator = FaultGenerator::new(mesh.clone(), 17);
+        let config = RegionalOutageConfig {
+            outages: 3,
+            max_extent: 3,
+            first_step: 10,
+            spacing: 100,
+            duration: 40,
+        };
+        let plan = generator.regional_outage_plan(config);
+        assert!(
+            plan.validate(&mesh).is_empty(),
+            "{:?}",
+            plan.validate(&mesh)
+        );
+        assert!(plan.peak_fault_count() > 0);
+        assert!(plan.faulty_at(100_000).is_empty());
+        // Deterministic in the seed.
+        let again = FaultGenerator::new(mesh, 17).regional_outage_plan(config);
+        assert_eq!(plan, again);
     }
 
     #[test]

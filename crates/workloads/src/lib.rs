@@ -14,12 +14,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod churn;
 pub mod faultgen;
 pub mod scenario;
 pub mod sweep;
 pub mod traffic;
 
-pub use faultgen::{DynamicFaultConfig, FaultGenerator, FaultPlacement};
+pub use campaign::{CampaignFaults, CampaignResult, SloCampaign};
+pub use churn::{ChurnConfig, ChurnProcess};
+pub use faultgen::{
+    ClusterShape, DynamicFaultConfig, FaultFrontConfig, FaultGenerator, FaultPlacement,
+    RegionalOutageConfig,
+};
 pub use scenario::{Scenario, ScenarioResult, TrafficLoad, TrafficResult};
 pub use sweep::{run_trials, run_trials_on, SweepPoint};
 pub use traffic::{TrafficGenerator, TrafficPattern, TrafficRequest};

@@ -1,0 +1,211 @@
+//! Allocation-regression guard for the fault-campaign warm path.
+//!
+//! A long-horizon churn campaign spends almost all of its cycles in the warm
+//! loop: advance the network a step, inject packets, run one traffic cycle,
+//! fold the finished records into the SLO accumulators, clear the records.
+//! Fault events are the sanctioned *cold* disturbance — they trigger
+//! `rebuild_information`, which allocates — so this test warms a 32x32 mesh
+//! under active Poisson churn (buffers reach their high-water marks, some
+//! nodes stay faulty, packets detour), then stops the event stream and proves
+//! that the event-free steady-state cycle — injection, routing, arbitration,
+//! SLO observation, record clearing — performs **zero heap allocations**.
+//!
+//! Everything runs inside a single `#[test]` because the allocation counter is
+//! process-global and the libtest harness runs separate tests on separate
+//! threads.  (Each file under `tests/` is its own binary, so this counter does
+//! not interfere with `alloc_regression.rs`.)
+
+// The counting allocator is the one sanctioned use of `unsafe` in this
+// workspace (see the lint note in the root Cargo.toml): `GlobalAlloc` cannot
+// be implemented without it.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_core::routing::LgfiRouter;
+use lgfi_core::slo::SloObserver;
+use lgfi_core::status::NodeStatus;
+use lgfi_core::traffic_engine::{TrafficConfig, TrafficEngine};
+use lgfi_sim::{FaultPlan, InjectionProcess};
+use lgfi_topology::Mesh;
+use lgfi_workloads::{ChurnConfig, ChurnProcess, TrafficGenerator, TrafficPattern};
+
+/// Counts allocator calls (alloc, realloc, alloc_zeroed) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with the counter armed and returns the number of allocator calls it
+/// made.  A non-zero first measurement is retried once: one-off cross-thread
+/// noise (libtest bookkeeping) vanishes on the retry, a real per-cycle
+/// allocation does not.
+fn count_allocations<R>(mut f: impl FnMut() -> R) -> (u64, R) {
+    let measure = |f: &mut dyn FnMut() -> R| {
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        let out = f();
+        ARMED.store(false, Ordering::SeqCst);
+        (ALLOCATIONS.load(Ordering::SeqCst), out)
+    };
+    let (allocs, out) = measure(&mut f);
+    if allocs == 0 {
+        return (allocs, out);
+    }
+    measure(&mut f)
+}
+
+const WARM_CYCLES: u64 = 600;
+const MEASURED_CYCLES: u64 = 128;
+
+#[test]
+fn event_free_campaign_cycles_allocate_nothing_after_churn_warmup() {
+    let mesh = Mesh::cubic(32, 2);
+    let max_packet_cycles = 2_000u64;
+    let mut net = LgfiNetwork::new(
+        mesh.clone(),
+        FaultPlan::empty(),
+        NetworkConfig {
+            lambda: 1,
+            max_probe_steps: 1_000_000,
+            threads: 1,
+            frontier: true,
+            probe_threads: 1,
+        },
+    );
+    let mut engine = TrafficEngine::new(
+        mesh.clone(),
+        TrafficConfig {
+            link_capacity: 1,
+            max_packet_cycles,
+            traffic_threads: 1,
+        },
+        &|| Box::new(LgfiRouter::new()),
+    );
+    let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 77);
+    let mut injection = InjectionProcess::new(1.0);
+    let mut obs = SloObserver::new(mesh.node_count());
+    // Pre-size every accumulator to its worst case: latencies are capped by the
+    // packet lifetime, reconvergence by the stabilisation horizon, bursts by
+    // the churn schedule below.
+    obs.reserve(max_packet_cycles + 2, 4_096, 256);
+    engine.reserve(4_096, max_packet_cycles + 2);
+
+    let mut churn = ChurnProcess::new(
+        mesh,
+        9,
+        ChurnConfig {
+            fail_rate: 0.05,
+            mean_downtime: 80.0,
+            max_faulty: 10,
+        },
+    );
+    let mut events = Vec::with_capacity(32);
+
+    // One campaign cycle: advance the network, inject, route, observe, clear.
+    // `feed_events` distinguishes the churning warm-up from the event-free
+    // steady state under measurement.
+    let mut cycle = |net: &mut LgfiNetwork,
+                     engine: &mut TrafficEngine,
+                     obs: &mut SloObserver,
+                     events: &mut Vec<_>,
+                     feed_events: bool|
+     -> u64 {
+        let step = net.step();
+        if feed_events {
+            churn.events_at(step, events);
+        } else {
+            events.clear();
+        }
+        for _ in 0..injection.packets_this_cycle() {
+            let statuses = net.statuses();
+            if let Some(req) = traffic.next_request(|id| statuses[id] == NodeStatus::Enabled) {
+                engine.inject(req.source, req.dest);
+            }
+        }
+        net.run_traffic_step_with(events, engine);
+        let finished = engine.records().len() as u64;
+        obs.observe_step(net, engine, events);
+        engine.clear_records();
+        obs.notify_records_cleared();
+        finished
+    };
+
+    // Warm-up under active churn: nodes fail and recover, buffers grow to
+    // their high-water capacity, the SLO plane sees real bursts.
+    for _ in 0..WARM_CYCLES {
+        cycle(&mut net, &mut engine, &mut obs, &mut events, true);
+    }
+    assert!(
+        net.statuses().iter().any(|&s| s != NodeStatus::Enabled),
+        "churn must leave some nodes faulty when the stream stops"
+    );
+    // A short event-free settling run: any stabilisation still in progress
+    // when the last event landed finishes here, outside the armed section.
+    for _ in 0..64 {
+        cycle(&mut net, &mut engine, &mut obs, &mut events, false);
+    }
+
+    let (allocs, finished) = count_allocations(|| {
+        let mut finished = 0u64;
+        for _ in 0..MEASURED_CYCLES {
+            finished += cycle(&mut net, &mut engine, &mut obs, &mut events, false);
+        }
+        finished
+    });
+    assert!(
+        finished > 0,
+        "the measured window must actually retire packets"
+    );
+    assert_eq!(
+        allocs, 0,
+        "an event-free campaign cycle (step + inject + route + SLO fold) must not allocate"
+    );
+
+    // The campaign genuinely happened: churn fired and SLOs accumulated.
+    let tracker = obs.into_tracker();
+    assert!(tracker.bursts() > 0, "churn never fired during warm-up");
+    assert!(tracker.injected() > WARM_CYCLES / 2);
+    assert!(
+        tracker.delivery_rate() > 0.5,
+        "rate {}",
+        tracker.delivery_rate()
+    );
+
+    // Sanity: the counter actually observes allocator traffic.
+    let (allocs, v) = count_allocations(|| vec![1u8]);
+    assert!(allocs > 0, "the counting allocator must see allocations");
+    drop(v);
+}
