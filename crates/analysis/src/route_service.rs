@@ -1,0 +1,137 @@
+//! Route-query-plane reports: throughput scaling and epoch staleness of the
+//! epoch-snapshot route service.
+//!
+//! One [`RouteServiceRow`] condenses one measured configuration (router × reader
+//! count × churn on/off): aggregate queries/sec, per-query latency, the
+//! determinism fingerprints (hops per query, delivered count — bit-identical
+//! across reader counts when the control plane is quiet), the epochs the control
+//! plane published while the readers ran, and the snapshot memory accounting
+//! (bytes per node — the paper's limited-information claim, in bytes).
+//! [`RouteServiceReport`] renders a sweep as one table with a speedup column
+//! against the single-reader row of the same router/churn leg.
+
+use crate::table::Table;
+
+/// One measured route-service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteServiceRow {
+    /// Router the readers resolved with.
+    pub router: String,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// True if faults churned the control plane while the readers ran.
+    pub churn: bool,
+    /// Total queries resolved across all readers.
+    pub queries: u64,
+    /// Aggregate queries per second across all readers.
+    pub qps: f64,
+    /// Wall-nanoseconds per query (aggregate).
+    pub ns_per_query: f64,
+    /// Mean hops per query (fingerprint when `churn` is false).
+    pub hops_per_query: f64,
+    /// Delivered queries (fingerprint when `churn` is false).
+    pub delivered: u64,
+    /// Epochs published by the control plane during the measurement.
+    pub epochs: u64,
+    /// Snapshot heap bytes per mesh node.
+    pub bytes_per_node: f64,
+}
+
+/// A renderable sweep of route-service measurements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteServiceReport {
+    /// The measured rows, in sweep order.
+    pub rows: Vec<RouteServiceRow>,
+}
+
+impl RouteServiceReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RouteServiceReport::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: RouteServiceRow) {
+        self.rows.push(row);
+    }
+
+    /// The aggregate-throughput speedup of `row` against the single-reader row of
+    /// the same router and churn leg (1.0 if there is none).
+    pub fn speedup(&self, row: &RouteServiceRow) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.router == row.router && r.churn == row.churn && r.readers == 1)
+            .map(|base| row.qps / base.qps)
+            .unwrap_or(1.0)
+    }
+
+    /// Renders the throughput/epoch-staleness table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Route-query service: aggregate throughput and epoch staleness",
+            &[
+                "router",
+                "readers",
+                "churn",
+                "queries",
+                "qps",
+                "ns/query",
+                "speedup",
+                "hops/query",
+                "delivered",
+                "epochs",
+                "bytes/node",
+            ],
+        );
+        for row in &self.rows {
+            table.row(&[
+                row.router.clone(),
+                row.readers.to_string(),
+                if row.churn { "yes" } else { "no" }.to_string(),
+                row.queries.to_string(),
+                format!("{:.0}", row.qps),
+                format!("{:.1}", row.ns_per_query),
+                format!("{:.2}x", self.speedup(row)),
+                format!("{:.2}", row.hops_per_query),
+                row.delivered.to_string(),
+                row.epochs.to_string(),
+                format!("{:.1}", row.bytes_per_node),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(readers: usize, churn: bool, qps: f64) -> RouteServiceRow {
+        RouteServiceRow {
+            router: "lgfi".into(),
+            readers,
+            churn,
+            queries: 1000,
+            qps,
+            ns_per_query: 1e9 / qps,
+            hops_per_query: 40.0,
+            delivered: 990,
+            epochs: 0,
+            bytes_per_node: 12.5,
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_to_the_single_reader_leg() {
+        let mut report = RouteServiceReport::new();
+        report.push(row(1, false, 1_000_000.0));
+        report.push(row(4, false, 2_500_000.0));
+        report.push(row(1, true, 800_000.0));
+        report.push(row(4, true, 2_000_000.0));
+        assert!((report.speedup(&report.rows[1]) - 2.5).abs() < 1e-9);
+        assert!((report.speedup(&report.rows[3]) - 2.5).abs() < 1e-9);
+        let rendered = report.render();
+        assert!(rendered.contains("lgfi"));
+        assert!(rendered.contains("2.50x"));
+    }
+}

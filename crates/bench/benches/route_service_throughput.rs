@@ -1,0 +1,107 @@
+//! Criterion bench for the epoch-snapshot route-query service: warm per-query
+//! resolve cost on a checked-out epoch, reader-count scaling of the aggregate
+//! sweep (1/2/4 readers, and `LGFI_READERS` if higher), and the snapshot publish
+//! cost on the control-plane side.
+//!
+//! The measured queries/sec records (including the churn leg) are appended to
+//! `BENCH_engine.json` by the trailing emission group — skipped in `-- --test`
+//! smoke mode like every other bench in this crate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgfi_bench::route_service::{measure_route_service_with, reader_sweep, static_scenario};
+use lgfi_core::routing::LgfiRouter;
+
+fn bench_resolve_single(c: &mut Criterion) {
+    let scenario = static_scenario();
+    let mut reader = scenario.service.reader();
+    let router = LgfiRouter::new();
+    let pairs = scenario.pairs;
+    let mut group = c.benchmark_group("route_service_throughput");
+    group.sample_size(20);
+    group.bench_function("resolve_256_queries_1_reader", |b| {
+        b.iter(|| {
+            let mut steps = 0u64;
+            for &(s, d) in &pairs {
+                let q = reader.resolve(&router, s, d, 100_000);
+                steps += q.outcome.steps;
+            }
+            std::hint::black_box(steps)
+        });
+    });
+    // Reader-count scaling of the full aggregate sweep (pool dispatch included),
+    // so the criterion ids carry the same reader counts as the JSON records.
+    for readers in reader_sweep() {
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_sweep", format!("r{readers}")),
+            &readers,
+            |b, &readers| {
+                let mut scenario = static_scenario();
+                b.iter(|| {
+                    let r = measure_route_service_with(
+                        &mut scenario,
+                        "lgfi",
+                        readers,
+                        "criterion",
+                        2_048,
+                    );
+                    std::hint::black_box(r.delivered)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+    use lgfi_sim::{FaultEvent, FaultPlan};
+    use lgfi_topology::Mesh;
+    let mut group = c.benchmark_group("route_service_publish");
+    group.sample_size(20);
+    group.bench_function("fail_recover_cycle_32x32", |b| {
+        let mesh = Mesh::cubic(32, 2);
+        let mut net = LgfiNetwork::new(mesh.clone(), FaultPlan::empty(), NetworkConfig::default());
+        let _service = net.route_service();
+        let node = mesh.id_of(&lgfi_topology::coord![16, 16]);
+        b.iter(|| {
+            // One fault + one recovery, stepped until each republishes: the cold
+            // path of the plane (snapshot fill + Arc swap + buffer recycling).
+            let step = net.step();
+            net.run_step_with(&[FaultEvent::fail(step, node)]);
+            for _ in 0..8 {
+                net.run_step();
+            }
+            let step = net.step();
+            net.run_step_with(&[FaultEvent::recover(step, node)]);
+            for _ in 0..8 {
+                net.run_step();
+            }
+            std::hint::black_box(net.info_changes())
+        });
+    });
+    group.finish();
+}
+
+/// Appends the route-service throughput records to `BENCH_engine.json` (the full
+/// suite: cross-router fingerprint rows plus the reader sweep with and without
+/// churn).  Skipped in `-- --test` smoke mode.
+fn bench_emit_json(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test" || a == "--quick") {
+        println!("BENCH_engine.json emission skipped (smoke mode)");
+        return;
+    }
+    let (table, records) = lgfi_bench::route_service::run_route_service_suite();
+    println!("{table}");
+    let path = lgfi_bench::perf::default_json_path();
+    if let Err(e) = lgfi_bench::perf::append_route_service_records(&path, &records) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_resolve_single,
+    bench_publish,
+    bench_emit_json
+);
+criterion_main!(benches);

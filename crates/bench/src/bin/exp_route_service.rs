@@ -1,0 +1,25 @@
+//! Experiment binary: aggregate throughput of the epoch-snapshot route-query
+//! service — every router at one reader (the cross-router fingerprint rows), then
+//! the LGFI router at 1/2/4/`LGFI_READERS` concurrent readers without and with
+//! fault churn on the control plane.  Prints the throughput/epoch-staleness table
+//! and appends machine-readable records to `BENCH_engine.json`.
+//!
+//! `LGFI_READERS` sets the top reader count of the sweep (default 4);
+//! `LGFI_RS_QUERIES` scales the per-measurement query volume (default 51 200).
+//! Reader counts are an execution knob only: the per-query outcomes of the static
+//! rows are bit-identical for every reader count.
+
+fn main() {
+    let (table, records) = lgfi_bench::route_service::run_route_service_suite();
+    println!("{table}");
+    let path = lgfi_bench::perf::default_json_path();
+    match lgfi_bench::perf::append_route_service_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,5 +1,5 @@
 //! Runs every experiment of the reproduction in order (figures F1-F7, theorems T1-T5,
-//! claims C1-C4) and prints the full report.  The output of this binary is what
+//! claims C1-C7) and prints the full report.  The output of this binary is what
 //! EXPERIMENTS.md records.
 
 fn main() {

@@ -1241,6 +1241,7 @@ pub fn run_all_experiments() -> String {
         ("C4", exp_dynamic_convergence),
         ("C5", exp_traffic),
         ("C6", crate::slo::exp_slo),
+        ("C7", crate::route_service::exp_route_service),
     ];
     let mut out = String::new();
     for (name, f) in sections {

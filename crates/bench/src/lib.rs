@@ -9,4 +9,5 @@
 
 pub mod harness;
 pub mod perf;
+pub mod route_service;
 pub mod slo;

@@ -335,6 +335,79 @@ pub fn append_slo_records(path: &Path, records: &[SloBenchRecord]) -> std::io::R
     append_json_lines(path, &lines)
 }
 
+/// One measured configuration of the epoch-snapshot route-query service, as
+/// recorded in `BENCH_engine.json`.
+#[derive(Debug, Clone)]
+pub struct RouteServiceBenchRecord {
+    /// Benchmark id, e.g. `route_service_32x32_40_faults`.
+    pub bench: String,
+    /// The code/config variant that produced the number (`LGFI_BENCH_VARIANT`).
+    pub variant: String,
+    /// Mesh shape, e.g. `32x32`.
+    pub mesh: String,
+    /// The router the readers resolved with.
+    pub router: String,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// True if the control plane was churning faults concurrently with the reads.
+    pub churn: bool,
+    /// Total queries resolved across all readers.
+    pub queries: u64,
+    /// Median wall-nanoseconds per query (aggregate wall time / total queries).
+    pub ns_per_query: f64,
+    /// Aggregate queries per second across all readers.
+    pub qps: f64,
+    /// Mean hops (forward + backtrack steps) per query.  Without churn this is a
+    /// determinism fingerprint: identical across reader counts and variants, and
+    /// bit-identical to the live network frozen at the same epoch.
+    pub hops_per_query: f64,
+    /// Delivered queries (fingerprint under the same caveat as `hops_per_query`).
+    pub delivered: u64,
+    /// Epochs published by the control plane while the readers ran (0 without
+    /// churn).
+    pub epochs: u64,
+    /// Heap bytes per mesh node held by the published snapshot.
+    pub bytes_per_node: f64,
+}
+
+impl RouteServiceBenchRecord {
+    /// Renders the record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"router\":\"{}\",\
+             \"readers\":{},\"churn\":{},\"queries\":{},\"ns_per_query\":{:.1},\
+             \"qps\":{:.0},\"hops_per_query\":{:.2},\"delivered\":{},\"epochs\":{},\
+             \"bytes_per_node\":{:.1}}}",
+            escape(&self.bench),
+            escape(&self.variant),
+            escape(&self.mesh),
+            escape(&self.router),
+            self.readers,
+            self.churn,
+            self.queries,
+            self.ns_per_query,
+            self.qps,
+            self.hops_per_query,
+            self.delivered,
+            self.epochs,
+            self.bytes_per_node,
+        );
+        s
+    }
+}
+
+/// Appends route-service records to the JSON file at `path` (same
+/// one-record-per-line array format as [`append_records`]).
+pub fn append_route_service_records(
+    path: &Path,
+    records: &[RouteServiceBenchRecord],
+) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    append_json_lines(path, &lines)
+}
+
 /// Runs the standard C5 traffic scenario (16×16 mesh, 12 clustered static faults,
 /// 200 injection cycles) once for one router at one offered load and traffic
 /// pattern, and returns the latency-vs-load record.

@@ -1,0 +1,431 @@
+//! The route-service throughput experiment: aggregate queries/sec of the
+//! epoch-snapshot query plane at 1/2/4/`LGFI_READERS` concurrent readers, with and
+//! without fault churn on the control plane.
+//!
+//! Two scenarios, both on a 32×32 mesh:
+//!
+//! * **static** — the standard 40 clustered faults (seed 13, same placement as the
+//!   `routing_sweep` records) stabilise and fully distribute, then readers hammer
+//!   the fixed 256-pair batch (seed 17).  The per-query results are a determinism
+//!   fingerprint: identical for every reader count, and bit-identical to
+//!   [`LgfiNetwork::resolve_live`](lgfi_core::network::LgfiNetwork::resolve_live)
+//!   at the same epoch
+//!   (`tests/route_service_equivalence.rs` proves the equality; the records carry
+//!   `hops_per_query`/`delivered` so regressions show up in `BENCH_engine.json`).
+//! * **churn** — a Poisson fail/repair process drives the control plane on its own
+//!   writer thread (publishing a new epoch per information change) while the
+//!   readers resolve continuously; throughput plus the number of epochs published
+//!   during the measurement are recorded.  No fingerprint is claimed: epoch
+//!   timing under churn is wall-clock-dependent by design.
+//!
+//! `LGFI_READERS` sets the top reader count of the sweep (default 4);
+//! `LGFI_RS_QUERIES` scales the per-measurement query volume (default 51 200 =
+//! 200 × the 256-pair batch; CI smoke uses a smaller value).  Reader threads are
+//! an execution knob only — no determinism matrix leg is needed beyond the
+//! fingerprint columns, because every query is a pure function of
+//! (snapshot, router, source, dest).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+use lgfi_core::route_service::{RouteReader, RouteService};
+use lgfi_core::routing::Router;
+use lgfi_core::status::NodeStatus;
+use lgfi_sim::{batch_ranges, FaultEvent, FaultPlan, WorkerPool};
+use lgfi_topology::{Mesh, NodeId};
+use lgfi_workloads::{
+    ChurnConfig, ChurnProcess, FaultGenerator, FaultPlacement, TrafficGenerator, TrafficPattern,
+};
+
+use crate::harness::{env_knob, router_by_name};
+use crate::perf::{variant_tag, RouteServiceBenchRecord};
+
+/// The top reader count of the standard sweep: `LGFI_READERS`, defaulting to 4.
+pub fn configured_readers() -> usize {
+    env_knob("LGFI_READERS", 4).max(1)
+}
+
+/// Target queries per measurement: `LGFI_RS_QUERIES`, defaulting to 51 200.
+pub fn configured_queries() -> usize {
+    env_knob("LGFI_RS_QUERIES", 51_200).max(1)
+}
+
+/// Maximum steps a query probe may take before being declared exhausted.
+const MAX_QUERY_STEPS: u64 = 100_000;
+
+/// Timed runs per measurement (after one warm-up run).
+const RUNS: usize = 3;
+
+/// One ready-to-measure scenario: a control-plane network with an attached
+/// service, the query batch, and (for the churn leg) the fault stream.
+pub struct RouteServiceScenario {
+    /// The control plane.
+    pub net: LgfiNetwork,
+    /// The attached query plane.
+    pub service: RouteService,
+    /// The source/destination batch every reader sweep partitions.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// The churn stream driving the control plane during the measurement
+    /// (`None` for the static leg).
+    pub churn: Option<ChurnProcess>,
+}
+
+fn scenario_mesh() -> Mesh {
+    Mesh::cubic(32, 2)
+}
+
+fn pairs_over_enabled(mesh: &Mesh, statuses: &[NodeStatus]) -> Vec<(NodeId, NodeId)> {
+    let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 17);
+    traffic
+        .requests(256, |id| statuses[id] == NodeStatus::Enabled)
+        .into_iter()
+        .map(|r| (r.source, r.dest))
+        .collect()
+}
+
+/// The static scenario: 40 clustered faults (seed 13), stabilised and fully
+/// distributed, service attached before the first step so the epoch count equals
+/// the info-change count.
+pub fn static_scenario() -> RouteServiceScenario {
+    let mesh = scenario_mesh();
+    let faults: Vec<NodeId> = FaultGenerator::new(mesh.clone(), 13)
+        .place(40, FaultPlacement::Clustered { clusters: 5 })
+        .iter()
+        .map(|c| mesh.id_of(c))
+        .collect();
+    let plan = FaultPlan::static_faults(&faults);
+    let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
+    let service = net.route_service();
+    for _ in 0..400 {
+        net.run_step();
+    }
+    let pairs = pairs_over_enabled(&mesh, net.statuses());
+    RouteServiceScenario {
+        net,
+        service,
+        pairs,
+        churn: None,
+    }
+}
+
+/// The churn scenario: a Poisson fail/repair stream (seed 29, up to 24
+/// simultaneous faults) warms the control plane for 200 steps, then keeps
+/// churning on the writer thread during the measurement.
+pub fn churn_scenario() -> RouteServiceScenario {
+    let mesh = scenario_mesh();
+    let mut net = LgfiNetwork::new(mesh.clone(), FaultPlan::empty(), NetworkConfig::default());
+    let service = net.route_service();
+    let mut churn = ChurnProcess::new(
+        mesh.clone(),
+        29,
+        ChurnConfig {
+            fail_rate: 0.1,
+            mean_downtime: 60.0,
+            max_faulty: 24,
+        },
+    );
+    let mut events = Vec::new();
+    for _ in 0..200 {
+        churn.events_at(net.step(), &mut events);
+        net.run_step_with(&events);
+    }
+    let pairs = pairs_over_enabled(&mesh, net.statuses());
+    RouteServiceScenario {
+        net,
+        service,
+        pairs,
+        churn: Some(churn),
+    }
+}
+
+struct ReaderState {
+    reader: RouteReader,
+    router: Box<dyn Router>,
+    lo: usize,
+    hi: usize,
+    repeats: usize,
+    steps: u64,
+    delivered: u64,
+    queries: u64,
+}
+
+struct WriterState {
+    net: LgfiNetwork,
+    churn: ChurnProcess,
+    events: Vec<FaultEvent>,
+    steps: u64,
+}
+
+enum Task {
+    // Both variants boxed: the writer carries the whole network and even a
+    // reader's engine state is hundreds of bytes, so keep the enum thin.
+    Reader(Box<ReaderState>),
+    Writer(Box<WriterState>),
+}
+
+/// One timed sweep: every reader resolves its contiguous slice of the pair batch
+/// `repeats` times (refreshing its epoch checkout per query); the writer — if the
+/// scenario churns — steps the control plane until the last reader finishes.
+/// Returns `(elapsed_ns, total_steps, total_delivered, total_queries)` and leaves
+/// the writer-side state (network, churn) back in the scenario for the next run.
+fn run_once(
+    scenario: &mut RouteServiceScenario,
+    router_name: &str,
+    readers: usize,
+    repeats: usize,
+) -> (u64, u64, u64, u64) {
+    let pairs = &scenario.pairs;
+    let ranges = batch_ranges(pairs.len(), readers);
+    let mut tasks: Vec<Task> = Vec::new();
+    for range in ranges {
+        tasks.push(Task::Reader(Box::new(ReaderState {
+            reader: scenario.service.reader(),
+            router: router_by_name(router_name),
+            lo: range.start,
+            hi: range.end,
+            repeats,
+            steps: 0,
+            delivered: 0,
+            queries: 0,
+        })));
+    }
+    let churning = scenario.churn.is_some();
+    if let Some(churn) = scenario.churn.take() {
+        // The writer owns the network for the duration of the sweep.
+        let net = std::mem::replace(
+            &mut scenario.net,
+            LgfiNetwork::new(
+                scenario_mesh(),
+                FaultPlan::empty(),
+                NetworkConfig::default(),
+            ),
+        );
+        tasks.push(Task::Writer(Box::new(WriterState {
+            net,
+            churn,
+            events: Vec::new(),
+            steps: 0,
+        })));
+    }
+    let active_readers = AtomicUsize::new(readers);
+    let mut pool = WorkerPool::new(tasks.len());
+    let chunks = tasks.len();
+    let start = Instant::now();
+    pool.run_chunked(&mut tasks, chunks, |_, chunk| match &mut chunk[0] {
+        Task::Reader(r) => {
+            for _ in 0..r.repeats {
+                for &(source, dest) in &pairs[r.lo..r.hi] {
+                    let q = r.reader.resolve(&*r.router, source, dest, MAX_QUERY_STEPS);
+                    r.steps += q.outcome.steps;
+                    r.delivered += u64::from(q.outcome.delivered());
+                    r.queries += 1;
+                }
+            }
+            active_readers.fetch_sub(1, Ordering::Release);
+        }
+        Task::Writer(w) => {
+            // Churn the control plane until the readers drain (capped so a
+            // wedged reader cannot spin the writer forever).
+            while active_readers.load(Ordering::Acquire) > 0 && w.steps < 50_000_000 {
+                w.events.clear();
+                w.churn.events_at(w.net.step(), &mut w.events);
+                let events = std::mem::take(&mut w.events);
+                w.net.run_step_with(&events);
+                w.events = events;
+                w.steps += 1;
+            }
+        }
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let mut steps = 0u64;
+    let mut delivered = 0u64;
+    let mut queries = 0u64;
+    for task in tasks {
+        match task {
+            Task::Reader(r) => {
+                steps += r.steps;
+                delivered += r.delivered;
+                queries += r.queries;
+            }
+            Task::Writer(w) => {
+                if churning {
+                    scenario.net = w.net;
+                    scenario.churn = Some(w.churn);
+                }
+            }
+        }
+    }
+    (elapsed_ns, steps, delivered, queries)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Measures one configuration (router × reader count) on a prepared scenario:
+/// one warm-up sweep, then `RUNS` (= 3) timed sweeps, reported as the median
+/// aggregate ns/query.  The query volume comes from `LGFI_RS_QUERIES`.
+pub fn measure_route_service(
+    scenario: &mut RouteServiceScenario,
+    router_name: &str,
+    readers: usize,
+    variant: &str,
+) -> RouteServiceBenchRecord {
+    measure_route_service_with(
+        scenario,
+        router_name,
+        readers,
+        variant,
+        configured_queries(),
+    )
+}
+
+/// [`measure_route_service`] with an explicit target query volume.
+pub fn measure_route_service_with(
+    scenario: &mut RouteServiceScenario,
+    router_name: &str,
+    readers: usize,
+    variant: &str,
+    target_queries: usize,
+) -> RouteServiceBenchRecord {
+    let repeats = target_queries.div_ceil(scenario.pairs.len()).max(1);
+    let churn = scenario.churn.is_some();
+    let mut samples = Vec::with_capacity(RUNS);
+    let mut steps = 0u64;
+    let mut delivered = 0u64;
+    let mut queries = 0u64;
+    let mut epochs = 0u64;
+    for run in 0..=RUNS {
+        let epoch_before = scenario.service.epoch();
+        let (elapsed_ns, s, d, q) = run_once(scenario, router_name, readers, repeats);
+        if run > 0 {
+            samples.push(elapsed_ns as f64 / q as f64);
+            epochs += scenario.service.epoch() - epoch_before;
+            steps = s;
+            delivered = d;
+            queries = q;
+        }
+    }
+    let ns_per_query = median(&mut samples);
+    let stats = scenario.service.stats();
+    RouteServiceBenchRecord {
+        bench: if churn {
+            "route_service_32x32_churn".into()
+        } else {
+            "route_service_32x32_40_faults".into()
+        },
+        variant: variant.into(),
+        mesh: "32x32".into(),
+        router: router_name.into(),
+        readers,
+        churn,
+        queries,
+        ns_per_query,
+        qps: 1e9 / ns_per_query,
+        hops_per_query: steps as f64 / queries as f64,
+        delivered,
+        epochs,
+        bytes_per_node: stats.bytes_per_node(),
+    }
+}
+
+/// The reader counts of the standard sweep: 1, 2, 4 and `LGFI_READERS`
+/// (deduplicated, ascending).
+pub fn reader_sweep() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4, configured_readers()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Runs the standard route-service suite: every router at one reader on the
+/// static scenario (the cross-router fingerprint rows), then the LGFI router
+/// across the reader sweep without and with control-plane churn.  Returns the
+/// rendered throughput/epoch-staleness table and the machine-readable records.
+pub fn run_route_service_suite() -> (String, Vec<RouteServiceBenchRecord>) {
+    let variant = variant_tag();
+    let mut report = lgfi_analysis::RouteServiceReport::new();
+    let mut records = Vec::new();
+    let push = |records: &mut Vec<RouteServiceBenchRecord>,
+                report: &mut lgfi_analysis::RouteServiceReport,
+                r: RouteServiceBenchRecord| {
+        report.push(lgfi_analysis::RouteServiceRow {
+            router: r.router.clone(),
+            readers: r.readers,
+            churn: r.churn,
+            queries: r.queries,
+            qps: r.qps,
+            ns_per_query: r.ns_per_query,
+            hops_per_query: r.hops_per_query,
+            delivered: r.delivered,
+            epochs: r.epochs,
+            bytes_per_node: r.bytes_per_node,
+        });
+        records.push(r);
+    };
+    let mut static_scenario = static_scenario();
+    for router in [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ] {
+        let r = measure_route_service(&mut static_scenario, router, 1, &variant);
+        push(&mut records, &mut report, r);
+    }
+    for readers in reader_sweep() {
+        if readers != 1 {
+            let r = measure_route_service(&mut static_scenario, "lgfi", readers, &variant);
+            push(&mut records, &mut report, r);
+        }
+    }
+    let mut churn_scenario = churn_scenario();
+    for readers in reader_sweep() {
+        let r = measure_route_service(&mut churn_scenario, "lgfi", readers, &variant);
+        push(&mut records, &mut report, r);
+    }
+    (report.render(), records)
+}
+
+/// Experiment C7: aggregate route-service throughput and epoch staleness (the
+/// table only; the `exp_route_service` binary additionally appends the records
+/// to `BENCH_engine.json`).
+pub fn exp_route_service() -> String {
+    run_route_service_suite().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_measurement_fingerprints_match_across_reader_counts() {
+        let mut scenario = static_scenario();
+        let one = measure_route_service_with(&mut scenario, "lgfi", 1, "test", 256);
+        let four = measure_route_service_with(&mut scenario, "lgfi", 4, "test", 256);
+        assert_eq!(one.queries, four.queries);
+        assert_eq!(one.delivered, four.delivered);
+        assert_eq!(one.hops_per_query, four.hops_per_query);
+        assert_eq!(one.epochs, 0, "a static plan publishes nothing mid-sweep");
+        assert!(one.delivered > 0);
+        assert!(one.bytes_per_node > 0.0);
+        assert!(one.qps > 0.0);
+        let json = one.to_json();
+        assert!(json.contains("\"churn\":false"), "{json}");
+    }
+
+    #[test]
+    fn churn_measurement_publishes_epochs_while_readers_run() {
+        let mut scenario = churn_scenario();
+        let r = measure_route_service_with(&mut scenario, "lgfi", 2, "test", 2048);
+        assert!(r.churn);
+        assert!(r.queries >= 2048);
+        assert!(
+            r.epochs > 0,
+            "control-plane churn must publish epochs during the sweep"
+        );
+    }
+}

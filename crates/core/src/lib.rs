@@ -39,6 +39,10 @@
 //! 10. **SLO plane** ([`slo`]): per-router availability SLOs (delivery rate, latency
 //!     quantiles, Theorem-4 detour-bound violations, time-to-reconverge) accumulated
 //!     allocation-free over long-horizon fault campaigns.
+//! 11. **Route-query plane** ([`route_service`]): the control plane publishes an
+//!     immutable [`EpochSnapshot`] per information change; any number of reader
+//!     threads resolve routes lock-free against their checked-out epoch through
+//!     recycled probe engines, coherently even while faults churn underneath.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +56,7 @@ pub mod infostore;
 pub mod labeling;
 pub mod linkstate;
 pub mod network;
+pub mod route_service;
 pub mod routing;
 pub mod safety;
 pub mod slo;
@@ -67,8 +72,10 @@ pub use infostore::{InfoStore, MemoryFootprint};
 pub use labeling::{LabelingEngine, LabelingProtocol};
 pub use linkstate::LinkState;
 pub use network::{LgfiNetwork, NetworkConfig, ProbeReport};
+pub use route_service::{EpochSnapshot, RouteReader, RouteService, RouteServiceStats, RoutedQuery};
 pub use routing::{
-    DirectionClass, LgfiRouter, Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router, RoutingDecision,
+    BoundarySource, CsrBoundary, DirectionClass, LgfiRouter, Probe, ProbeEngine, ProbeOutcome,
+    ProbeStatus, RouteCtx, Router, RoutingDecision,
 };
 pub use safety::is_safe_source;
 pub use slo::SloObserver;

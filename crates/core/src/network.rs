@@ -31,9 +31,10 @@ use crate::boundary::{BoundaryEntry, BoundaryMap};
 use crate::bounds::{DetourBound, IntervalParams};
 use crate::identification::IdentificationProcess;
 use crate::labeling::LabelingEngine;
+use crate::route_service::{RoutePublisher, RouteService};
 use crate::routing::{
-    fill_neighbor_slots, NeighborSlot, Probe, ProbeOutcome, ProbeStatus, RouteCtx, Router,
-    RoutingDecision,
+    fill_neighbor_slots, CsrBoundary, NeighborSlot, Probe, ProbeEngine, ProbeOutcome, ProbeStatus,
+    RouteCtx, Router, RoutingDecision,
 };
 use crate::status::NodeStatus;
 
@@ -189,6 +190,21 @@ pub struct LgfiNetwork {
     /// The earliest future round at which some entry becomes visible or expires;
     /// the arena is refreshed lazily when the round clock passes it.
     vis_next_transition: Option<u64>,
+    /// Generation counter of the visible arena, bumped on every actual rebuild.
+    /// This is the single dirty signal the epoch publisher keys off: a step whose
+    /// refresh leaves the generation unchanged (and applied no fault events)
+    /// publishes nothing.
+    vis_gen: u64,
+    /// True while fault/recovery events applied at the current step have not yet
+    /// been folded into the query plane's info-change count.
+    events_pending: bool,
+    /// Number of information transitions observed by the attached query plane
+    /// (fault/recovery events taking effect, arena rebuilds, visibility-window
+    /// openings/closings).  Only advances while a route service is attached — it
+    /// is the epoch clock: the service's current epoch always equals this count.
+    info_changes: u64,
+    /// The epoch publisher of the attached route service, if any.
+    publisher: Option<RoutePublisher>,
     /// Resolved probe-decision worker count (>= 1).
     probe_threads: usize,
     /// Recycled buffers of finished probes (path + used-direction arena + neighbor
@@ -231,6 +247,10 @@ impl LgfiNetwork {
             vis_off: Vec::new(),
             vis_valid: false,
             vis_next_transition: None,
+            vis_gen: 0,
+            events_pending: false,
+            info_changes: 0,
+            publisher: None,
             probe_threads: lgfi_sim::resolve_threads(config.probe_threads),
             spare_probes: Vec::new(),
             probe_pool: lgfi_sim::PoolHandle::new(),
@@ -340,7 +360,18 @@ impl LgfiNetwork {
 
     /// Executes one full step of the Figure-7 model.
     pub fn run_step(&mut self) {
-        self.begin_step();
+        self.run_step_with(&[]);
+    }
+
+    /// [`LgfiNetwork::run_step`] with additional `external` fault events taking
+    /// effect at this step, on top of those the fault plan schedules — the
+    /// probe-mode twin of [`LgfiNetwork::run_traffic_step_with`], used by
+    /// incremental fault sources (e.g. a churn process driving the control plane of
+    /// a route service).  External events must carry the current step number
+    /// ([`LgfiNetwork::step`]).
+    pub fn run_step_with(&mut self, external: &[FaultEvent]) {
+        self.begin_step_with(external);
+        self.sync_query_plane();
 
         // --- Phases 3-5: reception, routing decision, sending. -----------------------
         // Every in-flight probe makes one independent decision against the shared
@@ -420,17 +451,11 @@ impl LgfiNetwork {
 
     /// Phases 1–2 of the Figure-7 step, shared by [`LgfiNetwork::run_step`] and
     /// [`LgfiNetwork::run_traffic_step`]: fault detection (events scheduled for this
-    /// step take effect) and the λ information rounds.
-    fn begin_step(&mut self) {
-        self.begin_step_with(&[]);
-    }
-
-    /// [`LgfiNetwork::begin_step`] with additional `external` events taking effect at
-    /// this step, on top of those the fault plan schedules.  Incremental fault
-    /// sources (e.g. a churn process emitting events step by step) feed the network
-    /// through this path without ever materialising a full plan.  External events
-    /// must carry the current step number and satisfy the [`FaultPlan::validate`]
-    /// rules against the network's live fault state.
+    /// step take effect, plus the caller's `external` events) and the λ information
+    /// rounds.  Incremental fault sources (e.g. a churn process emitting events
+    /// step by step) feed the network through this path without ever materialising
+    /// a full plan.  External events must carry the current step number and satisfy
+    /// the [`FaultPlan::validate`] rules against the network's live fault state.
     fn begin_step_with(&mut self, external: &[FaultEvent]) {
         // --- Phase 1: fault detection (events scheduled for this step take effect). --
         // The cursor returns the plan's events for this step as a contiguous slice —
@@ -456,6 +481,7 @@ impl LgfiNetwork {
             }
             self.dirty = true;
         }
+        self.events_pending = any_event;
         if fault_occurred {
             // Record D(i) for every in-flight probe at this fault occurrence.
             for p in &mut self.probes {
@@ -504,6 +530,7 @@ impl LgfiNetwork {
         traffic: &mut crate::traffic_engine::TrafficEngine,
     ) {
         self.begin_step_with(external);
+        self.sync_query_plane();
         self.refresh_visible_arena();
         traffic.run_cycle(&crate::traffic_engine::CycleEnv {
             statuses: self.labeling.statuses(),
@@ -551,6 +578,96 @@ impl LgfiNetwork {
         }
         self.vis_valid = true;
         self.vis_next_transition = next;
+        self.vis_gen += 1;
+    }
+
+    /// Publishes a new [`EpochSnapshot`](crate::route_service::EpochSnapshot) to the
+    /// attached route service if (and only if) the information observable by the
+    /// query plane changed this step: fault/recovery events took effect, or the
+    /// visible-boundary arena actually rebuilt (information change or a visibility
+    /// window opening/closing).  Quiescent steps publish nothing — the publish seam
+    /// and the arena's dirty tracking are the same signal (`vis_gen`), so the
+    /// service's epoch number always equals [`LgfiNetwork::info_changes`].
+    fn sync_query_plane(&mut self) {
+        let Some(mut publisher) = self.publisher.take() else {
+            return;
+        };
+        self.refresh_visible_arena();
+        if self.vis_gen != publisher.published_gen() || self.events_pending {
+            self.info_changes += 1;
+            publisher.publish(
+                &self.mesh,
+                self.step,
+                self.round,
+                self.labeling.statuses(),
+                self.blocks.blocks(),
+                &self.vis_data,
+                &self.vis_off,
+            );
+            publisher.set_published_gen(self.vis_gen);
+        }
+        self.events_pending = false;
+        self.publisher = Some(publisher);
+    }
+
+    /// Attaches the epoch-snapshot route-query plane (see
+    /// [`crate::route_service`]) and returns a cloneable service handle.  The
+    /// initial snapshot (epoch 0) is taken immediately from the current state;
+    /// from then on every step whose information changed publishes one new epoch.
+    /// Calling this again returns another handle to the same service.
+    pub fn route_service(&mut self) -> RouteService {
+        if let Some(publisher) = &self.publisher {
+            return publisher.handle();
+        }
+        self.refresh_visible_arena();
+        self.events_pending = false;
+        let mut publisher = RoutePublisher::attach(
+            &self.mesh,
+            self.step,
+            self.round,
+            self.labeling.statuses(),
+            self.blocks.blocks(),
+            &self.vis_data,
+            &self.vis_off,
+        );
+        publisher.set_published_gen(self.vis_gen);
+        let handle = publisher.handle();
+        self.publisher = Some(publisher);
+        handle
+    }
+
+    /// Number of information transitions observed by the attached query plane so
+    /// far (the publish seam's contract: this always equals the service's current
+    /// epoch number).  0 until a service is attached.
+    pub fn info_changes(&self) -> u64 {
+        self.info_changes
+    }
+
+    /// Resolves one source→dest route against the live network *frozen at the
+    /// current round*: the same statuses, blocks and visible-boundary arena a
+    /// snapshot published right now would copy, driven through the same
+    /// [`ProbeEngine::route_view`] hop loop.  The bit-equality of this and a
+    /// snapshot-resolved route at the same epoch is the query plane's correctness
+    /// contract (`tests/route_service_equivalence.rs`).
+    pub fn resolve_live(
+        &mut self,
+        router: &dyn Router,
+        source: NodeId,
+        dest: NodeId,
+        max_steps: u64,
+        engine: &mut ProbeEngine,
+    ) -> ProbeOutcome {
+        self.refresh_visible_arena();
+        engine.route_view(
+            &self.mesh,
+            self.labeling.statuses(),
+            self.blocks.blocks(),
+            CsrBoundary::new(&self.vis_data, &self.vis_off),
+            router,
+            source,
+            dest,
+            max_steps,
+        )
     }
 
     /// Runs steps until all probes have finished and all scheduled fault events have
@@ -1034,6 +1151,41 @@ mod tests {
             assert!(r.latency() >= u64::from(r.initial_distance));
             assert_eq!(r.latency(), r.hops + r.stalls);
         }
+    }
+
+    #[test]
+    fn epoch_count_equals_info_change_count_on_a_static_plan() {
+        let mesh = mesh10();
+        let plan = FaultPlan::static_faults(&[
+            mesh.id_of(&coord![4, 4]),
+            mesh.id_of(&coord![5, 5]),
+            mesh.id_of(&coord![4, 5]),
+            mesh.id_of(&coord![5, 4]),
+        ]);
+        let mut net = LgfiNetwork::new(mesh, plan, NetworkConfig::default());
+        let service = net.route_service();
+        assert_eq!(service.epoch(), 0, "attach publishes the baseline epoch 0");
+        assert_eq!(net.info_changes(), 0);
+        for _ in 0..200 {
+            net.run_step();
+        }
+        // The unified seam: the epoch clock IS the info-change count.
+        assert_eq!(service.epoch(), net.info_changes());
+        assert!(
+            service.epoch() >= 2,
+            "the fault burst plus at least one visibility transition must each \
+             have published: {}",
+            service.epoch()
+        );
+        // Once the static plan's information has fully distributed, further steps
+        // change nothing and publish nothing.
+        let settled = service.epoch();
+        for _ in 0..50 {
+            net.run_step();
+        }
+        assert_eq!(service.epoch(), settled, "quiescent steps publish nothing");
+        assert_eq!(net.info_changes(), settled);
+        assert_eq!(service.stats().epochs_published, settled + 1);
     }
 
     #[test]

@@ -60,6 +60,59 @@ pub fn fill_neighbor_slots(
     }
 }
 
+/// A per-node source of boundary information for the probe engine.
+///
+/// The hop loop of [`ProbeEngine`] only ever asks "what boundary entries are stored
+/// at the node currently holding the probe?".  Abstracting that lookup lets the same
+/// loop route against a live [`BoundaryMap`] (the static experiments) or against the
+/// flattened `vis_data`/`vis_off` CSR arena of an
+/// [`EpochSnapshot`](crate::route_service::EpochSnapshot) — which is what makes
+/// snapshot-resolved routes bit-identical to routes resolved against the live
+/// network frozen at the same epoch.
+pub trait BoundarySource {
+    /// The boundary entries stored at (and visible to) `node`.
+    fn entries_for(&self, node: NodeId) -> &[BoundaryEntry];
+}
+
+impl BoundarySource for BoundaryMap {
+    #[inline]
+    fn entries_for(&self, node: NodeId) -> &[BoundaryEntry] {
+        self.entries(node)
+    }
+}
+
+/// A borrowed CSR view over a flattened boundary arena: node `i`'s entries are
+/// `data[off[i]..off[i + 1]]` — the `vis_data`/`vis_off` layout used by
+/// [`LgfiNetwork`](crate::network::LgfiNetwork) and by epoch snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrBoundary<'a> {
+    data: &'a [BoundaryEntry],
+    off: &'a [usize],
+}
+
+impl<'a> CsrBoundary<'a> {
+    /// Wraps a `(data, off)` arena pair.
+    ///
+    /// # Panics
+    /// Panics if the offset table is empty or its last offset overruns `data`.
+    pub fn new(data: &'a [BoundaryEntry], off: &'a [usize]) -> Self {
+        assert!(
+            !off.is_empty() && off[off.len() - 1] <= data.len(),
+            "malformed boundary CSR arena: {} offsets over {} entries",
+            off.len(),
+            data.len()
+        );
+        CsrBoundary { data, off }
+    }
+}
+
+impl BoundarySource for CsrBoundary<'_> {
+    #[inline]
+    fn entries_for(&self, node: NodeId) -> &[BoundaryEntry] {
+        &self.data[self.off[node]..self.off[node + 1]]
+    }
+}
+
 /// Everything a node is allowed to look at when making a routing decision.
 ///
 /// The limited-global-information router only uses the node-local fields (`current`,
@@ -571,6 +624,46 @@ impl ProbeEngine {
         dest: NodeId,
         max_steps: u64,
     ) -> ProbeOutcome {
+        self.route_with(
+            mesh, statuses, blocks, boundary, router, source, dest, max_steps,
+        )
+    }
+
+    /// Routes a probe against a flattened CSR boundary arena — the entry point used
+    /// by the epoch-snapshot route-query plane
+    /// ([`crate::route_service`]).  Same hop loop as
+    /// [`ProbeEngine::route_static`], so for identical statuses/blocks/arena the
+    /// outcomes are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_view(
+        &mut self,
+        mesh: &Mesh,
+        statuses: &[NodeStatus],
+        blocks: &[FaultyBlock],
+        boundary: CsrBoundary<'_>,
+        router: &dyn Router,
+        source: NodeId,
+        dest: NodeId,
+        max_steps: u64,
+    ) -> ProbeOutcome {
+        self.route_with(
+            mesh, statuses, blocks, &boundary, router, source, dest, max_steps,
+        )
+    }
+
+    /// Shared take-reset-drive-put-back cycle over any boundary source.
+    #[allow(clippy::too_many_arguments)]
+    fn route_with(
+        &mut self,
+        mesh: &Mesh,
+        statuses: &[NodeStatus],
+        blocks: &[FaultyBlock],
+        boundary: &dyn BoundarySource,
+        router: &dyn Router,
+        source: NodeId,
+        dest: NodeId,
+        max_steps: u64,
+    ) -> ProbeOutcome {
         let mut probe = match self.probe.take() {
             Some(mut p) if p.used.node_count() == mesh.node_count() => {
                 p.reset(mesh, source, dest);
@@ -592,7 +685,7 @@ impl ProbeEngine {
         mesh: &Mesh,
         statuses: &[NodeStatus],
         blocks: &[FaultyBlock],
-        boundary: &BoundaryMap,
+        boundary: &dyn BoundarySource,
         router: &dyn Router,
         probe: &mut Probe,
         max_steps: u64,
@@ -621,7 +714,7 @@ impl ProbeEngine {
                 dest: &dest_coord,
                 current_status: statuses[probe.current],
                 neighbors: &self.slots,
-                boundary_info: boundary.entries(probe.current),
+                boundary_info: boundary.entries_for(probe.current),
                 global_blocks: blocks,
                 used: probe.used_here(),
                 incoming: probe.incoming,

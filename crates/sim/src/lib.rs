@@ -24,6 +24,9 @@
 //!   concurrent-traffic data plane (finite-capacity link arbitration, deterministic
 //!   injection schedules, latency/throughput statistics) consumed by the traffic
 //!   engine in `lgfi-core`,
+//! * [`epoch::EpochCell`] is the single-writer/many-reader snapshot cell behind the
+//!   epoch-published route-query plane of `lgfi-core` (lock-free reader staleness
+//!   check, retired-buffer recycling),
 //! * [`stats`], [`trace`] and [`rng`] provide measurement, event tracing and
 //!   deterministic randomness.
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod epoch;
 pub mod faults;
 pub mod rng;
 pub mod shard;
@@ -43,6 +47,7 @@ pub mod trace;
 pub mod traffic_engine;
 
 pub use engine::{NeighborView, NodeCtx, Outbox, Protocol, RoundEngine, MAX_STACK_NEIGHBORS};
+pub use epoch::EpochCell;
 pub use faults::{FaultEvent, FaultEventKind, FaultPlan, FaultPlanCursor};
 pub use rng::DetRng;
 pub use shard::{batch_ranges, resolve_threads, shard_ranges, PoolHandle, WorkerPool};

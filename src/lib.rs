@@ -66,6 +66,9 @@ pub mod prelude {
     pub use lgfi_core::labeling::LabelingEngine;
     pub use lgfi_core::linkstate::LinkState;
     pub use lgfi_core::network::{LgfiNetwork, NetworkConfig, ProbeReport};
+    pub use lgfi_core::route_service::{
+        EpochSnapshot, RouteReader, RouteService, RouteServiceStats, RoutedQuery,
+    };
     pub use lgfi_core::routing::{
         route_static, sweep_static, LgfiRouter, ProbeEngine, ProbeOutcome, ProbeStatus, Router,
         RoutingDecision,

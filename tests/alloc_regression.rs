@@ -292,6 +292,51 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
         "routing through a warm ProbeEngine must not allocate per hop (DOR)"
     );
 
+    // --- Route-query plane: warm RouteReader on a checked-out epoch snapshot. -----
+    // The reader's warm path is one Acquire epoch load (no publish pending → no
+    // checkout) plus the recycled ProbeEngine probe loop over the immutable
+    // snapshot arena, so resolving the same batch through a warm reader must not
+    // touch the heap either — the zero-alloc proof behind the route-service
+    // throughput numbers in `BENCH_engine.json`.
+    {
+        use lgfi_core::network::{LgfiNetwork, NetworkConfig};
+        use lgfi_sim::FaultPlan;
+        let mut net = LgfiNetwork::new(
+            mesh.clone(),
+            FaultPlan::static_faults(&faults.iter().map(|c| mesh.id_of(c)).collect::<Vec<_>>()),
+            NetworkConfig::default(),
+        );
+        let service = net.route_service();
+        for _ in 0..400 {
+            net.run_step();
+        }
+        let mut reader = service.reader();
+        let resolve_batch =
+            |reader: &mut lgfi_core::route_service::RouteReader| -> (u64, usize, u64) {
+                let mut steps = 0u64;
+                let mut delivered = 0usize;
+                let mut epoch = 0u64;
+                for &(s, d) in &pairs {
+                    let q = reader.resolve(&lgfi, s, d, 100_000);
+                    steps += q.outcome.steps;
+                    delivered += usize::from(q.outcome.delivered());
+                    epoch = q.epoch;
+                }
+                (steps, delivered, epoch)
+            };
+        let warm = resolve_batch(&mut reader);
+        assert_eq!(warm.1, pairs.len(), "all route-service probes deliver");
+        let (allocs, steady) = count_allocations(|| resolve_batch(&mut reader));
+        assert_eq!(
+            steady, warm,
+            "warm route-service re-run must route identically"
+        );
+        assert_eq!(
+            allocs, 0,
+            "a warm RouteReader must not allocate per query (publish-free window)"
+        );
+    }
+
     // --- Traffic data plane: warm TrafficEngine, concurrent packets, contention. --
     // The same faulty 32x32 environment, flattened into a static cycle env.  A
     // cohort of packets (several sharing source corners, so links genuinely
