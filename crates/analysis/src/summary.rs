@@ -202,6 +202,7 @@ mod tests {
             hops: finished - stalls,
             stalls,
             initial_distance: 3,
+            flits: 1,
         };
         let records = [
             rec(0, 3, ProbeStatus::Delivered, 0),

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lgfi_bench::harness::{router_by_name, traffic_scenario};
-use lgfi_workloads::TrafficLoad;
+use lgfi_core::traffic_engine::TrafficSpec;
 
 /// One full traffic run (warm-up + 200 injection cycles + drain) per iteration, at
 /// a moderate load, for every router.
@@ -24,9 +24,9 @@ fn bench_traffic_cycles(c: &mut Criterion) {
             &router,
             |b, router| {
                 let scenario = traffic_scenario(1, 1);
-                let load = TrafficLoad::at_rate(1.0);
+                let load = TrafficSpec::at_rate(1.0);
                 b.iter(|| {
-                    let result = scenario.run_traffic(&load, &|| router_by_name(router));
+                    let result = scenario.run_traffic(load, &|| router_by_name(router));
                     std::hint::black_box((result.stats.delivered(), result.stats.total_stalls()))
                 });
             },
@@ -47,9 +47,9 @@ fn bench_traffic_threads(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 let scenario = traffic_scenario(1, threads);
-                let load = TrafficLoad::at_rate(4.0);
+                let load = TrafficSpec::at_rate(4.0);
                 b.iter(|| {
-                    let result = scenario.run_traffic(&load, &|| router_by_name("lgfi"));
+                    let result = scenario.run_traffic(load, &|| router_by_name("lgfi"));
                     std::hint::black_box(result.stats.delivered())
                 });
             },

@@ -5,6 +5,12 @@
 //! workers; `0` = one worker per core.  Output is bit-identical for every setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_convergence",
+        "information-convergence rounds vs. fault count",
+    ) {
+        return;
+    }
     let threads = lgfi_bench::harness::cli_threads();
     println!("{}", lgfi_bench::harness::exp_convergence_with(threads));
 }

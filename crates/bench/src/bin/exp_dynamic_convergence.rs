@@ -6,6 +6,12 @@
 //! setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_dynamic_convergence",
+        "re-convergence after dynamic fault arrivals",
+    ) {
+        return;
+    }
     let threads = lgfi_bench::harness::cli_threads();
     println!(
         "{}",

@@ -2,5 +2,11 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_fig1_block",
+        "fault-block construction (figure 1)",
+    ) {
+        return;
+    }
     println!("{}", lgfi_bench::harness::exp_fig1_block());
 }

@@ -6,6 +6,12 @@
 //! setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_fig7_steps",
+        "routing step counts (figure 7)",
+    ) {
+        return;
+    }
     let threads = lgfi_bench::harness::cli_threads();
     println!("{}", lgfi_bench::harness::exp_fig7_steps_with(threads));
 }

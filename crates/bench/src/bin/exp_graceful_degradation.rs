@@ -6,6 +6,12 @@
 //! for every setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_graceful_degradation",
+        "delivery degradation vs. fault density",
+    ) {
+        return;
+    }
     let threads = lgfi_bench::harness::cli_threads();
     println!(
         "{}",

@@ -10,6 +10,12 @@
 //! rows are bit-identical for every reader count.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_route_service",
+        "epoch-snapshot route-query service throughput",
+    ) {
+        return;
+    }
     let (table, records) = lgfi_bench::route_service::run_route_service_suite();
     println!("{table}");
     let path = lgfi_bench::perf::default_json_path();

@@ -9,6 +9,12 @@
 //! core).  Output is bit-identical for every thread setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_slo",
+        "availability SLOs under adversarial fault campaigns",
+    ) {
+        return;
+    }
     let horizon = lgfi_bench::slo::configured_slo_cycles();
     let (table, records) = lgfi_bench::slo::run_slo_suite(horizon);
     println!("{table}");

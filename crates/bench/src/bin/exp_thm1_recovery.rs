@@ -2,5 +2,11 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded output.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_thm1_recovery",
+        "theorem 1: recovery bound",
+    ) {
+        return;
+    }
     println!("{}", lgfi_bench::harness::exp_thm1_recovery());
 }

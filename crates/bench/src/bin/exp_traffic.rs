@@ -7,6 +7,12 @@
 //! core.  Output is bit-identical for every setting.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "exp_traffic",
+        "concurrent packet traffic vs. offered load",
+    ) {
+        return;
+    }
     let threads = lgfi_bench::harness::cli_threads();
     let traffic_threads = lgfi_bench::harness::configured_traffic_threads();
     println!(

@@ -3,5 +3,11 @@
 //! EXPERIMENTS.md records.
 
 fn main() {
+    if lgfi_bench::harness::print_help_if_requested(
+        "experiments",
+        "every experiment (F1-F7, T1-T5, C1-C8) in order",
+    ) {
+        return;
+    }
     println!("{}", lgfi_bench::harness::run_all_experiments());
 }

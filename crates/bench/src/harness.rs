@@ -19,29 +19,135 @@ use lgfi_core::network::{LgfiNetwork, NetworkConfig};
 use lgfi_core::routing::{route_static, LgfiRouter, Router};
 use lgfi_core::safety::is_safe_source_in;
 use lgfi_core::status::NodeStatus;
+use lgfi_core::traffic_engine::TrafficSpec;
 use lgfi_sim::FaultPlan;
 use lgfi_topology::{coord, Coord, Direction, Mesh};
 use lgfi_workloads::{
     run_trials, run_trials_on, DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario,
-    TrafficGenerator, TrafficLoad, TrafficPattern,
+    TrafficGenerator, TrafficPattern,
 };
 
 // ---------------------------------------------------------------------------------
-// The `threads` knob
+// The environment-knob registry
 // ---------------------------------------------------------------------------------
 
-/// Parses one numeric worker-count knob from the environment: unset or empty means
-/// `default` (serial, the deterministic baseline), `0` means one worker per
-/// available core, any other value is used as-is.  Every knob parsed here is an
-/// execution detail — experiment outputs are bit-identical across settings.
-///
-/// # Panics
-/// Panics when the variable is set to something that is not an integer.
-pub fn env_knob(name: &str, default: usize) -> usize {
-    parse_knob(name, std::env::var(name).ok().as_deref(), default)
+/// One typed numeric environment knob of the bench harness: its variable name,
+/// default value and a one-line description for the generated help listing.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvKnob {
+    /// Environment variable name (`LGFI_*`).
+    pub name: &'static str,
+    /// Value used when the variable is unset or empty.
+    pub default: usize,
+    /// One-line description shown by [`knobs_help`].
+    pub doc: &'static str,
 }
 
-/// The parsing rule of [`env_knob`], separated from the environment lookup so it is
+/// The registry of every numeric `LGFI_*` knob the experiments read.  Knobs are
+/// parsed exclusively through [`knob`], so this table *is* the configuration
+/// surface: adding a knob here documents it, defaults it and lists it in every
+/// binary's `--help` at once.  Worker-count knobs treat `0` as one worker per
+/// available core, and every knob is an execution or scale detail — experiment
+/// *results* are bit-identical across the thread/frontier settings.
+pub const ENV_KNOBS: &[EnvKnob] = &[
+    EnvKnob {
+        name: "LGFI_THREADS",
+        default: 1,
+        doc: "worker threads for the information rounds (0 = one per core)",
+    },
+    EnvKnob {
+        name: "LGFI_PROBE_THREADS",
+        default: 1,
+        doc: "worker threads for probe-sweep routing decisions (0 = one per core)",
+    },
+    EnvKnob {
+        name: "LGFI_TRAFFIC_THREADS",
+        default: 1,
+        doc: "worker threads for per-cycle traffic decisions (0 = one per core)",
+    },
+    EnvKnob {
+        name: "LGFI_SLO_CYCLES",
+        default: 600,
+        doc: "injection horizon (cycles) of the exp_slo campaign suite",
+    },
+    EnvKnob {
+        name: "LGFI_SLO_CHURN_CYCLES",
+        default: 3_000,
+        doc: "horizon (cycles) of the long-horizon churn equivalence/alloc tests",
+    },
+    EnvKnob {
+        name: "LGFI_READERS",
+        default: 4,
+        doc: "top reader count of the exp_route_service sweep",
+    },
+    EnvKnob {
+        name: "LGFI_RS_QUERIES",
+        default: 51_200,
+        doc: "target queries per exp_route_service measurement",
+    },
+    EnvKnob {
+        name: "LGFI_VCS",
+        default: 2,
+        doc: "virtual channels per directed link for the wormhole experiments",
+    },
+    EnvKnob {
+        name: "LGFI_FLITS",
+        default: 4,
+        doc: "flits per packet (worm length) for the wormhole experiments",
+    },
+];
+
+/// Looks `name` up in [`ENV_KNOBS`] and parses its value from the environment:
+/// unset or empty means the registered default, anything else must be an integer.
+///
+/// # Panics
+/// Panics when `name` is not registered in [`ENV_KNOBS`] (register it — the
+/// registry is the single source of knob defaults and documentation) or when the
+/// variable is set to something that is not an integer.
+pub fn knob(name: &str) -> usize {
+    let entry = ENV_KNOBS
+        .iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("unregistered knob {name:?} — add it to ENV_KNOBS"));
+    parse_knob(
+        entry.name,
+        std::env::var(entry.name).ok().as_deref(),
+        entry.default,
+    )
+}
+
+/// The generated knob listing every experiment binary prints under `--help`:
+/// one line per [`ENV_KNOBS`] entry plus the non-numeric knobs.
+pub fn knobs_help() -> String {
+    let mut out = String::from("Environment knobs:\n");
+    for k in ENV_KNOBS {
+        out.push_str(&format!(
+            "  {:<24} {} [default: {}]\n",
+            k.name, k.doc, k.default
+        ));
+    }
+    out.push_str(
+        "  LGFI_FRONTIER            active-frontier scheduling; 0/false/off disables [default: on]\n",
+    );
+    out.push_str("  LGFI_BENCH_JSON          output path for machine-readable bench records\n");
+    out.push_str("  LGFI_BENCH_VARIANT       variant tag stamped into emitted bench records\n");
+    out
+}
+
+/// Handles `--help`/`-h` for an experiment binary: prints a usage line plus the
+/// generated [`knobs_help`] listing and returns `true` (the caller should exit).
+pub fn print_help_if_requested(binary: &str, about: &str) -> bool {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{binary} — {about}\n");
+        println!("Usage: {binary} [--threads N]\n");
+        print!("{}", knobs_help());
+        true
+    } else {
+        false
+    }
+}
+
+/// The parsing rule of [`knob`], separated from the environment lookup so it is
 /// testable without mutating process-global state.
 fn parse_knob(name: &str, value: Option<&str>, default: usize) -> usize {
     match value {
@@ -54,19 +160,30 @@ fn parse_knob(name: &str, value: Option<&str>, default: usize) -> usize {
 }
 
 /// The worker-thread count for the information rounds (`LGFI_THREADS`); see
-/// [`env_knob`].
+/// [`knob`].
 pub fn configured_threads() -> usize {
-    env_knob("LGFI_THREADS", 1)
+    knob("LGFI_THREADS")
 }
 
-/// The probe-sweep worker count (`LGFI_PROBE_THREADS`); see [`env_knob`].
+/// The probe-sweep worker count (`LGFI_PROBE_THREADS`); see [`knob`].
 pub fn configured_probe_threads() -> usize {
-    env_knob("LGFI_PROBE_THREADS", 1)
+    knob("LGFI_PROBE_THREADS")
 }
 
-/// The traffic decision-worker count (`LGFI_TRAFFIC_THREADS`); see [`env_knob`].
+/// The traffic decision-worker count (`LGFI_TRAFFIC_THREADS`); see [`knob`].
 pub fn configured_traffic_threads() -> usize {
-    env_knob("LGFI_TRAFFIC_THREADS", 1)
+    knob("LGFI_TRAFFIC_THREADS")
+}
+
+/// Virtual channels per directed link for the wormhole experiments
+/// (`LGFI_VCS`); see [`knob`].
+pub fn configured_vcs() -> u32 {
+    knob("LGFI_VCS").max(1) as u32
+}
+
+/// Flits per packet for the wormhole experiments (`LGFI_FLITS`); see [`knob`].
+pub fn configured_flits() -> u32 {
+    knob("LGFI_FLITS").max(1) as u32
 }
 
 /// The active-frontier knob configured through the environment: `LGFI_FRONTIER`
@@ -1203,7 +1320,7 @@ pub fn exp_traffic_with(threads: usize, traffic_threads: usize) -> String {
         for &rate in &loads {
             let scenario = traffic_scenario(threads, traffic_threads);
             let result =
-                scenario.run_traffic(&TrafficLoad::at_rate(rate), &|| router_by_name(router));
+                scenario.run_traffic(TrafficSpec::at_rate(rate), &|| router_by_name(router));
             let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
             table.row(&[
                 router.to_string(),
@@ -1213,6 +1330,73 @@ pub fn exp_traffic_with(threads: usize, traffic_threads: usize) -> String {
                 f2(s.mean_latency),
                 s.p99_latency.to_string(),
                 f2(s.mean_stalls),
+            ]);
+        }
+    }
+    table.render()
+}
+
+// ---------------------------------------------------------------------------------
+// C8 — wormhole switching with virtual channels
+// ---------------------------------------------------------------------------------
+
+/// Experiment C8: flit-level wormhole traffic — delivery, accepted throughput,
+/// queueing latency and deadlock teardowns for every router as multi-flit worms
+/// contend for virtual channels and flit-buffer credits around the fault blocks.
+/// `LGFI_FLITS` and `LGFI_VCS` set the worm length and channel count.
+pub fn exp_wormhole() -> String {
+    exp_wormhole_with(
+        configured_threads(),
+        configured_traffic_threads(),
+        configured_flits(),
+        configured_vcs(),
+    )
+}
+
+/// [`exp_wormhole`] with explicit worker counts, worm length and VC count
+/// (bit-identical output across the worker knobs).
+pub fn exp_wormhole_with(threads: usize, traffic_threads: usize, flits: u32, vcs: u32) -> String {
+    let threads = lgfi_sim::resolve_threads(threads);
+    let traffic_threads = lgfi_sim::resolve_threads(traffic_threads);
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
+    let loads = [0.1f64, 0.5, 1.0, 2.0];
+    let mut table = Table::new(
+        &format!(
+            "C8  wormhole traffic vs. offered load (16x16 mesh, 12 clustered static faults, \
+             {flits}-flit worms, {vcs} VCs + escape class, traffic_threads={traffic_threads})"
+        ),
+        &[
+            "router",
+            "offered (pkt/cycle)",
+            "delivery",
+            "accepted (pkt/cycle)",
+            "mean latency",
+            "p99 latency",
+            "deadlocked",
+        ],
+    );
+    for router in routers {
+        for &rate in &loads {
+            let scenario = traffic_scenario(threads, traffic_threads);
+            let spec = TrafficSpec::at_rate(rate)
+                .flits_per_packet(flits)
+                .vc_count(vcs.max(2));
+            let result = scenario.run_traffic(spec, &|| router_by_name(router));
+            let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
+            table.row(&[
+                router.to_string(),
+                f2(rate),
+                pct(s.delivery_ratio),
+                f2(s.accepted_throughput),
+                f2(s.mean_latency),
+                s.p99_latency.to_string(),
+                result.deadlocked().to_string(),
             ]);
         }
     }
@@ -1242,6 +1426,7 @@ pub fn run_all_experiments() -> String {
         ("C5", exp_traffic),
         ("C6", crate::slo::exp_slo),
         ("C7", crate::route_service::exp_route_service),
+        ("C8", exp_wormhole),
     ];
     let mut out = String::new();
     for (name, f) in sections {

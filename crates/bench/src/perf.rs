@@ -209,6 +209,12 @@ pub struct TrafficBenchRecord {
     pub p99_latency: u64,
     /// Mean stall cycles per packet.
     pub mean_stalls: f64,
+    /// Flits per packet (1 = the packet-per-cycle model, >1 = wormhole worms).
+    pub flits: u32,
+    /// Virtual channels per directed link.
+    pub vcs: u32,
+    /// Worms torn down by the deadlock detector (0 with escape VCs).
+    pub deadlocked: u64,
 }
 
 impl TrafficBenchRecord {
@@ -220,7 +226,8 @@ impl TrafficBenchRecord {
             "{{\"bench\":\"{}\",\"variant\":\"{}\",\"mesh\":\"{}\",\"router\":\"{}\",\
              \"threads\":{},\"offered_load\":{:.3},\"cycles\":{},\"injected\":{},\
              \"delivered\":{},\"accepted_throughput\":{:.4},\"mean_latency\":{:.2},\
-             \"p99_latency\":{},\"mean_stalls\":{:.2}}}",
+             \"p99_latency\":{},\"mean_stalls\":{:.2},\"flits\":{},\"vcs\":{},\
+             \"deadlocked\":{}}}",
             escape(&self.bench),
             escape(&self.variant),
             escape(&self.mesh),
@@ -234,6 +241,9 @@ impl TrafficBenchRecord {
             self.mean_latency,
             self.p99_latency,
             self.mean_stalls,
+            self.flits,
+            self.vcs,
+            self.deadlocked,
         );
         s
     }
@@ -418,25 +428,45 @@ pub fn measure_traffic_load(
     traffic_threads: usize,
     variant: &str,
 ) -> TrafficBenchRecord {
-    use lgfi_analysis::TrafficSummary;
-    use lgfi_workloads::TrafficLoad;
-    let mut scenario = crate::harness::traffic_scenario(1, traffic_threads);
-    scenario.traffic = pattern;
-    let result = scenario.run_traffic(&TrafficLoad::at_rate(rate), &|| {
-        crate::harness::router_by_name(router_name)
-    });
-    let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
+    use lgfi_core::traffic_engine::TrafficSpec;
     let pattern_tag = match pattern {
         lgfi_workloads::TrafficPattern::Hotspot => "hotspot_",
         _ => "",
     };
+    measure_traffic_spec(
+        &format!("traffic_load_{pattern_tag}16x16_12_faults"),
+        router_name,
+        TrafficSpec::at_rate(rate),
+        pattern,
+        traffic_threads,
+        variant,
+    )
+}
+
+/// Runs the standard C5 traffic scenario once for one router under an arbitrary
+/// [`TrafficSpec`](lgfi_core::traffic_engine::TrafficSpec) — the wormhole-aware
+/// generalisation of [`measure_traffic_load`] used by the `exp_wormhole`
+/// latency-vs-offered-load sweep.
+pub fn measure_traffic_spec(
+    bench: &str,
+    router_name: &str,
+    spec: lgfi_core::traffic_engine::TrafficSpec,
+    pattern: lgfi_workloads::TrafficPattern,
+    traffic_threads: usize,
+    variant: &str,
+) -> TrafficBenchRecord {
+    use lgfi_analysis::TrafficSummary;
+    let mut scenario = crate::harness::traffic_scenario(1, traffic_threads);
+    scenario.traffic = pattern;
+    let result = scenario.run_traffic(spec, &|| crate::harness::router_by_name(router_name));
+    let s = TrafficSummary::of_records(&result.records, result.measured_cycles);
     TrafficBenchRecord {
-        bench: format!("traffic_load_{pattern_tag}16x16_12_faults"),
+        bench: bench.into(),
         variant: variant.into(),
         mesh: "16x16".into(),
         router: router_name.into(),
         threads: result.traffic_threads,
-        offered_load: rate,
+        offered_load: spec.injection_rate,
         cycles: result.measured_cycles,
         injected: result.stats.injected(),
         delivered: result.stats.delivered(),
@@ -444,6 +474,9 @@ pub fn measure_traffic_load(
         mean_latency: s.mean_latency,
         p99_latency: s.p99_latency,
         mean_stalls: s.mean_stalls,
+        flits: spec.flits_per_packet,
+        vcs: spec.vc_count,
+        deadlocked: result.deadlocked(),
     }
 }
 
@@ -500,6 +533,65 @@ pub fn emit_traffic_records() {
             threads,
             &variant,
         ));
+    }
+    let path = default_json_path();
+    match append_traffic_records(&path, &records) {
+        Ok(()) => {
+            for r in &records {
+                println!("BENCH_engine {}", r.to_json());
+            }
+            println!("BENCH_engine.json updated: {}", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Runs the standard wormhole measurements — a latency-vs-offered-load sweep for
+/// all five routers with `LGFI_FLITS`-flit worms over `LGFI_VCS` virtual channels
+/// (escape class on), plus one wormhole saturation record per router (the largest
+/// accepted throughput over the sweep) — and appends the records to
+/// [`default_json_path`].
+pub fn emit_wormhole_records() {
+    use lgfi_core::traffic_engine::TrafficSpec;
+    use lgfi_workloads::TrafficPattern;
+    let variant = variant_tag();
+    let flits = crate::harness::configured_flits();
+    let vcs = crate::harness::configured_vcs().max(2);
+    let routers = [
+        "lgfi",
+        "global-info",
+        "local-only",
+        "wu-minimal-block",
+        "dimension-order",
+    ];
+    let loads = [0.1f64, 0.5, 1.0, 2.0];
+    let mut records = Vec::new();
+    for router in routers {
+        let mut saturation: Option<TrafficBenchRecord> = None;
+        for &rate in &loads {
+            let spec = TrafficSpec::at_rate(rate)
+                .flits_per_packet(flits)
+                .vc_count(vcs);
+            let rec = measure_traffic_spec(
+                "wormhole_load_16x16_12_faults",
+                router,
+                spec,
+                TrafficPattern::UniformRandom,
+                1,
+                &variant,
+            );
+            let better = saturation
+                .as_ref()
+                .map(|s| rec.accepted_throughput > s.accepted_throughput)
+                .unwrap_or(true);
+            if better {
+                saturation = Some(rec.clone());
+            }
+            records.push(rec);
+        }
+        let mut sat = saturation.expect("at least one load measured");
+        sat.bench = "wormhole_saturation_16x16_12_faults".into();
+        records.push(sat);
     }
     let path = default_json_path();
     match append_traffic_records(&path, &records) {

@@ -38,17 +38,17 @@ use lgfi_workloads::{
     ChurnConfig, ChurnProcess, FaultGenerator, FaultPlacement, TrafficGenerator, TrafficPattern,
 };
 
-use crate::harness::{env_knob, router_by_name};
+use crate::harness::{knob, router_by_name};
 use crate::perf::{variant_tag, RouteServiceBenchRecord};
 
 /// The top reader count of the standard sweep: `LGFI_READERS`, defaulting to 4.
 pub fn configured_readers() -> usize {
-    env_knob("LGFI_READERS", 4).max(1)
+    knob("LGFI_READERS").max(1)
 }
 
 /// Target queries per measurement: `LGFI_RS_QUERIES`, defaulting to 51 200.
 pub fn configured_queries() -> usize {
-    env_knob("LGFI_RS_QUERIES", 51_200).max(1)
+    knob("LGFI_RS_QUERIES").max(1)
 }
 
 /// Maximum steps a query probe may take before being declared exhausted.

@@ -13,6 +13,7 @@
 //! `LGFI_TRAFFIC_THREADS`.
 
 use lgfi_analysis::{SloReport, SloRow};
+use lgfi_core::traffic_engine::TrafficSpec;
 use lgfi_sim::FaultPlan;
 use lgfi_topology::Mesh;
 use lgfi_workloads::{
@@ -22,14 +23,14 @@ use lgfi_workloads::{
 
 use crate::harness::{
     configured_frontier, configured_probe_threads, configured_threads, configured_traffic_threads,
-    env_knob, router_by_name,
+    knob, router_by_name,
 };
 use crate::perf::SloBenchRecord;
 
 /// The injection horizon of the `exp_slo` campaigns: `LGFI_SLO_CYCLES`, defaulting
 /// to 600 cycles.
 pub fn configured_slo_cycles() -> u64 {
-    env_knob("LGFI_SLO_CYCLES", 600) as u64
+    knob("LGFI_SLO_CYCLES") as u64
 }
 
 /// The mesh every standard campaign runs on.
@@ -68,13 +69,12 @@ pub fn standard_suite(horizon: u64) -> Vec<SuitePoint> {
         threads: configured_threads(),
         frontier: configured_frontier(),
         probe_threads: configured_probe_threads(),
-        traffic_threads: configured_traffic_threads(),
-        injection_rate: 0.5,
+        traffic: TrafficSpec::at_rate(0.5)
+            .cycles(horizon)
+            .drain_cycles(2_000)
+            .max_packet_cycles(2_000)
+            .traffic_threads(configured_traffic_threads()),
         pattern: TrafficPattern::UniformRandom,
-        horizon,
-        drain_cycles: 2_000,
-        link_capacity: 1,
-        max_packet_cycles: 2_000,
         faults: CampaignFaults::Plan(FaultPlan::empty()),
     };
     let shaped = |shape: ClusterShape, seed: u64| -> FaultPlan {

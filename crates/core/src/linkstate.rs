@@ -1,59 +1,156 @@
-//! The link-state layer: finite-capacity directed mesh links.
+//! The link-state layer: finite-capacity directed mesh links with virtual
+//! channels and credit-based flit buffers.
 //!
 //! The routing model of the paper sets up one path at a time, so PR-era probe
 //! sweeps never contend for wires.  Real traffic does: every node of an n-D mesh
-//! has `2n` directed output links, each able to accept a bounded number of packets
-//! per cycle.  [`LinkState`] binds the generic grant table of
-//! [`lgfi_sim::traffic_engine::LinkArbiter`] to the mesh's
-//! [`Direction`] indexing, giving the concurrent-traffic engine
-//! ([`crate::traffic_engine`]) a topology-aware capacity check: `try_reserve(node,
-//! dir)` answers whether one more packet may leave `node` along `dir` this cycle.
+//! has `2n` directed output links, each able to move a bounded number of *flits*
+//! per cycle, carrying `vc_count` virtual channels and a shared DAMQ flit-buffer
+//! pool at its downstream end.  [`LinkState`] binds the generic grant table of
+//! [`lgfi_sim::traffic_engine::LinkArbiter`] and the VC/credit table of
+//! [`lgfi_sim::traffic_engine::VcTable`] to the mesh's [`Direction`] indexing,
+//! giving the wormhole traffic engine ([`crate::traffic_engine`]) a
+//! topology-aware view: bandwidth (`try_flit`), channel allocation
+//! (`free_adaptive_vc` / `acquire_vc` / `release_vc`) and credits
+//! (`credits` / `deposit` / `drain`) per `(node, dir)` link.
 //!
-//! Determinism contract: grants are handed out in request order and the traffic
-//! engine requests them in packet-launch order, so which packets stall in a
-//! contended cycle is a pure function of the simulation inputs — never of thread
-//! scheduling.
+//! Determinism contract: bandwidth grants, VC grants and credits are handed out
+//! in request order and the traffic engine requests them in packet-launch order,
+//! so which worms stall in a contended cycle is a pure function of the simulation
+//! inputs — never of thread scheduling.
 
-use lgfi_sim::traffic_engine::LinkArbiter;
+use lgfi_sim::traffic_engine::{LinkArbiter, VcTable, NO_OWNER};
 use lgfi_topology::{Direction, Mesh, NodeId};
 
-/// Finite-capacity state of every directed link of a mesh, reset per cycle.
+/// Per-cycle bandwidth, virtual-channel ownership and flit-buffer credits of
+/// every directed link of a mesh.
+///
+/// The escape class is VC 0 when enabled (see
+/// [`TrafficSpec::escape_vc`](crate::traffic_engine::TrafficSpec)); adaptive
+/// decisions then allocate from VCs `1..vc_count`, and the engine falls back to
+/// the escape VC with a dimension-order hop when every adaptive VC is held.
 #[derive(Debug, Clone)]
 pub struct LinkState {
     arbiter: LinkArbiter,
+    vcs: VcTable,
+    /// First VC index the adaptive class may allocate (1 when an escape VC is
+    /// reserved, 0 otherwise).
+    adaptive_base: usize,
 }
 
 impl LinkState {
-    /// Link state for `mesh` where every directed link carries at most `capacity`
-    /// packets per cycle (at least 1).
-    pub fn new(mesh: &Mesh, capacity: u32) -> Self {
+    /// Link state for `mesh`: every directed link moves at most `capacity` flits
+    /// per cycle, carries `vc_count` virtual channels with `vc_buffer_flits`
+    /// buffer slots each (pooled), and reserves VC 0 as the escape class when
+    /// `escape_vc` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity`, `vc_count` or `vc_buffer_flits` is zero, or if
+    /// `escape_vc` is set with fewer than two VCs (the escape class would starve
+    /// the adaptive one) — reject such configurations up front with
+    /// [`TrafficSpec::validate`](crate::traffic_engine::TrafficSpec::validate).
+    pub fn new(
+        mesh: &Mesh,
+        capacity: u32,
+        vc_count: u32,
+        vc_buffer_flits: u32,
+        escape_vc: bool,
+    ) -> Self {
+        assert!(
+            !escape_vc || vc_count >= 2,
+            "an escape VC needs at least 2 virtual channels, got {vc_count}"
+        );
+        let ports = 2 * mesh.ndim();
         LinkState {
-            arbiter: LinkArbiter::new(mesh.node_count(), 2 * mesh.ndim(), capacity),
+            arbiter: LinkArbiter::new(mesh.node_count(), ports, capacity),
+            vcs: VcTable::new(mesh.node_count(), ports, vc_count as usize, vc_buffer_flits),
+            adaptive_base: usize::from(escape_vc),
         }
     }
 
-    /// The per-cycle capacity of one directed link.
+    /// The per-cycle flit capacity of one directed link.
     pub fn capacity(&self) -> u32 {
         self.arbiter.capacity()
     }
 
-    /// Starts a new cycle; every link returns to full capacity (`O(touched links)`,
-    /// allocation-free once warm).
+    /// Virtual channels per directed link.
+    pub fn vc_count(&self) -> usize {
+        self.vcs.vcs()
+    }
+
+    /// True when VC 0 is reserved as the dimension-order escape class.
+    pub fn has_escape_vc(&self) -> bool {
+        self.adaptive_base == 1
+    }
+
+    /// Starts a new cycle; every link returns to full bandwidth (`O(touched
+    /// links)`, allocation-free once warm).  VC ownership and buffered flits
+    /// persist across cycles — they are worm state, not cycle state.
     pub fn begin_cycle(&mut self) {
         self.arbiter.begin_cycle();
     }
 
-    /// Reserves one unit of the outgoing link of `node` in direction `dir` for this
-    /// cycle.  Returns `false` when the link is already saturated — the requesting
-    /// packet must stall.
+    /// Requests bandwidth for one flit on the outgoing link of `node` in
+    /// direction `dir` this cycle.  Returns `false` when the link has already
+    /// moved `capacity` flits — the flit must wait a cycle.
     #[inline]
-    pub fn try_reserve(&mut self, node: NodeId, dir: Direction) -> bool {
+    pub fn try_flit(&mut self, node: NodeId, dir: Direction) -> bool {
         self.arbiter.try_grant(node, dir.index())
     }
 
-    /// Packets granted on the outgoing link of `node` in direction `dir` this cycle.
-    pub fn reserved(&self, node: NodeId, dir: Direction) -> u32 {
+    /// Flits granted on the outgoing link of `node` in direction `dir` this cycle.
+    pub fn flits_moved(&self, node: NodeId, dir: Direction) -> u32 {
         self.arbiter.granted(node, dir.index())
+    }
+
+    /// The lowest-index free *adaptive-class* VC of `(node, dir)`, if any.
+    #[inline]
+    pub fn free_adaptive_vc(&self, node: NodeId, dir: Direction) -> Option<usize> {
+        self.vcs
+            .free_vc_in(node, dir.index(), self.adaptive_base, self.vcs.vcs())
+    }
+
+    /// True when the escape VC (VC 0) of `(node, dir)` is reserved and free.
+    #[inline]
+    pub fn escape_vc_free(&self, node: NodeId, dir: Direction) -> bool {
+        self.has_escape_vc() && self.vcs.owner(node, dir.index(), 0) == NO_OWNER
+    }
+
+    /// The owner of the lowest-index held VC of `(node, dir)`, or
+    /// [`NO_OWNER`] — the deadlock detector's wait-for witness.
+    #[inline]
+    pub fn first_vc_owner(&self, node: NodeId, dir: Direction) -> u64 {
+        self.vcs.first_owner(node, dir.index())
+    }
+
+    /// Grants VC `vc` of `(node, dir)` to worm `owner`.
+    #[inline]
+    pub fn acquire_vc(&mut self, node: NodeId, dir: Direction, vc: usize, owner: u64) {
+        self.vcs.acquire(node, dir.index(), vc, owner);
+    }
+
+    /// Releases VC `vc` of `(node, dir)` (the worm's tail crossed the link).
+    #[inline]
+    pub fn release_vc(&mut self, node: NodeId, dir: Direction, vc: usize) {
+        self.vcs.release(node, dir.index(), vc);
+    }
+
+    /// Free downstream buffer slots (credits) of `(node, dir)`.
+    #[inline]
+    pub fn credits(&self, node: NodeId, dir: Direction) -> u32 {
+        self.vcs.credits(node, dir.index())
+    }
+
+    /// Deposits `n` flits into the downstream buffer of `(node, dir)`.
+    #[inline]
+    pub fn deposit(&mut self, node: NodeId, dir: Direction, n: u32) {
+        self.vcs.deposit(node, dir.index(), n);
+    }
+
+    /// Drains `n` flits from the downstream buffer of `(node, dir)`.
+    #[inline]
+    pub fn drain(&mut self, node: NodeId, dir: Direction, n: u32) {
+        self.vcs.drain(node, dir.index(), n);
     }
 }
 
@@ -61,30 +158,72 @@ impl LinkState {
 mod tests {
     use super::*;
 
-    #[test]
-    fn links_saturate_and_reset_per_cycle() {
-        let mesh = Mesh::cubic(4, 2);
-        let mut links = LinkState::new(&mesh, 1);
-        assert_eq!(links.capacity(), 1);
-        let dir = Direction::pos(0);
-        assert!(links.try_reserve(5, dir));
-        assert!(!links.try_reserve(5, dir), "capacity 1 per cycle");
-        assert_eq!(links.reserved(5, dir), 1);
-        // The opposite direction and the reverse link are independent.
-        assert!(links.try_reserve(5, Direction::neg(0)));
-        assert!(links.try_reserve(6, Direction::neg(0)));
-        links.begin_cycle();
-        assert_eq!(links.reserved(5, dir), 0);
-        assert!(links.try_reserve(5, dir));
+    fn single_vc(mesh: &Mesh, capacity: u32) -> LinkState {
+        LinkState::new(mesh, capacity, 1, 1, false)
     }
 
     #[test]
-    fn higher_capacity_admits_more_packets() {
+    fn links_saturate_and_reset_per_cycle() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut links = single_vc(&mesh, 1);
+        assert_eq!(links.capacity(), 1);
+        let dir = Direction::pos(0);
+        assert!(links.try_flit(5, dir));
+        assert!(!links.try_flit(5, dir), "capacity 1 per cycle");
+        assert_eq!(links.flits_moved(5, dir), 1);
+        // The opposite direction and the reverse link are independent.
+        assert!(links.try_flit(5, Direction::neg(0)));
+        assert!(links.try_flit(6, Direction::neg(0)));
+        links.begin_cycle();
+        assert_eq!(links.flits_moved(5, dir), 0);
+        assert!(links.try_flit(5, dir));
+    }
+
+    #[test]
+    fn higher_capacity_admits_more_flits() {
         let mesh = Mesh::cubic(3, 3);
-        let mut links = LinkState::new(&mesh, 2);
+        let mut links = single_vc(&mesh, 2);
         let dir = Direction::pos(2);
-        assert!(links.try_reserve(0, dir));
-        assert!(links.try_reserve(0, dir));
-        assert!(!links.try_reserve(0, dir));
+        assert!(links.try_flit(0, dir));
+        assert!(links.try_flit(0, dir));
+        assert!(!links.try_flit(0, dir));
+    }
+
+    #[test]
+    fn escape_class_partitions_the_vcs() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut links = LinkState::new(&mesh, 1, 2, 2, true);
+        let dir = Direction::pos(1);
+        assert!(links.has_escape_vc());
+        // The adaptive class starts above the escape VC.
+        assert_eq!(links.free_adaptive_vc(3, dir), Some(1));
+        links.acquire_vc(3, dir, 1, 42);
+        assert_eq!(links.free_adaptive_vc(3, dir), None);
+        assert!(links.escape_vc_free(3, dir), "escape VC is still free");
+        assert_eq!(links.first_vc_owner(3, dir), 42);
+        links.acquire_vc(3, dir, 0, 7);
+        assert!(!links.escape_vc_free(3, dir));
+        assert_eq!(links.first_vc_owner(3, dir), 7);
+        links.release_vc(3, dir, 1);
+        assert_eq!(links.free_adaptive_vc(3, dir), Some(1));
+    }
+
+    #[test]
+    fn credits_track_the_downstream_buffer() {
+        let mesh = Mesh::cubic(4, 2);
+        let mut links = LinkState::new(&mesh, 1, 2, 1, false);
+        let dir = Direction::neg(1);
+        assert_eq!(links.credits(9, dir), 2);
+        links.deposit(9, dir, 2);
+        assert_eq!(links.credits(9, dir), 0);
+        links.drain(9, dir, 1);
+        assert_eq!(links.credits(9, dir), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "escape VC needs at least 2")]
+    fn escape_with_one_vc_is_rejected() {
+        let mesh = Mesh::cubic(3, 2);
+        let _ = LinkState::new(&mesh, 1, 1, 1, true);
     }
 }

@@ -1109,7 +1109,7 @@ mod tests {
 
     #[test]
     fn traffic_steps_route_packets_through_dynamic_faults() {
-        use crate::traffic_engine::{TrafficConfig, TrafficEngine};
+        use crate::traffic_engine::{TrafficEngine, TrafficSpec};
         // A fault cluster appears at step 4 while a burst of packets crosses the
         // mesh concurrently; every packet must survive it, and shared links at the
         // sources must produce observable queueing.
@@ -1121,7 +1121,7 @@ mod tests {
             FaultEvent::fail(4, mesh.id_of(&coord![6, 5])),
         ]);
         let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
-        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficSpec::new(), &|| {
             Box::new(LgfiRouter::new())
         });
         // Three packets from the same corner (they contend for the corner's two

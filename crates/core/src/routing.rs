@@ -339,6 +339,12 @@ pub enum ProbeStatus {
     Exhausted,
     /// A deterministic router gave up (see [`RoutingDecision::Fail`]).
     Failed,
+    /// The packet's worm was torn down by the wormhole deadlock detector after a
+    /// cyclic credit wait (see
+    /// [`TrafficSpec::deadlock_threshold`](crate::traffic_engine::TrafficSpec)).
+    /// Single-probe engines never produce this status — only the concurrent
+    /// traffic engine does.
+    Deadlocked,
 }
 
 /// The flat per-node used-direction store of a probe header.

@@ -153,14 +153,14 @@ impl SloObserver {
 mod tests {
     use super::*;
     use crate::network::NetworkConfig;
-    use crate::traffic_engine::TrafficConfig;
+    use crate::traffic_engine::TrafficSpec;
     use lgfi_sim::FaultPlan;
     use lgfi_topology::{coord, Mesh};
 
     fn run_observed(plan: FaultPlan, steps: u64) -> (SloObserver, LgfiNetwork, TrafficEngine) {
         let mesh = Mesh::cubic(8, 2);
         let mut net = LgfiNetwork::new(mesh.clone(), plan, NetworkConfig::default());
-        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficSpec::new(), &|| {
             Box::new(crate::routing::LgfiRouter::new())
         });
         let mut obs = SloObserver::new(mesh.node_count());
@@ -202,7 +202,7 @@ mod tests {
     fn external_events_count_as_bursts() {
         let mesh = Mesh::cubic(8, 2);
         let mut net = LgfiNetwork::new(mesh.clone(), FaultPlan::empty(), NetworkConfig::default());
-        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficSpec::new(), &|| {
             Box::new(crate::routing::LgfiRouter::new())
         });
         let mut obs = SloObserver::new(mesh.node_count());
@@ -218,7 +218,7 @@ mod tests {
     fn cleared_records_are_not_double_counted() {
         let mesh = Mesh::cubic(8, 2);
         let mut net = LgfiNetwork::new(mesh.clone(), FaultPlan::empty(), NetworkConfig::default());
-        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+        let mut traffic = TrafficEngine::new(mesh.clone(), TrafficSpec::new(), &|| {
             Box::new(crate::routing::LgfiRouter::new())
         });
         let mut obs = SloObserver::new(mesh.node_count());

@@ -1,13 +1,14 @@
-//! The cycle-driven concurrent-traffic engine: many packets in flight at once,
-//! contending for finite-capacity links around fault blocks.
+//! The cycle-driven concurrent-traffic engine: wormhole-switched multi-flit
+//! packets contending for virtual channels and flit buffers around fault blocks.
 //!
 //! Every experiment before this module routed probes *alone* on an idle mesh — even
 //! the batched sweeps of [`crate::routing::sweep_static`] only parallelise
 //! independent probes.  Real traffic is different: packets occupy wires, and a
 //! packet that loses a link to another packet waits.  [`TrafficEngine`] models that
-//! regime with a synchronous cycle loop:
+//! regime in the flit-level wormhole discipline the NoC community evaluates
+//! fault-tolerant routers under (BookSim-style), with a synchronous cycle loop:
 //!
-//! 1. **Decision phase** — every in-flight packet asks its router (the same
+//! 1. **Decision phase** — every in-flight worm's *head* asks its router (the same
 //!    [`RouteCtx`]/Algorithm-3 machinery the probe engines use) for a next hop
 //!    against the *frozen* cycle state.  Decisions are pure per-packet functions, so
 //!    they shard across `traffic_threads` workers over contiguous launch-order
@@ -15,25 +16,49 @@
 //!    parallel cycle, parked between cycles), each worker holding its own router
 //!    instance — the launch-order-merge discipline of the round and probe engines.
 //! 2. **Arbitration phase** — serial, in packet-launch order (packet-id tie-break):
-//!    each packet that wants to move requests its outgoing link from the
-//!    [`LinkState`] layer; a saturated link stalls the packet for the cycle, and
-//!    queueing delay becomes observable latency.  Backtracks travel the packet's
-//!    own already-reserved channel in reverse and therefore never contend.
-//! 3. **Retirement phase** — finished packets (delivered, unreachable, exhausted or
-//!    failed) are recorded in launch order and their buffers (probe path,
-//!    used-direction arena, neighbor-slot scratch) recycled for future injections,
-//!    so a warm engine performs **zero steady-state heap allocations per cycle**
-//!    (proved by `tests/alloc_regression.rs`).
+//!    each worm advances through the [`LinkState`] layer.  The head needs a free
+//!    virtual channel of its class, a downstream buffer credit and link bandwidth
+//!    to extend the worm by one link; body flits stream forward behind it subject
+//!    to bandwidth and credits, and flits crossing the final link are consumed by
+//!    the destination.  A worm *owns* a VC on every link its tail has not yet
+//!    crossed, so a blocked worm holds wires — head-of-line blocking and deadlock
+//!    become observable.  When every adaptive VC of the wanted link is held, the
+//!    head may fall back to the **escape class** (VC 0, when enabled): a
+//!    dimension-order hop on a deadlock-free channel — the standard escape-VC
+//!    deadlock-avoidance scheme.  Backtracks retreat the head along the worm's own
+//!    reserved channel and therefore never contend.
+//! 3. **Deadlock detection** — a worm whose flits have all been still for
+//!    [`TrafficSpec::deadlock_threshold`] cycles while its head waits on a held VC
+//!    is suspicious; the detector follows the deterministic wait-for chain
+//!    (blocked worm → owner of the lowest held VC on its wanted link) and, on
+//!    finding a cycle, tears the member worms down with
+//!    [`ProbeStatus::Deadlocked`], freeing their channels and recording the event.
+//! 4. **Retirement phase** — finished worms (every flit ejected at the
+//!    destination, or a terminal failure) are recorded in launch order and their
+//!    buffers (probe path, used-direction arena, neighbor-slot scratch, held-link
+//!    deque) recycled for future injections, so a warm engine performs **zero
+//!    steady-state heap allocations per cycle** (proved by
+//!    `tests/alloc_regression.rs`).
+//!
+//! With the default [`TrafficSpec`] (`flits_per_packet = 1`) a worm acquires and
+//! releases its VC within the crossing cycle, and the engine reproduces the PR-5
+//! packet-per-link-per-cycle behaviour exactly: `latency == hops + stalls` and the
+//! same deterministic stall pattern (see the module tests).
 //!
 //! Because only the decision phase is parallel and it writes nothing but each
 //! packet's own request slot, every run is **bit-identical** to the serial one for
-//! any `traffic_threads` setting (`tests/traffic_equivalence.rs`).
+//! any `traffic_threads` setting (`tests/traffic_equivalence.rs`,
+//! `tests/wormhole_equivalence.rs`).  Credits returned by a lower-id worm within a
+//! cycle are visible to higher-id worms in the same cycle — a deterministic
+//! simplification of hardware credit round-trips.
 //!
 //! The engine is driven one cycle at a time against a [`CycleEnv`] — either the
 //! frozen view of a [`LgfiNetwork`](crate::network::LgfiNetwork) step (dynamic
 //! faults, partially distributed information) via
 //! [`LgfiNetwork::run_traffic_step`](crate::network::LgfiNetwork::run_traffic_step),
-//! or a [`StaticTrafficEnv`] for stabilised fault patterns.
+//! or a [`StaticTrafficEnv`] for stabilised fault patterns.  Fault dynamics gate
+//! *head* decisions (a head on a node that turns faulty backtracks), matching the
+//! packet-granularity fault model of the PR-5 engine.
 
 use crate::block::FaultyBlock;
 use crate::boundary::{BoundaryEntry, BoundaryMap};
@@ -42,13 +67,37 @@ use crate::routing::{
     fill_neighbor_slots, NeighborSlot, Probe, ProbeStatus, RouteCtx, Router, RoutingDecision,
 };
 use crate::status::NodeStatus;
-use lgfi_sim::TrafficStats;
+use lgfi_sim::{TrafficStats, NO_OWNER};
 use lgfi_topology::{Direction, Mesh, NodeId};
+use std::collections::VecDeque;
 
-/// Configuration of the [`TrafficEngine`].
-#[derive(Debug, Clone, Copy)]
-pub struct TrafficConfig {
-    /// Packets one directed link can carry per cycle (at least 1).
+/// The unified traffic configuration: one builder-style spec consumed by
+/// [`TrafficEngine`], `Scenario::run_traffic`, `SloCampaign` and the bench
+/// harness.
+///
+/// `TrafficSpec` replaces the duplicated `TrafficConfig` (engine knobs) /
+/// `TrafficLoad` (workload knobs) pair.  It is `#[non_exhaustive]`: construct it
+/// with [`TrafficSpec::new`] or [`TrafficSpec::at_rate`] and chain the builder
+/// methods, so future knobs never break call sites.  The defaults reproduce the
+/// PR-5 packet-per-cycle engine exactly (single-flit worms never hold a virtual
+/// channel across cycles).
+///
+/// ```
+/// use lgfi_core::traffic_engine::TrafficSpec;
+/// let spec = TrafficSpec::at_rate(1.5).flits_per_packet(4).vc_count(2);
+/// assert!(spec.validate().is_empty());
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Offered load in packets per cycle (realised by the deterministic
+    /// [`lgfi_sim::InjectionProcess`] schedule).
+    pub injection_rate: f64,
+    /// Cycles of the injection window.
+    pub cycles: u64,
+    /// Extra cycles allowed for in-flight packets to finish after injection stops.
+    pub drain_cycles: u64,
+    /// Flits one directed link can move per cycle (at least 1).
     pub link_capacity: u32,
     /// Cycles a packet may stay in flight (hops + stalls) before being declared
     /// exhausted.
@@ -57,8 +106,181 @@ pub struct TrafficConfig {
     /// per available core).  An execution detail: results are bit-identical for
     /// every setting.
     pub traffic_threads: usize,
+    /// Flits per packet (the worm length; 1 reproduces the packet-per-cycle
+    /// model).
+    pub flits_per_packet: u32,
+    /// Virtual channels per directed link (at least 1; at least 2 with
+    /// [`TrafficSpec::escape_vc`]).
+    pub vc_count: u32,
+    /// Flit-buffer slots contributed per VC to the link's shared DAMQ pool.
+    pub vc_buffer_flits: u32,
+    /// Reserve VC 0 as an escape class restricted to dimension-order hops — the
+    /// standard escape-channel deadlock-avoidance scheme.  Irrelevant at
+    /// `flits_per_packet = 1` (VCs are never held across cycles).
+    pub escape_vc: bool,
+    /// Consecutive cycles a blocked worm's flits may all be still before the
+    /// deadlock detector follows its credit-wait chain.
+    pub deadlock_threshold: u64,
 }
 
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            injection_rate: 1.0,
+            cycles: 200,
+            drain_cycles: 5_000,
+            link_capacity: 1,
+            max_packet_cycles: 100_000,
+            traffic_threads: 1,
+            flits_per_packet: 1,
+            vc_count: 2,
+            vc_buffer_flits: 2,
+            escape_vc: true,
+            deadlock_threshold: 64,
+        }
+    }
+}
+
+impl TrafficSpec {
+    /// The default spec: rate 1.0, 200 injection cycles, 5000 drain cycles,
+    /// capacity 1, single-flit packets on 2 VCs (escape class enabled, inert at
+    /// one flit).
+    pub fn new() -> Self {
+        TrafficSpec::default()
+    }
+
+    /// The default spec at the given offered load (the successor of the deprecated
+    /// `TrafficLoad::at_rate`).
+    pub fn at_rate(rate: f64) -> Self {
+        TrafficSpec::new().rate(rate)
+    }
+
+    /// Sets the offered load in packets per cycle.
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.injection_rate = rate;
+        self
+    }
+
+    /// Sets the injection-window length in cycles.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Sets the post-injection drain budget in cycles.
+    pub fn drain_cycles(mut self, drain_cycles: u64) -> Self {
+        self.drain_cycles = drain_cycles;
+        self
+    }
+
+    /// Sets the per-link flit bandwidth per cycle.
+    pub fn link_capacity(mut self, link_capacity: u32) -> Self {
+        self.link_capacity = link_capacity;
+        self
+    }
+
+    /// Sets the in-flight cycle budget per packet.
+    pub fn max_packet_cycles(mut self, max_packet_cycles: u64) -> Self {
+        self.max_packet_cycles = max_packet_cycles;
+        self
+    }
+
+    /// Sets the decision-worker count (execution detail; results are
+    /// bit-identical for every setting).
+    pub fn traffic_threads(mut self, traffic_threads: usize) -> Self {
+        self.traffic_threads = traffic_threads;
+        self
+    }
+
+    /// Sets the worm length in flits.
+    pub fn flits_per_packet(mut self, flits_per_packet: u32) -> Self {
+        self.flits_per_packet = flits_per_packet;
+        self
+    }
+
+    /// Sets the virtual-channel count per directed link.
+    pub fn vc_count(mut self, vc_count: u32) -> Self {
+        self.vc_count = vc_count;
+        self
+    }
+
+    /// Sets the flit-buffer slots contributed per VC to the shared link pool.
+    pub fn vc_buffer_flits(mut self, vc_buffer_flits: u32) -> Self {
+        self.vc_buffer_flits = vc_buffer_flits;
+        self
+    }
+
+    /// Enables or disables the dimension-order escape class on VC 0.
+    pub fn escape_vc(mut self, escape_vc: bool) -> Self {
+        self.escape_vc = escape_vc;
+        self
+    }
+
+    /// Sets the deadlock-detector idle threshold in cycles.
+    pub fn deadlock_threshold(mut self, deadlock_threshold: u64) -> Self {
+        self.deadlock_threshold = deadlock_threshold;
+        self
+    }
+
+    /// Checks the spec, returning one message per rejected field (empty = valid) —
+    /// the [`lgfi_sim::FaultPlan::validate`] precedent.  [`TrafficEngine::new`]
+    /// panics on a non-empty result, so misconfiguration (a zero capacity that the
+    /// arbiter used to clamp silently, a zero VC count, …) fails loudly up front.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if !self.injection_rate.is_finite() || self.injection_rate < 0.0 {
+            problems.push(format!(
+                "injection_rate must be finite and non-negative, got {}",
+                self.injection_rate
+            ));
+        }
+        if self.link_capacity == 0 {
+            problems.push("link_capacity must be at least 1 flit per cycle".into());
+        }
+        if self.flits_per_packet == 0 {
+            problems.push("flits_per_packet must be at least 1".into());
+        }
+        if self.vc_count == 0 {
+            problems.push("vc_count must be at least 1".into());
+        }
+        if self.vc_buffer_flits == 0 {
+            problems.push("vc_buffer_flits must be at least 1".into());
+        }
+        if self.escape_vc && self.vc_count < 2 {
+            problems.push(format!(
+                "escape_vc reserves VC 0 and needs vc_count >= 2, got {}",
+                self.vc_count
+            ));
+        }
+        if self.max_packet_cycles == 0 {
+            problems.push("max_packet_cycles must be at least 1".into());
+        }
+        if self.deadlock_threshold == 0 {
+            problems.push("deadlock_threshold must be at least 1 cycle".into());
+        }
+        problems
+    }
+}
+
+/// Legacy configuration of the [`TrafficEngine`], superseded by [`TrafficSpec`].
+#[deprecated(
+    since = "0.10.0",
+    note = "use the unified builder-style TrafficSpec instead"
+)]
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Packets one directed link can carry per cycle (at least 1).
+    pub link_capacity: u32,
+    /// Cycles a packet may stay in flight (hops + stalls) before being declared
+    /// exhausted.
+    pub max_packet_cycles: u64,
+    /// Worker threads for the per-cycle routing decisions (`1` = serial, `0` = one
+    /// per available core).
+    pub traffic_threads: usize,
+}
+
+// Deprecated shim: kept for one release so downstream callers can migrate.
+#[allow(deprecated)]
 impl Default for TrafficConfig {
     fn default() -> Self {
         TrafficConfig {
@@ -66,6 +288,19 @@ impl Default for TrafficConfig {
             max_packet_cycles: 100_000,
             traffic_threads: 1,
         }
+    }
+}
+
+// Deprecated shim: kept for one release so downstream callers can migrate.
+#[allow(deprecated)]
+impl From<TrafficConfig> for TrafficSpec {
+    /// Lifts the legacy engine knobs onto the spec defaults (single-flit worms —
+    /// the exact PR-5 behaviour).
+    fn from(config: TrafficConfig) -> TrafficSpec {
+        TrafficSpec::new()
+            .link_capacity(config.link_capacity)
+            .max_packet_cycles(config.max_packet_cycles)
+            .traffic_threads(config.traffic_threads)
     }
 }
 
@@ -143,14 +378,18 @@ pub struct PacketRecord {
     pub dest: NodeId,
     /// Cycle at which the packet was injected.
     pub injected_at: u64,
-    /// Cycle at which the packet finished.
+    /// Cycle at which the packet finished (for a delivered worm: the cycle its
+    /// last flit was consumed at the destination).
     pub finished_at: u64,
     /// Final status.
     pub status: ProbeStatus,
-    /// Hops taken (forward + backtrack).
+    /// Head hops taken (forward + backtrack).
     pub hops: u64,
-    /// Cycles spent stalled waiting for a link grant.
+    /// Cycles the head spent stalled waiting for bandwidth, a virtual channel or
+    /// a buffer credit.
     pub stalls: u64,
+    /// Flits the packet was injected with.
+    pub flits: u32,
     /// Source-destination distance at injection.
     pub initial_distance: u32,
 }
@@ -161,7 +400,7 @@ impl PacketRecord {
         self.status == ProbeStatus::Delivered
     }
 
-    /// End-to-end latency in cycles (queueing included).
+    /// End-to-end latency in cycles (queueing and tail drain included).
     pub fn latency(&self) -> u64 {
         self.finished_at - self.injected_at
     }
@@ -171,9 +410,11 @@ impl PacketRecord {
 /// and consumed by the serial arbitration phase.
 #[derive(Debug, Clone, Copy)]
 enum CycleRequest {
-    /// Do nothing (the initial state of a freshly injected packet).
+    /// Do nothing (freshly injected packets and delivered worms still draining
+    /// their tails).
     Hold,
-    /// Move one hop in the given direction — subject to link arbitration.
+    /// Extend the worm one link in the given direction — subject to VC, credit and
+    /// bandwidth arbitration.
     Hop(Direction),
     /// Backtrack along the packet's own reserved channel — never contends.
     Backtrack,
@@ -181,8 +422,24 @@ enum CycleRequest {
     Finish(ProbeStatus),
 }
 
-/// One in-flight packet: the recycled probe (path + used-direction arena), its
-/// injection time, stall count and per-packet neighbor-slot scratch.
+/// One link a worm currently occupies: the upstream node and direction identify
+/// the directed link, `vc` the held channel, `buffered` this worm's flits sitting
+/// in the downstream buffer.  `vc_released` is set once the worm's tail flit has
+/// crossed the link (the channel is free for other worms while the buffered flits
+/// drain through the shared pool).
+#[derive(Debug, Clone, Copy)]
+struct WormLink {
+    node: NodeId,
+    dir: Direction,
+    vc: u32,
+    buffered: u32,
+    vc_released: bool,
+}
+
+/// One in-flight worm: the recycled probe (head path + used-direction arena), its
+/// injection time, stall count, per-packet neighbor-slot scratch and the flit
+/// pipeline state (links held tail-to-head, flits waiting at the rear, flits
+/// ejected at the destination).
 struct FlightPacket {
     id: u64,
     probe: Probe,
@@ -190,13 +447,41 @@ struct FlightPacket {
     stalls: u64,
     slots: Vec<NeighborSlot>,
     request: CycleRequest,
+    /// Worm length in flits.
+    flits: u32,
+    /// Flits still waiting at the worm's rear node (the source until the tail
+    /// departs; after a full backtrack, wherever the head returned to).
+    rear_flits: u32,
+    /// Flits consumed at the destination.
+    ejected: u32,
+    /// Links the worm occupies, tail first, head last.
+    held: VecDeque<WormLink>,
+    /// Consecutive cycles in which none of the worm's flits moved.
+    idle: u64,
+    /// The packet id whose held VC blocked this worm's head this cycle
+    /// ([`NO_OWNER`] = not VC/credit-blocked) — the deadlock detector's wait-for
+    /// edge.
+    blocked_on: u64,
+}
+
+/// The outcome of one head-advance attempt.
+enum HeadMove {
+    /// The head crossed a link (possibly the escape channel).
+    Advanced,
+    /// Every usable VC is held or the downstream buffer is full; the witness is
+    /// the owner of the lowest held VC on the wanted link ([`NO_OWNER`] when the
+    /// buffer is full only of tail-crossed flits, which always drain).
+    Blocked(u64),
+    /// The link already moved `link_capacity` flits this cycle — a transient
+    /// bandwidth stall, never a deadlock edge.
+    NoBandwidth,
 }
 
 /// The cycle-driven concurrent-traffic engine.  See the module docs for the cycle
 /// structure and the determinism contract.
 pub struct TrafficEngine {
     mesh: Mesh,
-    config: TrafficConfig,
+    spec: TrafficSpec,
     link: LinkState,
     /// Per-worker router instances (index 0 drives the serial path); each decision
     /// worker uses exactly one, so routers never cross threads.
@@ -207,33 +492,59 @@ pub struct TrafficEngine {
     /// In-flight packets, always in launch (id) order.
     packets: Vec<FlightPacket>,
     /// Recycled buffers of finished packets.
-    spare: Vec<(Probe, Vec<NeighborSlot>)>,
+    spare: Vec<(Probe, Vec<NeighborSlot>, VecDeque<WormLink>)>,
     records: Vec<PacketRecord>,
     stats: TrafficStats,
+    /// Deadlock-detector visit stamps, parallel to `packets` (walk ids; 0 = not
+    /// visited this invocation).
+    dl_stamp: Vec<u64>,
+    /// Monotone walk counter for `dl_stamp`.
+    dl_walk: u64,
     cycle: u64,
     next_id: u64,
 }
 
 impl TrafficEngine {
     /// A traffic engine over `mesh` whose packets are all driven by routers from
-    /// `make_router` (one instance per decision worker).
+    /// `make_router` (one instance per decision worker).  Accepts anything
+    /// convertible into a [`TrafficSpec`] (including the deprecated
+    /// `TrafficConfig`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`TrafficSpec::validate`] rejects the spec.
     pub fn new(
         mesh: Mesh,
-        config: TrafficConfig,
+        spec: impl Into<TrafficSpec>,
         make_router: &dyn Fn() -> Box<dyn Router>,
     ) -> Self {
-        let threads = lgfi_sim::resolve_threads(config.traffic_threads);
+        let spec = spec.into();
+        let problems = spec.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid TrafficSpec: {}",
+            problems.join("; ")
+        );
+        let threads = lgfi_sim::resolve_threads(spec.traffic_threads);
         let workers: Vec<Box<dyn Router>> = (0..threads).map(|_| make_router()).collect();
         TrafficEngine {
-            link: LinkState::new(&mesh, config.link_capacity),
+            link: LinkState::new(
+                &mesh,
+                spec.link_capacity,
+                spec.vc_count,
+                spec.vc_buffer_flits,
+                spec.escape_vc,
+            ),
             workers,
             pool: lgfi_sim::PoolHandle::new(),
             mesh,
-            config,
+            spec,
             packets: Vec::new(),
             spare: Vec::new(),
             records: Vec::new(),
             stats: TrafficStats::new(),
+            dl_stamp: Vec::new(),
+            dl_walk: 0,
             cycle: 0,
             next_id: 0,
         }
@@ -244,9 +555,9 @@ impl TrafficEngine {
         &self.mesh
     }
 
-    /// The engine configuration.
-    pub fn config(&self) -> &TrafficConfig {
-        &self.config
+    /// The engine's traffic spec.
+    pub fn spec(&self) -> &TrafficSpec {
+        &self.spec
     }
 
     /// The resolved decision-worker count (>= 1).
@@ -294,12 +605,14 @@ impl TrafficEngine {
     pub fn reserve(&mut self, extra: usize, max_latency: u64) {
         self.records.reserve(extra);
         self.packets.reserve(extra);
+        self.dl_stamp.reserve(extra);
         self.stats.reserve_latency(max_latency);
     }
 
-    /// Injects a packet from `source` to `dest` at the current cycle, recycling a
-    /// finished packet's buffers when available.  A degenerate `source == dest`
-    /// packet is delivered immediately with zero latency.  Returns the packet id.
+    /// Injects a packet of [`TrafficSpec::flits_per_packet`] flits from `source`
+    /// to `dest` at the current cycle, recycling a finished packet's buffers when
+    /// available.  A degenerate `source == dest` packet is delivered immediately
+    /// with zero latency.  Returns the packet id.
     pub fn inject(&mut self, source: NodeId, dest: NodeId) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
@@ -314,18 +627,24 @@ impl TrafficEngine {
                 status: ProbeStatus::Delivered,
                 hops: 0,
                 stalls: 0,
+                flits: self.spec.flits_per_packet,
                 initial_distance: 0,
             });
             self.stats.record_finished(0, 0, 0, true);
             return id;
         }
-        let (probe, slots) = match self.spare.pop() {
-            Some((mut probe, slots)) => {
+        let (probe, slots, mut held) = match self.spare.pop() {
+            Some((mut probe, slots, held)) => {
                 probe.reset(&self.mesh, source, dest);
-                (probe, slots)
+                (probe, slots, held)
             }
-            None => (Probe::new(&self.mesh, source, dest), Vec::new()),
+            None => (
+                Probe::new(&self.mesh, source, dest),
+                Vec::new(),
+                VecDeque::new(),
+            ),
         };
+        held.clear();
         self.packets.push(FlightPacket {
             id,
             probe,
@@ -333,12 +652,19 @@ impl TrafficEngine {
             stalls: 0,
             slots,
             request: CycleRequest::Hold,
+            flits: self.spec.flits_per_packet,
+            rear_flits: self.spec.flits_per_packet,
+            ejected: 0,
+            held,
+            idle: 0,
+            blocked_on: NO_OWNER,
         });
         id
     }
 
     /// Executes one cycle against the frozen environment `env`: parallel decisions,
-    /// serial launch-order arbitration, retirement.
+    /// serial launch-order arbitration and flit movement, deadlock detection,
+    /// retirement.
     pub fn run_cycle(&mut self, env: &CycleEnv<'_>) {
         debug_assert_eq!(
             env.vis_off.len(),
@@ -347,7 +673,7 @@ impl TrafficEngine {
         );
         // --- Decision phase (shardable: pure per-packet functions of `env`). ------
         let mesh = &self.mesh;
-        let config = self.config;
+        let spec = self.spec;
         let cycle = self.cycle;
         let live = self.packets.len();
         if live > 0 {
@@ -358,15 +684,14 @@ impl TrafficEngine {
                     &mut self.workers[..shard_count],
                     |_, chunk, router| {
                         for p in chunk {
-                            p.request =
-                                decide_packet(mesh, env, &config, cycle, router.as_ref(), p);
+                            p.request = decide_packet(mesh, env, &spec, cycle, router.as_ref(), p);
                         }
                     },
                 );
             } else {
                 let router = self.workers[0].as_ref();
                 for p in self.packets.iter_mut() {
-                    p.request = decide_packet(mesh, env, &config, cycle, router, p);
+                    p.request = decide_packet(mesh, env, &spec, cycle, router, p);
                 }
             }
         }
@@ -374,29 +699,66 @@ impl TrafficEngine {
         // --- Arbitration phase (serial, launch order = packet-id order). ----------
         let link = &mut self.link;
         link.begin_cycle();
+        let mut suspicious = false;
         for p in &mut self.packets {
+            let mut moved = false;
+            p.blocked_on = NO_OWNER;
             match p.request {
                 CycleRequest::Hold => {}
                 // A router giving up counts as a step in the probe plane
                 // (`Probe::apply` on `Fail` increments `steps`), so it must here
-                // too — `latency == hops + stalls` then holds for failed packets
-                // as well.  The other terminal statuses (unreachable destination,
-                // exhausted budget) are set without a step, exactly as the probe
-                // engines set them.
+                // too — `latency == hops + stalls` then holds for failed
+                // single-flit packets as well.  The other terminal statuses
+                // (unreachable destination, exhausted budget) are set without a
+                // step, exactly as the probe engines set them.
                 CycleRequest::Finish(ProbeStatus::Failed) => {
                     p.probe.apply(mesh, RoutingDecision::Fail);
+                    teardown_worm(link, p);
                 }
-                CycleRequest::Finish(status) => p.probe.status = status,
-                CycleRequest::Backtrack => p.probe.apply(mesh, RoutingDecision::Backtrack),
-                CycleRequest::Hop(dir) => {
-                    if link.try_reserve(p.probe.current, dir) {
-                        p.probe.apply(mesh, RoutingDecision::Forward(dir));
-                    } else {
-                        p.stalls += 1;
+                CycleRequest::Finish(status) => {
+                    p.probe.status = status;
+                    teardown_worm(link, p);
+                }
+                CycleRequest::Backtrack => {
+                    p.probe.apply(mesh, RoutingDecision::Backtrack);
+                    retreat_worm(link, p);
+                    if p.probe.status != ProbeStatus::InFlight {
+                        teardown_worm(link, p);
                     }
+                    moved = true;
+                }
+                CycleRequest::Hop(dir) => match advance_head(mesh, env, link, p, dir) {
+                    HeadMove::Advanced => moved = true,
+                    HeadMove::Blocked(witness) => {
+                        p.stalls += 1;
+                        p.blocked_on = witness;
+                    }
+                    HeadMove::NoBandwidth => p.stalls += 1,
+                },
+            }
+            if advance_body(link, p) {
+                moved = true;
+            }
+            release_crossed(link, p);
+            if moved {
+                p.idle = 0;
+            } else {
+                p.idle += 1;
+                if p.idle >= spec.deadlock_threshold && p.blocked_on != NO_OWNER {
+                    suspicious = true;
                 }
             }
             p.request = CycleRequest::Hold;
+        }
+        if suspicious {
+            detect_deadlocks(
+                &mut self.packets,
+                link,
+                &mut self.stats,
+                &mut self.dl_stamp,
+                &mut self.dl_walk,
+                spec.deadlock_threshold,
+            );
         }
         self.cycle += 1;
         self.stats.record_cycle();
@@ -412,7 +774,13 @@ impl TrafficEngine {
         } = self;
         let mut write = 0usize;
         for read in 0..packets.len() {
-            if packets[read].probe.status == ProbeStatus::InFlight {
+            let live = match packets[read].probe.status {
+                ProbeStatus::InFlight => true,
+                // A delivered worm stays until its tail flit is consumed.
+                ProbeStatus::Delivered => packets[read].ejected < packets[read].flits,
+                _ => false,
+            };
+            if live {
                 packets.swap(write, read);
                 write += 1;
             } else {
@@ -427,6 +795,7 @@ impl TrafficEngine {
                     status: p.probe.status,
                     hops: p.probe.steps,
                     stalls: p.stalls,
+                    flits: p.flits,
                     initial_distance: p.probe.initial_distance,
                 });
                 stats.record_finished(
@@ -438,7 +807,7 @@ impl TrafficEngine {
             }
         }
         for p in packets.drain(write..) {
-            spare.push((p.probe, p.slots));
+            spare.push((p.probe, p.slots, p.held));
         }
     }
 
@@ -471,12 +840,17 @@ impl TrafficEngine {
 fn decide_packet(
     mesh: &Mesh,
     env: &CycleEnv<'_>,
-    config: &TrafficConfig,
+    spec: &TrafficSpec,
     cycle: u64,
     router: &dyn Router,
     p: &mut FlightPacket,
 ) -> CycleRequest {
-    if cycle.saturating_sub(p.injected_at) >= config.max_packet_cycles {
+    if p.probe.status != ProbeStatus::InFlight {
+        // A delivered worm has no head decisions left; its tail drains in the
+        // arbitration phase.
+        return CycleRequest::Hold;
+    }
+    if cycle.saturating_sub(p.injected_at) >= spec.max_packet_cycles {
         return CycleRequest::Finish(ProbeStatus::Exhausted);
     }
     let current = p.probe.current;
@@ -507,6 +881,279 @@ fn decide_packet(
     }
 }
 
+/// The dimension-order (deadlock-free) direction from `current` towards `dest`:
+/// correct the first dimension whose coordinate differs.  `None` when already
+/// there.
+fn dor_direction(mesh: &Mesh, current: NodeId, dest: NodeId) -> Option<Direction> {
+    let c = mesh.coord_of(current);
+    let d = mesh.coord_of(dest);
+    for dim in 0..mesh.ndim() {
+        if c[dim] < d[dim] {
+            return Some(Direction::pos(dim));
+        }
+        if c[dim] > d[dim] {
+            return Some(Direction::neg(dim));
+        }
+    }
+    None
+}
+
+/// Tries to extend the worm's head one link in the router's direction `dir`,
+/// falling back to the escape channel (VC 0, dimension-order hop) when the
+/// adaptive class of the wanted link is unavailable.  Serial arbitration-phase
+/// code: grants are consumed in packet-launch order.
+fn advance_head(
+    mesh: &Mesh,
+    env: &CycleEnv<'_>,
+    link: &mut LinkState,
+    p: &mut FlightPacket,
+    dir: Direction,
+) -> HeadMove {
+    let from = p.probe.current;
+    // Adaptive class on the router's link: a free VC plus a buffer credit.
+    let mut choice = link
+        .free_adaptive_vc(from, dir)
+        .filter(|_| link.credits(from, dir) > 0)
+        .map(|vc| (dir, vc));
+    // Escape class: when the adaptive path is VC- or credit-blocked, a
+    // dimension-order hop on the reserved VC 0 is always deadlock-free.
+    if choice.is_none() && link.has_escape_vc() {
+        if let Some(dor) = dor_direction(mesh, from, p.probe.dest) {
+            let usable = mesh
+                .neighbor_id(from, dor)
+                .is_some_and(|nb| env.statuses[nb] == NodeStatus::Enabled);
+            if usable && link.escape_vc_free(from, dor) && link.credits(from, dor) > 0 {
+                choice = Some((dor, 0));
+            }
+        }
+    }
+    let Some((out, vc)) = choice else {
+        return HeadMove::Blocked(link.first_vc_owner(from, dir));
+    };
+    if !link.try_flit(from, out) {
+        return HeadMove::NoBandwidth;
+    }
+    // The head flit leaves the buffer behind it (or the rear node).
+    if let Some(back) = p.held.back_mut() {
+        back.buffered -= 1;
+        let (n, d) = (back.node, back.dir);
+        link.drain(n, d, 1);
+    } else {
+        p.rear_flits -= 1;
+    }
+    p.probe.apply(mesh, RoutingDecision::Forward(out));
+    if p.probe.status == ProbeStatus::Delivered {
+        // The destination consumes flits as they arrive — no buffer, no VC.
+        p.ejected += 1;
+        p.held.push_back(WormLink {
+            node: from,
+            dir: out,
+            vc: 0,
+            buffered: 0,
+            vc_released: true,
+        });
+    } else {
+        link.acquire_vc(from, out, vc, p.id);
+        link.deposit(from, out, 1);
+        p.held.push_back(WormLink {
+            node: from,
+            dir: out,
+            vc: vc as u32,
+            buffered: 1,
+            vc_released: false,
+        });
+    }
+    HeadMove::Advanced
+}
+
+/// Streams the worm's body flits forward behind the head — head-most link first,
+/// so the pipeline shifts one hop per cycle at capacity 1.  Flits crossing the
+/// final link of a delivered worm are consumed by the destination (no credit
+/// needed); every other crossing needs a downstream credit and link bandwidth.
+/// Returns true when any flit moved.
+fn advance_body(link: &mut LinkState, p: &mut FlightPacket) -> bool {
+    if p.held.is_empty() {
+        return false;
+    }
+    let last = p.held.len() - 1;
+    let delivered = p.probe.status == ProbeStatus::Delivered;
+    let mut moved = false;
+    for i in (0..=last).rev() {
+        loop {
+            let avail = if i == 0 {
+                p.rear_flits
+            } else {
+                p.held[i - 1].buffered
+            };
+            if avail == 0 {
+                break;
+            }
+            let lk = p.held[i];
+            let eject = delivered && i == last;
+            if !eject && link.credits(lk.node, lk.dir) == 0 {
+                break;
+            }
+            if !link.try_flit(lk.node, lk.dir) {
+                break;
+            }
+            if i == 0 {
+                p.rear_flits -= 1;
+            } else {
+                p.held[i - 1].buffered -= 1;
+                let prev = p.held[i - 1];
+                link.drain(prev.node, prev.dir, 1);
+            }
+            if eject {
+                p.ejected += 1;
+            } else {
+                p.held[i].buffered += 1;
+                link.deposit(lk.node, lk.dir, 1);
+            }
+            moved = true;
+        }
+    }
+    moved
+}
+
+/// Releases the VCs of links the worm's tail flit has crossed (no flits remain
+/// upstream of their downstream buffer) and pops fully-drained tail links.  The
+/// scan stops at the first link with upstream flits, so a warm cycle touches
+/// `O(released)` entries.
+fn release_crossed(link: &mut LinkState, p: &mut FlightPacket) {
+    let mut upstream = p.rear_flits;
+    for lk in p.held.iter_mut() {
+        if upstream > 0 {
+            break;
+        }
+        if !lk.vc_released {
+            link.release_vc(lk.node, lk.dir, lk.vc as usize);
+            lk.vc_released = true;
+        }
+        upstream += lk.buffered;
+    }
+    // A delivered worm must keep its final (ejection) link until the tail flit
+    // is consumed — a worm delivered on its first hop would otherwise lose its
+    // only link and strand its remaining flits at the rear node.
+    let keep = usize::from(p.probe.status == ProbeStatus::Delivered && p.ejected < p.flits);
+    while p.held.len() > keep {
+        // audit:allow(panic): the loop condition guarantees a non-empty queue.
+        let front = p.held.front().expect("len checked above");
+        if front.vc_released && front.buffered == 0 {
+            p.held.pop_front();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Retreats the worm one link after a head backtrack: the newest held link is
+/// released and its flits fold back onto the previous link's buffer (or the rear
+/// node) — the worm's own reserved channel in reverse, so a retreat never
+/// contends.  The fold may transiently overflow the upstream buffer; credits
+/// saturate at zero until it drains.
+fn retreat_worm(link: &mut LinkState, p: &mut FlightPacket) {
+    if let Some(lk) = p.held.pop_back() {
+        if !lk.vc_released {
+            link.release_vc(lk.node, lk.dir, lk.vc as usize);
+        }
+        if lk.buffered > 0 {
+            link.drain(lk.node, lk.dir, lk.buffered);
+            if let Some(prev) = p.held.back_mut() {
+                prev.buffered += lk.buffered;
+                let (n, d) = (prev.node, prev.dir);
+                link.deposit(n, d, lk.buffered);
+            } else {
+                p.rear_flits += lk.buffered;
+            }
+        }
+    }
+}
+
+/// Tears a terminal worm down: every held VC is released and every buffered flit
+/// dropped (an aborted worm's flits vanish, the PCS abort semantics).
+fn teardown_worm(link: &mut LinkState, p: &mut FlightPacket) {
+    while let Some(lk) = p.held.pop_back() {
+        if !lk.vc_released {
+            link.release_vc(lk.node, lk.dir, lk.vc as usize);
+        }
+        if lk.buffered > 0 {
+            link.drain(lk.node, lk.dir, lk.buffered);
+        }
+    }
+    p.rear_flits = 0;
+}
+
+/// Follows the wait-for chains of long-idle blocked worms (worm → owner of the
+/// lowest held VC on its wanted link).  Every worm has at most one outgoing edge,
+/// so each walk either terminates (no deadlock) or closes a cycle — whose member
+/// worms are torn down with [`ProbeStatus::Deadlocked`] and counted in
+/// [`TrafficStats::deadlocked`].  Visit stamps make the whole invocation linear
+/// in the packet population; the stamp buffer is recycled across invocations.
+fn detect_deadlocks(
+    packets: &mut [FlightPacket],
+    link: &mut LinkState,
+    stats: &mut TrafficStats,
+    dl_stamp: &mut Vec<u64>,
+    dl_walk: &mut u64,
+    threshold: u64,
+) {
+    dl_stamp.clear();
+    dl_stamp.resize(packets.len(), 0);
+    for start in 0..packets.len() {
+        if packets[start].idle < threshold
+            || packets[start].blocked_on == NO_OWNER
+            || packets[start].probe.status != ProbeStatus::InFlight
+            || dl_stamp[start] != 0
+        {
+            continue;
+        }
+        *dl_walk += 1;
+        let walk = *dl_walk;
+        let mut i = start;
+        loop {
+            dl_stamp[i] = walk;
+            let next_id = packets[i].blocked_on;
+            if next_id == NO_OWNER {
+                break;
+            }
+            let Ok(j) = packets.binary_search_by_key(&next_id, |q| q.id) else {
+                break;
+            };
+            if packets[j].probe.status != ProbeStatus::InFlight {
+                break;
+            }
+            if dl_stamp[j] == walk {
+                // Cycle closed: kill every worm on it (follow the chain from `j`
+                // until it returns to `j`).
+                let mut killed = 0u64;
+                let mut k = j;
+                loop {
+                    if packets[k].probe.status == ProbeStatus::InFlight {
+                        packets[k].probe.status = ProbeStatus::Deadlocked;
+                        teardown_worm(link, &mut packets[k]);
+                        killed += 1;
+                    }
+                    let nid = packets[k].blocked_on;
+                    let Ok(nk) = packets.binary_search_by_key(&nid, |q| q.id) else {
+                        break;
+                    };
+                    if nk == j || dl_stamp[nk] != walk {
+                        break;
+                    }
+                    k = nk;
+                }
+                stats.record_deadlocked(killed);
+                break;
+            }
+            if dl_stamp[j] != 0 {
+                // Joins a chain already cleared by an earlier walk.
+                break;
+            }
+            i = j;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,8 +1170,8 @@ mod tests {
         StaticTrafficEnv::new(mesh, eng.statuses(), blocks.blocks(), &boundary)
     }
 
-    fn lgfi_engine(mesh: &Mesh, config: TrafficConfig) -> TrafficEngine {
-        TrafficEngine::new(mesh.clone(), config, &|| Box::new(LgfiRouter::new()))
+    fn lgfi_engine(mesh: &Mesh, spec: TrafficSpec) -> TrafficEngine {
+        TrafficEngine::new(mesh.clone(), spec, &|| Box::new(LgfiRouter::new()))
     }
 
     #[test]
@@ -533,7 +1180,7 @@ mod tests {
         // outgoing links; the younger id stalls exactly once behind the older one.
         let mesh = Mesh::new(&[1, 8]);
         let env = static_env(&mesh, &[]);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         let a = eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
         let b = eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
         eng.drain_static(&env, 1_000);
@@ -554,13 +1201,7 @@ mod tests {
     fn higher_link_capacity_removes_the_stall() {
         let mesh = Mesh::new(&[1, 8]);
         let env = static_env(&mesh, &[]);
-        let mut eng = lgfi_engine(
-            &mesh,
-            TrafficConfig {
-                link_capacity: 2,
-                ..TrafficConfig::default()
-            },
-        );
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new().link_capacity(2));
         eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
         eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
         eng.drain_static(&env, 1_000);
@@ -575,7 +1216,7 @@ mod tests {
         let mesh = Mesh::cubic(12, 2);
         let faults = [coord![5, 5], coord![6, 6], coord![5, 6], coord![6, 5]];
         let env = static_env(&mesh, &faults);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         let pairs = [
             (coord![0, 0], coord![11, 11]),
             (coord![5, 1], coord![6, 10]),
@@ -607,7 +1248,7 @@ mod tests {
     #[test]
     fn degenerate_self_packet_is_delivered_instantly() {
         let mesh = Mesh::cubic(4, 2);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         let id = eng.inject(3, 3);
         assert_eq!(eng.in_flight(), 0);
         let rec = eng.records()[0];
@@ -620,13 +1261,7 @@ mod tests {
     fn cycle_budget_exhaustion_is_reported() {
         let mesh = Mesh::cubic(10, 2);
         let env = static_env(&mesh, &[]);
-        let mut eng = lgfi_engine(
-            &mesh,
-            TrafficConfig {
-                max_packet_cycles: 3,
-                ..TrafficConfig::default()
-            },
-        );
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new().max_packet_cycles(3));
         eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![9, 9]));
         eng.drain_static(&env, 100);
         assert_eq!(eng.records()[0].status, ProbeStatus::Exhausted);
@@ -637,7 +1272,7 @@ mod tests {
         let mesh = Mesh::cubic(8, 2);
         let faults = [coord![4, 4]];
         let env = static_env(&mesh, &faults);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![4, 4]));
         eng.drain_static(&env, 100);
         assert_eq!(eng.records()[0].status, ProbeStatus::Unreachable);
@@ -648,7 +1283,7 @@ mod tests {
         let mesh = Mesh::cubic(10, 2);
         let faults = [coord![4, 4], coord![5, 5], coord![4, 5], coord![5, 4]];
         let env = static_env(&mesh, &faults);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         let pairs = [
             (coord![0, 0], coord![9, 9]),
             (coord![9, 0], coord![0, 9]),
@@ -681,7 +1316,7 @@ mod tests {
         // delay must show up in the latency.
         let mesh = Mesh::cubic(8, 2);
         let env = static_env(&mesh, &[]);
-        let mut eng = lgfi_engine(&mesh, TrafficConfig::default());
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new());
         let hot = mesh.id_of(&coord![4, 4]);
         let mut sources: Vec<NodeId> = (0..mesh.node_count()).filter(|&n| n != hot).collect();
         sources.truncate(32);
@@ -703,5 +1338,228 @@ mod tests {
         let min_possible = 1.0;
         assert!(mean > min_possible);
         assert!(stats.latency_quantile(0.99).unwrap() >= stats.latency_quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn spec_validate_accepts_the_default() {
+        assert!(TrafficSpec::new().validate().is_empty());
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_link_capacity() {
+        let problems = TrafficSpec::new().link_capacity(0).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("link_capacity"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_flits() {
+        let problems = TrafficSpec::new().flits_per_packet(0).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("flits_per_packet"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_vc_count() {
+        let problems = TrafficSpec::new().vc_count(0).escape_vc(false).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("vc_count"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_buffer_depth() {
+        let problems = TrafficSpec::new().vc_buffer_flits(0).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("vc_buffer_flits"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_escape_without_a_second_vc() {
+        let problems = TrafficSpec::new().vc_count(1).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("escape_vc"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_cycle_budget() {
+        let problems = TrafficSpec::new().max_packet_cycles(0).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("max_packet_cycles"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_deadlock_threshold() {
+        let problems = TrafficSpec::new().deadlock_threshold(0).validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("deadlock_threshold"), "{problems:?}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_bad_rates() {
+        assert!(!TrafficSpec::new().rate(-1.0).validate().is_empty());
+        assert!(!TrafficSpec::new().rate(f64::NAN).validate().is_empty());
+        assert!(!TrafficSpec::new().rate(f64::INFINITY).validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TrafficSpec")]
+    fn engine_rejects_an_invalid_spec() {
+        let mesh = Mesh::cubic(4, 2);
+        let _ = lgfi_engine(&mesh, TrafficSpec::new().link_capacity(0));
+    }
+
+    #[test]
+    // The shim's own test is the one place the deprecated type is used on purpose.
+    #[allow(deprecated)]
+    fn legacy_traffic_config_lifts_onto_the_spec_defaults() {
+        let config = TrafficConfig {
+            link_capacity: 3,
+            max_packet_cycles: 77,
+            traffic_threads: 2,
+        };
+        let spec: TrafficSpec = config.into();
+        assert_eq!(spec.link_capacity, 3);
+        assert_eq!(spec.max_packet_cycles, 77);
+        assert_eq!(spec.traffic_threads, 2);
+        // Everything else keeps the PR-5-equivalent defaults.
+        assert_eq!(spec.flits_per_packet, 1);
+        assert_eq!(spec.vc_count, 2);
+        assert!(spec.escape_vc);
+        assert!(spec.validate().is_empty());
+    }
+
+    #[test]
+    fn multi_flit_worm_pipeline_adds_serialisation_latency() {
+        // One worm of F flits on an idle line: the head behaves exactly like the
+        // single-flit packet (same hops, no stalls) and the tail takes F - 1 more
+        // cycles to drain at capacity 1, so latency = hops + F - 1.
+        let mesh = Mesh::new(&[1, 8]);
+        let env = static_env(&mesh, &[]);
+        for flits in [1u32, 2, 4, 8] {
+            let mut eng = lgfi_engine(&mesh, TrafficSpec::new().flits_per_packet(flits));
+            eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 7]));
+            eng.drain_static(&env, 1_000);
+            let rec = eng.records()[0];
+            assert!(rec.delivered(), "{rec:?}");
+            assert_eq!(rec.hops, 7, "flits must not change the route");
+            assert_eq!(rec.stalls, 0, "an idle line never blocks the head");
+            assert_eq!(
+                rec.latency(),
+                7 + u64::from(flits) - 1,
+                "tail drain is serialised at one flit per cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn single_hop_worm_drains_its_tail() {
+        // A worm delivered on its very first hop has no real links — only the
+        // ejection link.  Its remaining flits must still stream across, one per
+        // cycle at capacity 1: latency = 1 + F - 1 = F.
+        let mesh = Mesh::new(&[1, 4]);
+        let env = static_env(&mesh, &[]);
+        let mut eng = lgfi_engine(&mesh, TrafficSpec::new().flits_per_packet(8));
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 1]));
+        eng.drain_static(&env, 100);
+        assert_eq!(eng.in_flight(), 0, "the tail must fully eject");
+        let rec = eng.records()[0];
+        assert!(rec.delivered(), "{rec:?}");
+        assert_eq!(rec.hops, 1);
+        assert_eq!(rec.latency(), 8, "seven tail flits follow the head");
+    }
+
+    #[test]
+    fn worm_tail_occupies_links_behind_the_head() {
+        // Two worms on the same line: the second's head cannot enter a link whose
+        // only adaptive VC the first worm's tail still holds, so long worms
+        // produce more blocking than single-flit packets on the same traffic.
+        let mesh = Mesh::new(&[1, 10]);
+        let env = static_env(&mesh, &[]);
+        let spec = TrafficSpec::new()
+            .flits_per_packet(6)
+            .vc_count(1)
+            .escape_vc(false)
+            .vc_buffer_flits(1);
+        let mut eng = lgfi_engine(&mesh, spec);
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 9]));
+        eng.inject(mesh.id_of(&coord![0, 0]), mesh.id_of(&coord![0, 9]));
+        eng.drain_static(&env, 10_000);
+        let records = eng.records();
+        assert!(records.iter().all(|r| r.delivered()), "{records:?}");
+        let rb = records.iter().find(|r| r.id == 1).unwrap();
+        assert!(
+            rb.stalls > 1,
+            "the follower must wait for the leader's tail to release channels: {rb:?}"
+        );
+    }
+
+    /// The adversarial ring-cluster pattern: a central faulty block forces four
+    /// long worms around its ring of healthy nodes, each turning one corner, each
+    /// blocked by the previous worm's tail — a textbook cyclic credit wait.
+    fn ring_cluster() -> (Mesh, StaticTrafficEnv, Vec<(NodeId, NodeId)>) {
+        let mesh = Mesh::cubic(8, 2);
+        let mut faults = Vec::new();
+        for x in 2..=5i32 {
+            for y in 2..=5i32 {
+                faults.push(coord![x as usize, y as usize]);
+            }
+        }
+        let env = static_env(&mesh, &faults);
+        let pairs = vec![
+            (mesh.id_of(&coord![1, 1]), mesh.id_of(&coord![6, 4])),
+            (mesh.id_of(&coord![6, 1]), mesh.id_of(&coord![3, 6])),
+            (mesh.id_of(&coord![6, 6]), mesh.id_of(&coord![1, 3])),
+            (mesh.id_of(&coord![1, 6]), mesh.id_of(&coord![4, 1])),
+        ];
+        (mesh, env, pairs)
+    }
+
+    #[test]
+    fn deadlock_detector_flags_the_ring_cluster_without_escape_vcs() {
+        let (mesh, env, pairs) = ring_cluster();
+        let spec = TrafficSpec::new()
+            .flits_per_packet(8)
+            .vc_count(1)
+            .escape_vc(false)
+            .vc_buffer_flits(1)
+            .deadlock_threshold(16);
+        let mut eng = lgfi_engine(&mesh, spec);
+        for &(s, d) in &pairs {
+            eng.inject(s, d);
+        }
+        eng.drain_static(&env, 5_000);
+        assert_eq!(eng.in_flight(), 0);
+        assert!(
+            eng.stats().deadlocked() >= 2,
+            "the cyclic credit wait must be detected: {:?}",
+            eng.records()
+        );
+        assert!(eng
+            .records()
+            .iter()
+            .any(|r| r.status == ProbeStatus::Deadlocked));
+    }
+
+    #[test]
+    fn escape_vcs_break_the_ring_cluster_deadlock() {
+        let (mesh, env, pairs) = ring_cluster();
+        let spec = TrafficSpec::new()
+            .flits_per_packet(8)
+            .vc_count(2)
+            .escape_vc(true)
+            .vc_buffer_flits(1)
+            .deadlock_threshold(16);
+        let mut eng = lgfi_engine(&mesh, spec);
+        for &(s, d) in &pairs {
+            eng.inject(s, d);
+        }
+        eng.drain_static(&env, 5_000);
+        assert_eq!(eng.in_flight(), 0);
+        assert_eq!(eng.stats().deadlocked(), 0, "{:?}", eng.records());
+        assert!(
+            eng.records().iter().all(|r| r.delivered()),
+            "escape channels must drain the ring: {:?}",
+            eng.records()
+        );
     }
 }

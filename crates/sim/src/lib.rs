@@ -55,4 +55,4 @@ pub use slo::{NodeSlo, SloOutcome, SloTracker};
 pub use stats::{EngineStats, Histogram, RoundStats};
 pub use step::{StepClock, StepConfig, StepPhase};
 pub use trace::{Trace, TraceEvent};
-pub use traffic_engine::{InjectionProcess, LinkArbiter, TrafficStats};
+pub use traffic_engine::{InjectionProcess, LinkArbiter, TrafficStats, VcTable, NO_OWNER};

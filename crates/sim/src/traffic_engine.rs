@@ -10,14 +10,22 @@
 //!   grants are handed out in the (deterministic) order they are requested, and the
 //!   per-cycle reset costs `O(touched links)`, not `O(all links)`, so a warm arbiter
 //!   never allocates.
+//! * [`VcTable`] — per-link virtual-channel ownership plus a DAMQ-style shared
+//!   flit-buffer pool per directed link, the substrate of wormhole switching with
+//!   credit-based flow control: a worm acquires a VC on every link it spans,
+//!   deposits flits into the downstream buffer pool as they cross, and drains them
+//!   as they move on — credits are simply the free slots of the pool.
 //! * [`InjectionProcess`] — a deterministic fractional-accumulator injection
 //!   schedule: an offered load of `r` packets per cycle injects `floor(r)` or
 //!   `ceil(r)` packets each cycle such that the long-run average is exactly `r`.
-//! * [`TrafficStats`] — injected/delivered/failed counters, per-packet hop and
-//!   stall totals, and the delivered-latency distribution (mean, quantiles) backed
-//!   by the integer [`Histogram`].
+//! * [`TrafficStats`] — injected/delivered/failed/deadlocked counters, per-packet
+//!   hop and stall totals, and the delivered-latency distribution (mean, quantiles)
+//!   backed by the integer [`Histogram`].
 
 use crate::stats::Histogram;
+
+/// Sentinel owner id of a free virtual channel in a [`VcTable`].
+pub const NO_OWNER: u64 = u64::MAX;
 
 /// A finite-capacity grant table over the directed output ports of a mesh.
 ///
@@ -40,13 +48,21 @@ pub struct LinkArbiter {
 
 impl LinkArbiter {
     /// An arbiter for `node_count` nodes with `ports` output ports each and the
-    /// given per-cycle link capacity (at least 1).
+    /// given per-cycle link capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.  A zero-capacity link can never carry
+    /// anything; earlier versions silently clamped it to 1, which hid
+    /// misconfiguration — validate the configuration up front instead (see
+    /// `TrafficSpec::validate` in `lgfi-core`).
     pub fn new(node_count: usize, ports: usize, capacity: u32) -> Self {
+        assert!(capacity >= 1, "link capacity must be at least 1, got 0");
         LinkArbiter {
             grants: vec![0; node_count * ports],
             touched: Vec::new(),
             ports,
-            capacity: capacity.max(1),
+            capacity,
         }
     }
 
@@ -87,6 +103,152 @@ impl LinkArbiter {
     /// The number of grants handed out for `(node, port)` this cycle.
     pub fn granted(&self, node: usize, port: usize) -> u32 {
         self.grants[node * self.ports + port]
+    }
+}
+
+/// Virtual-channel ownership and DAMQ flit buffers over the directed links of a
+/// mesh — the wormhole-switching substrate.
+///
+/// Every directed link `(node, port)` carries `vcs` virtual channels and one
+/// shared (dynamically allocated multi-queue) flit-buffer pool of `vcs * depth`
+/// slots at its downstream end.  A worm *owns* a VC on every link its flits still
+/// have to cross (acquired head-first, released as soon as its tail flit has
+/// crossed the link), and every flit sitting in a downstream buffer occupies one
+/// pool slot.  Credit-based flow control falls out of the pool: a flit may cross a
+/// link only while [`VcTable::credits`] is non-zero, and draining a buffer returns
+/// the credit.
+///
+/// Like [`LinkArbiter`], the table is topology-agnostic (caller-defined port
+/// indexing) and allocation-free after construction; determinism comes from the
+/// caller acquiring and releasing in a deterministic (packet-launch) order.
+#[derive(Debug, Clone)]
+pub struct VcTable {
+    /// VC owner packet ids, indexed `(node * ports + port) * vcs + vc`
+    /// ([`NO_OWNER`] = free).
+    owners: Vec<u64>,
+    /// Flits currently buffered at the downstream end of each directed link,
+    /// indexed `node * ports + port`.  May transiently exceed the pool capacity
+    /// when a backtracking worm folds a buffer back onto the previous link; credits
+    /// saturate at zero until the overflow drains.
+    buffered: Vec<u32>,
+    ports: usize,
+    vcs: usize,
+    depth: u32,
+}
+
+impl VcTable {
+    /// A table for `node_count` nodes with `ports` output ports each, `vcs`
+    /// virtual channels per link and `depth` buffer slots per VC (pooled DAMQ-style
+    /// into `vcs * depth` shared slots per link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs` or `depth` is zero (validate the configuration up front;
+    /// see `TrafficSpec::validate` in `lgfi-core`).
+    pub fn new(node_count: usize, ports: usize, vcs: usize, depth: u32) -> Self {
+        assert!(vcs >= 1, "virtual-channel count must be at least 1, got 0");
+        assert!(depth >= 1, "VC buffer depth must be at least 1, got 0");
+        VcTable {
+            owners: vec![NO_OWNER; node_count * ports * vcs],
+            buffered: vec![0; node_count * ports],
+            ports,
+            vcs,
+            depth,
+        }
+    }
+
+    /// Virtual channels per directed link.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Buffer slots contributed per VC (the shared pool holds `vcs * depth`).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total flit-buffer slots of one directed link's shared pool.
+    pub fn pool_capacity(&self) -> u32 {
+        self.vcs as u32 * self.depth
+    }
+
+    #[inline]
+    fn link(&self, node: usize, port: usize) -> usize {
+        debug_assert!(port < self.ports, "port out of range");
+        node * self.ports + port
+    }
+
+    /// The packet id owning VC `vc` of link `(node, port)`, or [`NO_OWNER`].
+    #[inline]
+    pub fn owner(&self, node: usize, port: usize, vc: usize) -> u64 {
+        self.owners[self.link(node, port) * self.vcs + vc]
+    }
+
+    /// The lowest-index free VC of link `(node, port)` within `[from, to)`, if any.
+    #[inline]
+    pub fn free_vc_in(&self, node: usize, port: usize, from: usize, to: usize) -> Option<usize> {
+        let base = self.link(node, port) * self.vcs;
+        (from..to.min(self.vcs)).find(|&vc| self.owners[base + vc] == NO_OWNER)
+    }
+
+    /// The owner of the lowest-index *owned* VC of link `(node, port)`, or
+    /// [`NO_OWNER`] when every VC is free — the deterministic "who is blocking this
+    /// link" witness used by the deadlock detector.
+    #[inline]
+    pub fn first_owner(&self, node: usize, port: usize) -> u64 {
+        let base = self.link(node, port) * self.vcs;
+        self.owners[base..base + self.vcs]
+            .iter()
+            .copied()
+            .find(|&o| o != NO_OWNER)
+            .unwrap_or(NO_OWNER)
+    }
+
+    /// Grants VC `vc` of link `(node, port)` to packet `owner`.
+    #[inline]
+    pub fn acquire(&mut self, node: usize, port: usize, vc: usize, owner: u64) {
+        let slot = self.link(node, port) * self.vcs + vc;
+        debug_assert_eq!(self.owners[slot], NO_OWNER, "acquiring an owned VC");
+        debug_assert_ne!(owner, NO_OWNER, "NO_OWNER is reserved");
+        self.owners[slot] = owner;
+    }
+
+    /// Releases VC `vc` of link `(node, port)`.
+    #[inline]
+    pub fn release(&mut self, node: usize, port: usize, vc: usize) {
+        let slot = self.link(node, port) * self.vcs + vc;
+        self.owners[slot] = NO_OWNER;
+    }
+
+    /// Flits currently buffered at the downstream end of link `(node, port)`.
+    #[inline]
+    pub fn occupancy(&self, node: usize, port: usize) -> u32 {
+        self.buffered[self.link(node, port)]
+    }
+
+    /// Free buffer slots (credits) of link `(node, port)`, saturating at zero
+    /// while a backtrack-overflowed buffer drains.
+    #[inline]
+    pub fn credits(&self, node: usize, port: usize) -> u32 {
+        self.pool_capacity()
+            .saturating_sub(self.occupancy(node, port))
+    }
+
+    /// Deposits `n` flits into the downstream buffer of link `(node, port)`.
+    /// Depositing past the pool capacity is allowed only for backtrack merges; the
+    /// caller otherwise checks [`VcTable::credits`] first.
+    #[inline]
+    pub fn deposit(&mut self, node: usize, port: usize, n: u32) {
+        let slot = self.link(node, port);
+        self.buffered[slot] += n;
+    }
+
+    /// Drains `n` flits from the downstream buffer of link `(node, port)`.
+    #[inline]
+    pub fn drain(&mut self, node: usize, port: usize, n: u32) {
+        let slot = self.link(node, port);
+        debug_assert!(self.buffered[slot] >= n, "draining an empty buffer");
+        self.buffered[slot] -= n;
     }
 }
 
@@ -141,6 +303,7 @@ pub struct TrafficStats {
     injected: u64,
     delivered: u64,
     failed: u64,
+    deadlocked: u64,
     cycles: u64,
     total_hops: u64,
     total_stalls: u64,
@@ -195,6 +358,19 @@ impl TrafficStats {
     /// Packets that finished without being delivered.
     pub fn failed(&self) -> u64 {
         self.failed
+    }
+
+    /// Records `n` packets torn down by the deadlock detector.  The packets also
+    /// finish (failed) through [`TrafficStats::record_finished`]; this counter
+    /// additionally attributes them to a detected cyclic credit wait.
+    pub fn record_deadlocked(&mut self, n: u64) {
+        self.deadlocked += n;
+    }
+
+    /// Packets torn down by the deadlock detector so far (a subset of
+    /// [`TrafficStats::failed`]).
+    pub fn deadlocked(&self) -> u64 {
+        self.deadlocked
     }
 
     /// Cycles executed so far.
@@ -267,10 +443,61 @@ mod tests {
     }
 
     #[test]
-    fn arbiter_capacity_zero_is_clamped_to_one() {
-        let mut arb = LinkArbiter::new(1, 1, 0);
-        assert_eq!(arb.capacity(), 1);
-        assert!(arb.try_grant(0, 0));
+    #[should_panic(expected = "link capacity must be at least 1")]
+    fn arbiter_capacity_zero_is_rejected() {
+        let _ = LinkArbiter::new(1, 1, 0);
+    }
+
+    #[test]
+    fn vc_table_tracks_ownership_per_link() {
+        let mut vcs = VcTable::new(4, 4, 2, 2);
+        assert_eq!(vcs.vcs(), 2);
+        assert_eq!(vcs.pool_capacity(), 4);
+        assert_eq!(vcs.free_vc_in(2, 3, 0, 2), Some(0));
+        vcs.acquire(2, 3, 0, 7);
+        assert_eq!(vcs.owner(2, 3, 0), 7);
+        assert_eq!(vcs.free_vc_in(2, 3, 0, 2), Some(1));
+        assert_eq!(vcs.free_vc_in(2, 3, 0, 1), None, "class window respected");
+        assert_eq!(vcs.first_owner(2, 3), 7);
+        vcs.acquire(2, 3, 1, 9);
+        assert_eq!(vcs.free_vc_in(2, 3, 0, 2), None);
+        assert_eq!(vcs.first_owner(2, 3), 7, "lowest-index owner wins");
+        // Other links are untouched.
+        assert_eq!(vcs.free_vc_in(2, 2, 0, 2), Some(0));
+        assert_eq!(vcs.first_owner(1, 3), NO_OWNER);
+        vcs.release(2, 3, 0);
+        assert_eq!(vcs.owner(2, 3, 0), NO_OWNER);
+        assert_eq!(vcs.first_owner(2, 3), 9);
+    }
+
+    #[test]
+    fn vc_table_credits_follow_the_shared_pool() {
+        let mut vcs = VcTable::new(2, 2, 2, 1);
+        assert_eq!(vcs.credits(0, 1), 2);
+        vcs.deposit(0, 1, 1);
+        assert_eq!(vcs.occupancy(0, 1), 1);
+        assert_eq!(vcs.credits(0, 1), 1);
+        vcs.deposit(0, 1, 1);
+        assert_eq!(vcs.credits(0, 1), 0);
+        // A backtrack merge may overflow; credits saturate until it drains.
+        vcs.deposit(0, 1, 2);
+        assert_eq!(vcs.occupancy(0, 1), 4);
+        assert_eq!(vcs.credits(0, 1), 0);
+        vcs.drain(0, 1, 3);
+        assert_eq!(vcs.credits(0, 1), 1);
+        assert_eq!(vcs.credits(1, 0), 2, "other links are untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-channel count must be at least 1")]
+    fn vc_table_zero_vcs_is_rejected() {
+        let _ = VcTable::new(1, 1, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "VC buffer depth must be at least 1")]
+    fn vc_table_zero_depth_is_rejected() {
+        let _ = VcTable::new(1, 1, 1, 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use lgfi_core::network::{LgfiNetwork, NetworkConfig};
 use lgfi_core::routing::Router;
 use lgfi_core::slo::SloObserver;
 use lgfi_core::status::NodeStatus;
-use lgfi_core::traffic_engine::{TrafficConfig, TrafficEngine};
+use lgfi_core::traffic_engine::{TrafficEngine, TrafficSpec};
 use lgfi_sim::{
     FaultEvent, FaultEventKind, FaultPlan, FaultPlanCursor, InjectionProcess, SloTracker,
 };
@@ -56,21 +56,13 @@ pub struct SloCampaign {
     /// Worker threads for probe routing decisions (unused by traffic campaigns but
     /// part of the network configuration).
     pub probe_threads: usize,
-    /// Worker threads for the per-cycle traffic decisions (1 = serial);
-    /// bit-identical results for every setting.
-    pub traffic_threads: usize,
-    /// Packets injected per cycle (fractional rates realised exactly on average).
-    pub injection_rate: f64,
+    /// The unified traffic surface: injection rate, injection cycles
+    /// (`traffic.cycles` is the campaign horizon), drain window, link capacity,
+    /// the wormhole knobs (flits, VCs, buffers, escape class) and the traffic
+    /// decision-worker count.
+    pub traffic: TrafficSpec,
     /// Traffic pattern for the injected packets.
     pub pattern: TrafficPattern,
-    /// Injection cycles (one network step per cycle).
-    pub horizon: u64,
-    /// Extra event-free cycles granted after the horizon for in-flight packets.
-    pub drain_cycles: u64,
-    /// Packets one directed link can carry per cycle.
-    pub link_capacity: u32,
-    /// Cycles after which an undeliverable in-flight packet is dropped.
-    pub max_packet_cycles: u64,
     /// The fault process.
     pub faults: CampaignFaults,
 }
@@ -85,13 +77,11 @@ impl SloCampaign {
             threads: 1,
             frontier: true,
             probe_threads: 1,
-            traffic_threads: 1,
-            injection_rate: 0.5,
+            traffic: TrafficSpec::at_rate(0.5)
+                .cycles(1_500)
+                .drain_cycles(2_000)
+                .max_packet_cycles(2_000),
             pattern: TrafficPattern::UniformRandom,
-            horizon: 1_500,
-            drain_cycles: 2_000,
-            link_capacity: 1,
-            max_packet_cycles: 2_000,
             faults: CampaignFaults::Churn(ChurnConfig {
                 fail_rate: 0.01,
                 mean_downtime: 120.0,
@@ -110,29 +100,22 @@ impl SloCampaign {
     /// yields a bit-identical [`CampaignResult`].
     pub fn run(&self, make_router: &dyn Fn() -> Box<dyn Router>) -> CampaignResult {
         let mesh = self.mesh();
+        let horizon = self.traffic.cycles;
         let mut net = LgfiNetwork::new(
             mesh.clone(),
             FaultPlan::empty(),
             NetworkConfig {
                 lambda: self.lambda,
-                max_probe_steps: self.horizon + self.drain_cycles,
+                max_probe_steps: horizon + self.traffic.drain_cycles,
                 threads: self.threads,
                 frontier: self.frontier,
                 probe_threads: self.probe_threads,
             },
         );
-        let mut engine = TrafficEngine::new(
-            mesh.clone(),
-            TrafficConfig {
-                link_capacity: self.link_capacity,
-                max_packet_cycles: self.max_packet_cycles,
-                traffic_threads: self.traffic_threads,
-            },
-            make_router,
-        );
+        let mut engine = TrafficEngine::new(mesh.clone(), self.traffic, make_router);
         let mut traffic =
             TrafficGenerator::new(mesh.clone(), self.pattern, self.seed ^ 0x00AF_F1C0);
-        let mut injection = InjectionProcess::new(self.injection_rate);
+        let mut injection = InjectionProcess::new(self.traffic.injection_rate);
         let mut obs = SloObserver::new(mesh.node_count());
 
         // Pre-size the accumulators: latencies are capped by `max_packet_cycles`,
@@ -144,14 +127,12 @@ impl SloCampaign {
                 .iter()
                 .filter(|e| e.kind == FaultEventKind::Fail)
                 .count(),
-            CampaignFaults::Churn(cfg) => {
-                (cfg.fail_rate * self.horizon as f64).ceil() as usize + 16
-            }
+            CampaignFaults::Churn(cfg) => (cfg.fail_rate * horizon as f64).ceil() as usize + 16,
         };
-        obs.reserve(self.max_packet_cycles + 2, 4_096, max_bursts);
+        obs.reserve(self.traffic.max_packet_cycles + 2, 4_096, max_bursts);
         engine.reserve(
-            64 + (self.injection_rate.ceil() as usize) * 64,
-            self.max_packet_cycles + 2,
+            64 + (self.traffic.injection_rate.ceil() as usize) * 64,
+            self.traffic.max_packet_cycles + 2,
         );
 
         // The event stream: a cursor over the held plan, or the churn process.
@@ -162,7 +143,7 @@ impl SloCampaign {
         };
         let mut events: Vec<FaultEvent> = Vec::with_capacity(32);
 
-        for _ in 0..self.horizon {
+        for _ in 0..horizon {
             let step = net.step();
             match (&self.faults, churn.as_mut()) {
                 (CampaignFaults::Plan(plan), _) => {
@@ -185,7 +166,7 @@ impl SloCampaign {
         }
         // Event-free drain: let the in-flight packets finish.
         let mut drained = 0u64;
-        while engine.in_flight() > 0 && drained < self.drain_cycles {
+        while engine.in_flight() > 0 && drained < self.traffic.drain_cycles {
             net.run_traffic_step_with(&[], &mut engine);
             obs.observe_step(&net, &engine, &[]);
             engine.clear_records();
@@ -197,7 +178,7 @@ impl SloCampaign {
             router: engine.router_name(),
             threads: net.threads(),
             traffic_threads: engine.traffic_threads(),
-            horizon: self.horizon,
+            horizon,
             drained,
             e_max_seen: obs.e_max_seen(),
             a_steps_max: obs.a_steps_max(),
@@ -246,11 +227,11 @@ mod tests {
             },
             FaultPlacement::Shaped(ClusterShape::L),
         );
-        let campaign = SloCampaign {
-            horizon: 400,
+        let mut campaign = SloCampaign {
             faults: CampaignFaults::Plan(plan),
             ..SloCampaign::small_churn()
         };
+        campaign.traffic = campaign.traffic.cycles(400);
         let result = campaign.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(result.router, "lgfi");
         assert!(result.tracker.injected() > 100);
@@ -284,14 +265,27 @@ mod tests {
     }
 
     #[test]
+    fn wormhole_campaigns_stay_deadlock_free_under_churn() {
+        let mut campaign = SloCampaign::small_churn();
+        campaign.traffic = campaign.traffic.cycles(400).flits_per_packet(4);
+        let result = campaign.run(&|| Box::new(LgfiRouter::new()));
+        assert!(result.tracker.injected() > 100);
+        assert!(
+            result.tracker.delivery_rate() > 0.8,
+            "rate {}",
+            result.tracker.delivery_rate()
+        );
+    }
+
+    #[test]
     fn campaigns_are_deterministic_and_thread_invariant() {
         let mut campaign = SloCampaign::small_churn();
-        campaign.horizon = 500;
+        campaign.traffic = campaign.traffic.cycles(500);
         let a = campaign.run(&|| Box::new(LgfiRouter::new()));
         let b = campaign.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(a, b);
         campaign.threads = 4;
-        campaign.traffic_threads = 4;
+        campaign.traffic = campaign.traffic.traffic_threads(4);
         let sharded = campaign.run(&|| Box::new(LgfiRouter::new()));
         assert_eq!(sharded.traffic_threads, 4);
         assert_eq!(a.tracker, sharded.tracker, "sharding must be invisible");

@@ -3,7 +3,7 @@
 use lgfi_core::network::{ConvergenceRecord, LgfiNetwork, NetworkConfig, ProbeReport};
 use lgfi_core::routing::Router;
 use lgfi_core::status::NodeStatus;
-use lgfi_core::traffic_engine::{PacketRecord, TrafficConfig, TrafficEngine};
+use lgfi_core::traffic_engine::{PacketRecord, TrafficEngine, TrafficSpec};
 use lgfi_sim::{FaultPlan, InjectionProcess, TrafficStats};
 use lgfi_topology::Mesh;
 
@@ -130,21 +130,31 @@ impl Scenario {
     }
 
     /// Runs the scenario as a *concurrent-traffic* experiment: instead of a fixed
-    /// batch of independent probes, packets are injected at `load.injection_rate`
-    /// packets per cycle (drawn from this scenario's traffic pattern over nodes
-    /// usable at injection time) and contend for finite-capacity links while the
+    /// batch of independent probes, multi-flit packets (worms) are injected at
+    /// `spec.injection_rate` packets per cycle (drawn from this scenario's traffic
+    /// pattern over nodes usable at injection time) and contend for
+    /// finite-capacity links, virtual channels and flit-buffer credits while the
     /// fault plan unfolds, so queueing latency and accepted throughput become
     /// observable.
     ///
+    /// Accepts anything convertible into a [`TrafficSpec`] — a spec built with
+    /// the [`TrafficSpec::at_rate`] builder, or a legacy [`TrafficLoad`].  The
+    /// scenario's own `max_steps` and `traffic_threads` override the spec's
+    /// `max_packet_cycles` and `traffic_threads` fields.
+    ///
     /// One network step is one traffic cycle.  The first `launch_step` steps run
     /// without traffic (information warm-up, as in [`Scenario::run`]), then
-    /// `load.cycles` injection cycles, then up to `load.drain_cycles` further
+    /// `spec.cycles` injection cycles, then up to `spec.drain_cycles` further
     /// cycles to let the in-flight packets finish.
     pub fn run_traffic(
         &self,
-        load: &TrafficLoad,
+        load: impl Into<TrafficSpec>,
         router_factory: &dyn Fn() -> Box<dyn Router>,
     ) -> TrafficResult {
+        let spec = load
+            .into()
+            .max_packet_cycles(self.max_steps)
+            .traffic_threads(self.traffic_threads);
         let mesh = self.mesh();
         let plan = self.fault_plan();
         let mut net = LgfiNetwork::new(
@@ -161,18 +171,10 @@ impl Scenario {
         while net.step() < self.launch_step {
             net.run_step();
         }
-        let mut engine = TrafficEngine::new(
-            mesh.clone(),
-            TrafficConfig {
-                link_capacity: load.link_capacity,
-                max_packet_cycles: self.max_steps,
-                traffic_threads: self.traffic_threads,
-            },
-            router_factory,
-        );
+        let mut engine = TrafficEngine::new(mesh.clone(), spec, router_factory);
         let mut traffic = TrafficGenerator::new(mesh, self.traffic, self.seed ^ 0x00AF_F1C0);
-        let mut injection = InjectionProcess::new(load.injection_rate);
-        for _ in 0..load.cycles {
+        let mut injection = InjectionProcess::new(spec.injection_rate);
+        for _ in 0..spec.cycles {
             for _ in 0..injection.packets_this_cycle() {
                 let statuses = net.statuses();
                 if let Some(req) = traffic.next_request(|id| statuses[id] == NodeStatus::Enabled) {
@@ -182,13 +184,13 @@ impl Scenario {
             net.run_traffic_step(&mut engine);
         }
         let mut drained = 0u64;
-        while engine.in_flight() > 0 && drained < load.drain_cycles {
+        while engine.in_flight() > 0 && drained < spec.drain_cycles {
             net.run_traffic_step(&mut engine);
             drained += 1;
         }
         TrafficResult {
-            offered_load: load.injection_rate,
-            measured_cycles: load.cycles,
+            offered_load: spec.injection_rate,
+            measured_cycles: spec.cycles,
             traffic_threads: engine.traffic_threads(),
             router: engine.router_name(),
             stats: engine.stats().clone(),
@@ -198,6 +200,15 @@ impl Scenario {
 }
 
 /// The offered load of a [`Scenario::run_traffic`] experiment.
+///
+/// Superseded by the unified [`TrafficSpec`] builder, which also carries the
+/// wormhole knobs (flits per packet, virtual channels, buffer depth, escape
+/// class).  Any `TrafficLoad` lifts losslessly onto a `TrafficSpec` via `From`,
+/// so existing call sites keep compiling for one release.
+#[deprecated(
+    since = "0.10.0",
+    note = "use the unified builder-style lgfi_core::TrafficSpec instead"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct TrafficLoad {
     /// Packets injected per cycle (fractional rates are realised exactly on average
@@ -212,6 +223,8 @@ pub struct TrafficLoad {
     pub link_capacity: u32,
 }
 
+// Deprecated shim: kept for one release so downstream callers can migrate.
+#[allow(deprecated)]
 impl TrafficLoad {
     /// A standard load at the given injection rate: 200 injection cycles, a
     /// generous drain window, unit link capacity.
@@ -222,6 +235,25 @@ impl TrafficLoad {
             drain_cycles: 5_000,
             link_capacity: 1,
         }
+    }
+}
+
+// Deprecated shim: kept for one release so downstream callers can migrate.
+#[allow(deprecated)]
+impl From<TrafficLoad> for TrafficSpec {
+    fn from(load: TrafficLoad) -> TrafficSpec {
+        TrafficSpec::at_rate(load.injection_rate)
+            .cycles(load.cycles)
+            .drain_cycles(load.drain_cycles)
+            .link_capacity(load.link_capacity)
+    }
+}
+
+// Deprecated shim: kept for one release so downstream callers can migrate.
+#[allow(deprecated)]
+impl From<&TrafficLoad> for TrafficSpec {
+    fn from(load: &TrafficLoad) -> TrafficSpec {
+        (*load).into()
     }
 }
 
@@ -271,6 +303,11 @@ impl TrafficResult {
     /// 99th-percentile delivered latency in cycles (0 before any delivery).
     pub fn p99_latency(&self) -> u64 {
         self.stats.latency_quantile(0.99).unwrap_or(0)
+    }
+
+    /// Number of worms the cycle-driven deadlock detector tore down.
+    pub fn deadlocked(&self) -> u64 {
+        self.stats.deadlocked()
     }
 }
 
@@ -432,13 +469,8 @@ mod tests {
     fn traffic_run_delivers_under_load() {
         let mut scenario = Scenario::small();
         scenario.fault_count = 4;
-        let load = TrafficLoad {
-            injection_rate: 0.5,
-            cycles: 100,
-            drain_cycles: 2_000,
-            link_capacity: 1,
-        };
-        let result = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        let load = TrafficSpec::at_rate(0.5).cycles(100).drain_cycles(2_000);
+        let result = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
         assert_eq!(result.router, "lgfi");
         assert_eq!(result.traffic_threads, 1);
         assert!(result.stats.injected() >= 45, "{:?}", result.stats);
@@ -458,23 +490,58 @@ mod tests {
         let mut scenario = Scenario::small();
         scenario.dims = vec![12, 12];
         scenario.fault_count = 5;
-        let load = TrafficLoad::at_rate(0.8);
-        let a = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
-        let b = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        let load = TrafficSpec::at_rate(0.8).flits_per_packet(4);
+        let a = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
+        let b = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
         assert_eq!(a.records, b.records);
         assert_eq!(a.stats, b.stats);
         scenario.traffic_threads = 4;
-        let sharded = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        let sharded = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
         assert_eq!(sharded.traffic_threads, 4);
         assert_eq!(a.records, sharded.records, "sharding must be invisible");
         assert_eq!(a.stats, sharded.stats);
     }
 
     #[test]
+    // The shim's own test is the one place the deprecated type is used on purpose,
+    // and the borrow is the legacy `&TrafficLoad` calling convention under test.
+    #[allow(deprecated, clippy::needless_borrows_for_generic_args)]
+    fn deprecated_traffic_load_still_drives_run_traffic() {
+        let mut scenario = Scenario::small();
+        scenario.fault_count = 4;
+        let legacy =
+            scenario.run_traffic(&TrafficLoad::at_rate(0.5), &|| Box::new(LgfiRouter::new()));
+        let spec = scenario.run_traffic(TrafficSpec::at_rate(0.5), &|| Box::new(LgfiRouter::new()));
+        assert_eq!(legacy.records, spec.records, "the shim lifts losslessly");
+        assert_eq!(legacy.stats, spec.stats);
+    }
+
+    #[test]
+    fn multi_flit_worms_deliver_through_faults() {
+        let mut scenario = Scenario::small();
+        scenario.fault_count = 4;
+        let load = TrafficSpec::at_rate(0.4).cycles(80).flits_per_packet(8);
+        let result = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
+        assert!(result.stats.injected() > 0);
+        assert!(
+            result.delivery_ratio() > 0.95,
+            "ratio {}",
+            result.delivery_ratio()
+        );
+        assert_eq!(
+            result.deadlocked(),
+            0,
+            "escape VCs keep worms deadlock-free"
+        );
+        // Each worm needs at least F - 1 extra cycles to stream its body.
+        assert!(result.mean_latency() >= 8.0, "{}", result.mean_latency());
+    }
+
+    #[test]
     fn zero_injection_rate_produces_no_traffic() {
         let scenario = Scenario::small();
-        let load = TrafficLoad::at_rate(0.0);
-        let result = scenario.run_traffic(&load, &|| Box::new(LgfiRouter::new()));
+        let load = TrafficSpec::at_rate(0.0);
+        let result = scenario.run_traffic(load, &|| Box::new(LgfiRouter::new()));
         assert_eq!(result.stats.injected(), 0);
         assert_eq!(result.records.len(), 0);
         assert_eq!(

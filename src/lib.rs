@@ -76,14 +76,20 @@ pub mod prelude {
     pub use lgfi_core::safety::{is_safe_source, is_safe_source_in};
     pub use lgfi_core::status::NodeStatus;
     pub use lgfi_core::traffic_engine::{
-        CycleEnv, PacketRecord, StaticTrafficEnv, TrafficConfig, TrafficEngine,
+        CycleEnv, PacketRecord, StaticTrafficEnv, TrafficEngine, TrafficSpec,
     };
+    // Deprecated shim: kept for one release so downstream callers can migrate.
+    #[allow(deprecated)]
+    pub use lgfi_core::traffic_engine::TrafficConfig;
     pub use lgfi_sim::{DetRng, FaultEvent, FaultPlan, InjectionProcess, StepConfig, TrafficStats};
     pub use lgfi_topology::{coord, Coord, Direction, Mesh, NodeId, Region};
     pub use lgfi_workloads::{
         DynamicFaultConfig, FaultGenerator, FaultPlacement, Scenario, TrafficGenerator,
-        TrafficLoad, TrafficPattern, TrafficResult,
+        TrafficPattern, TrafficResult,
     };
+    // Deprecated shim: kept for one release so downstream callers can migrate.
+    #[allow(deprecated)]
+    pub use lgfi_workloads::TrafficLoad;
 }
 
 #[cfg(test)]

@@ -345,9 +345,9 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
     // run — injection, every cycle's decision/arbitration/retirement, and record
     // keeping — must not touch the heap at all: zero steady-state allocations per
     // cycle.
-    use lgfi_core::traffic_engine::{StaticTrafficEnv, TrafficConfig, TrafficEngine};
+    use lgfi_core::traffic_engine::{StaticTrafficEnv, TrafficEngine, TrafficSpec};
     let env = StaticTrafficEnv::new(&mesh, &statuses, blocks.blocks(), &boundary);
-    let mut traffic = TrafficEngine::new(mesh.clone(), TrafficConfig::default(), &|| {
+    let mut traffic = TrafficEngine::new(mesh.clone(), TrafficSpec::new(), &|| {
         Box::new(LgfiRouter::new())
     });
     // Each pair twice: the twin packets fight for the very same links, so every
@@ -424,14 +424,10 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
     );
 
     // --- Pooled traffic plane: warm parallel decision cycles. ---------------------
-    let mut traffic = TrafficEngine::new(
-        mesh,
-        TrafficConfig {
-            traffic_threads: 4,
-            ..TrafficConfig::default()
-        },
-        &|| Box::new(LgfiRouter::new()),
-    );
+    let mut traffic =
+        TrafficEngine::new(mesh.clone(), TrafficSpec::new().traffic_threads(4), &|| {
+            Box::new(LgfiRouter::new())
+        });
     let first = run_batch(&mut traffic);
     let warm = run_batch(&mut traffic);
     assert_eq!(first, warm, "warm pooled traffic re-runs must be identical");
@@ -444,6 +440,37 @@ fn steady_state_rounds_allocate_nothing_in_the_serial_engines() {
     assert_eq!(
         allocs, 0,
         "a warm pooled TrafficEngine must not allocate per cycle (threads=4)"
+    );
+
+    // --- Wormhole data plane: warm multi-flit cycles are allocation-free too. -----
+    // 4-flit worms over 4 virtual channels: head allocation, credit accounting,
+    // body-flit advancement, VC release and the deadlock detector's stamp walk all
+    // run in the measured section.  The worm link queues, the VC table and the
+    // flit-buffer pools are recycled buffers, so a warm engine must stay off the
+    // heap even though every packet now occupies a path of links head-to-tail.
+    let mut traffic = TrafficEngine::new(
+        mesh,
+        TrafficSpec::new().flits_per_packet(4).vc_count(4),
+        &|| Box::new(LgfiRouter::new()),
+    );
+    let first = run_batch(&mut traffic);
+    let warm = run_batch(&mut traffic);
+    assert_eq!(first, warm, "warm wormhole re-runs must be identical");
+    // One extra warm run: worm link queues are recycled per packet slot, and the
+    // slot-to-packet assignment (hence each queue's high-water path length) takes
+    // one more run to reach its fixed point than the single-flit plane.
+    let warm2 = run_batch(&mut traffic);
+    assert_eq!(warm, warm2, "wormhole re-runs must stay identical");
+    assert_eq!(warm.0, traffic_pairs.len() as u64, "all worms deliver");
+    assert!(warm.1 > 0, "multi-flit worms must contend for links");
+    // Reserve for two measured sections: count_allocations may re-run its body
+    // once to reject cross-thread noise.
+    traffic.reserve(2 * traffic_pairs.len(), warm.2);
+    let (allocs, steady) = count_allocations(|| run_batch(&mut traffic));
+    assert_eq!(steady, warm, "measured wormhole run must route identically");
+    assert_eq!(
+        allocs, 0,
+        "a warm wormhole TrafficEngine must not allocate per flit cycle"
     );
 
     // Sanity: the counter actually observes allocator traffic.

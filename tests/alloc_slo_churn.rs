@@ -27,7 +27,7 @@ use lgfi_core::network::{LgfiNetwork, NetworkConfig};
 use lgfi_core::routing::LgfiRouter;
 use lgfi_core::slo::SloObserver;
 use lgfi_core::status::NodeStatus;
-use lgfi_core::traffic_engine::{TrafficConfig, TrafficEngine};
+use lgfi_core::traffic_engine::{TrafficEngine, TrafficSpec};
 use lgfi_sim::{FaultPlan, InjectionProcess};
 use lgfi_topology::Mesh;
 use lgfi_workloads::{ChurnConfig, ChurnProcess, TrafficGenerator, TrafficPattern};
@@ -107,11 +107,7 @@ fn event_free_campaign_cycles_allocate_nothing_after_churn_warmup() {
     );
     let mut engine = TrafficEngine::new(
         mesh.clone(),
-        TrafficConfig {
-            link_capacity: 1,
-            max_packet_cycles,
-            traffic_threads: 1,
-        },
+        TrafficSpec::new().max_packet_cycles(max_packet_cycles),
         &|| Box::new(LgfiRouter::new()),
     );
     let mut traffic = TrafficGenerator::new(mesh.clone(), TrafficPattern::UniformRandom, 77);

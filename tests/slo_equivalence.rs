@@ -16,6 +16,7 @@ use lgfi::workloads::{
     CampaignFaults, ChurnConfig, ChurnProcess, ClusterShape, DynamicFaultConfig, FaultFrontConfig,
     FaultGenerator, FaultPlacement, RegionalOutageConfig, SloCampaign,
 };
+use lgfi_core::traffic_engine::TrafficSpec;
 
 #[test]
 fn every_fault_generator_is_bit_identical_in_its_seed() {
@@ -73,13 +74,11 @@ fn campaign(faults: CampaignFaults, horizon: u64) -> SloCampaign {
         threads: 1,
         frontier: true,
         probe_threads: 1,
-        traffic_threads: 1,
-        injection_rate: 0.8,
+        traffic: TrafficSpec::at_rate(0.8)
+            .cycles(horizon)
+            .drain_cycles(2_000)
+            .max_packet_cycles(2_000),
         pattern: TrafficPattern::UniformRandom,
-        horizon,
-        drain_cycles: 2_000,
-        link_capacity: 1,
-        max_packet_cycles: 2_000,
         faults,
     }
 }
@@ -123,7 +122,7 @@ fn campaign_slo_reports_are_bit_identical_across_every_knob() {
             c.threads = threads;
             c.frontier = frontier;
             c.probe_threads = probe_threads;
-            c.traffic_threads = traffic_threads;
+            c.traffic = c.traffic.traffic_threads(traffic_threads);
             let knobbed = c.run(&|| Box::new(LgfiRouter::new()));
             assert_eq!(
                 reference.tracker, knobbed.tracker,
@@ -178,13 +177,11 @@ fn long_horizon_churn_is_bit_identical_across_env_knobs() {
         threads: 1,
         frontier: true,
         probe_threads: 1,
-        traffic_threads: 1,
-        injection_rate: 0.4,
+        traffic: TrafficSpec::at_rate(0.4)
+            .cycles(horizon)
+            .drain_cycles(2_000)
+            .max_packet_cycles(2_000),
         pattern: TrafficPattern::UniformRandom,
-        horizon,
-        drain_cycles: 2_000,
-        link_capacity: 1,
-        max_packet_cycles: 2_000,
         faults: CampaignFaults::Churn(ChurnConfig {
             fail_rate: 0.02,
             mean_downtime: 80.0,
@@ -201,7 +198,9 @@ fn long_horizon_churn_is_bit_identical_across_env_knobs() {
     let mut configured = base;
     configured.threads = knob("LGFI_THREADS", 1);
     configured.probe_threads = knob("LGFI_PROBE_THREADS", 1);
-    configured.traffic_threads = knob("LGFI_TRAFFIC_THREADS", 1);
+    configured.traffic = configured
+        .traffic
+        .traffic_threads(knob("LGFI_TRAFFIC_THREADS", 1));
     configured.frontier = !matches!(
         std::env::var("LGFI_FRONTIER").as_deref().map(str::trim),
         Ok("0") | Ok("false") | Ok("off")

@@ -14,7 +14,8 @@
 //! CI determinism-matrix job varies.
 
 use lgfi::prelude::*;
-use lgfi::workloads::{DynamicFaultConfig, TrafficLoad};
+use lgfi::workloads::DynamicFaultConfig;
+use lgfi_core::traffic_engine::TrafficSpec;
 use lgfi_sim::TrafficStats;
 
 fn router_by_name(name: &str) -> Box<dyn Router> {
@@ -78,13 +79,8 @@ fn fingerprint(
 ) -> (Vec<PacketRecord>, TrafficStats, usize) {
     let mut s = scenario(dynamic, threads, frontier, probe_threads);
     s.traffic_threads = traffic_threads;
-    let load = TrafficLoad {
-        injection_rate: 1.5,
-        cycles: 80,
-        drain_cycles: 5_000,
-        link_capacity: 1,
-    };
-    let result = s.run_traffic(&load, &|| router_by_name(router));
+    let load = TrafficSpec::at_rate(1.5).cycles(80).drain_cycles(5_000);
+    let result = s.run_traffic(load, &|| router_by_name(router));
     assert!(
         result.stats.injected() >= 100,
         "the run must actually exercise concurrency: {:?}",
